@@ -1,0 +1,63 @@
+//! Codec benchmarks — the microscopic basis of Figure 5.
+//!
+//! `axis_encode` vs `efficient_encode` across bundle sizes shows the
+//! quadratic blow-up of the grow-by-copy serializer; decode is shared.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use falkon_proto::codec::{AxisCodec, Codec, EfficientCodec};
+use falkon_proto::message::{InstanceId, Message};
+use falkon_proto::task::TaskSpec;
+use std::hint::black_box;
+
+fn bundle(k: u64) -> Message {
+    Message::Submit {
+        instance: InstanceId(1),
+        tasks: (0..k).map(|i| TaskSpec::sleep(i, 0)).collect(),
+    }
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encode");
+    for &k in &[1u64, 10, 100, 300, 1000] {
+        let msg = bundle(k);
+        g.throughput(Throughput::Elements(k));
+        g.bench_with_input(BenchmarkId::new("efficient", k), &msg, |b, m| {
+            b.iter(|| black_box(EfficientCodec.encode(black_box(m))))
+        });
+        g.bench_with_input(BenchmarkId::new("axis_grow_by_copy", k), &msg, |b, m| {
+            b.iter(|| black_box(AxisCodec.encode(black_box(m))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode");
+    for &k in &[1u64, 100, 1000] {
+        let bytes = EfficientCodec.encode(&bundle(k));
+        g.throughput(Throughput::Elements(k));
+        g.bench_with_input(BenchmarkId::new("efficient", k), &bytes, |b, by| {
+            b.iter(|| black_box(EfficientCodec.decode(black_box(by)).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_framing(c: &mut Criterion) {
+    use falkon_proto::frame::{write_frame, FrameDecoder};
+    let payloads: Vec<Vec<u8>> = (0..100).map(|i| vec![i as u8; 200]).collect();
+    let mut stream = Vec::new();
+    for p in &payloads {
+        write_frame(&mut stream, p);
+    }
+    c.bench_function("frame_decode_100x200B", |b| {
+        b.iter(|| {
+            let mut dec = FrameDecoder::new();
+            dec.feed(black_box(&stream));
+            black_box(dec.drain_frames().unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_framing);
+criterion_main!(benches);

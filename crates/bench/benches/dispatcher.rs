@@ -1,0 +1,114 @@
+//! Dispatcher state-machine benchmarks: raw decision throughput and the
+//! piggy-backing ablation (messages saved per task).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use falkon_core::dispatcher::{Dispatcher, DispatcherAction, DispatcherEvent};
+use falkon_core::DispatcherConfig;
+use falkon_proto::message::{ExecutorId, InstanceId, Message};
+use falkon_proto::task::{TaskResult, TaskSpec};
+use std::hint::black_box;
+
+/// Drive a full task lifecycle (submit→notify→getwork→result→ack) for `n`
+/// tasks over `execs` executors through the pure state machine.
+fn pump_tasks(config: DispatcherConfig, n: u64, execs: u64) -> u64 {
+    let mut d = Dispatcher::new(config);
+    let mut out: Vec<DispatcherAction> = Vec::new();
+    d.on_event(0, DispatcherEvent::CreateInstance, &mut out);
+    let instance = InstanceId(1);
+    for e in 0..execs {
+        d.on_event(
+            0,
+            DispatcherEvent::Register {
+                executor: ExecutorId(e),
+                host: String::new(),
+            },
+            &mut out,
+        );
+    }
+    d.on_event(
+        1,
+        DispatcherEvent::Submit {
+            instance,
+            tasks: (0..n).map(|i| TaskSpec::sleep(i, 0)).collect(),
+        },
+        &mut out,
+    );
+    // Echo executor behaviour synchronously until drained.
+    let mut now = 2;
+    let mut done = 0u64;
+    let mut inbox: Vec<DispatcherEvent> = Vec::new();
+    loop {
+        for act in out.drain(..) {
+            match act {
+                DispatcherAction::ToExecutor {
+                    executor,
+                    msg: Message::Notify { key },
+                } => inbox.push(DispatcherEvent::GetWork { executor, key }),
+                DispatcherAction::ToExecutor {
+                    executor,
+                    msg: Message::Work { tasks },
+                } => {
+                    if !tasks.is_empty() {
+                        inbox.push(DispatcherEvent::Result {
+                            executor,
+                            results: tasks.iter().map(|t| TaskResult::success(t.id)).collect(),
+                        });
+                    }
+                }
+                DispatcherAction::ToExecutor {
+                    executor,
+                    msg: Message::ResultAck { piggybacked },
+                } => {
+                    if !piggybacked.is_empty() {
+                        inbox.push(DispatcherEvent::Result {
+                            executor,
+                            results: piggybacked
+                                .iter()
+                                .map(|t| TaskResult::success(t.id))
+                                .collect(),
+                        });
+                    }
+                }
+                DispatcherAction::TaskDone { .. } => done += 1,
+                _ => {}
+            }
+        }
+        if inbox.is_empty() {
+            break;
+        }
+        for ev in inbox.drain(..).collect::<Vec<_>>() {
+            now += 1;
+            d.on_event(now, ev, &mut out);
+        }
+    }
+    assert_eq!(done, n, "all tasks complete");
+    done
+}
+
+fn bench_lifecycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatcher_lifecycle");
+    for &n in &[1_000u64, 10_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("piggyback", n), &n, |b, &n| {
+            b.iter(|| black_box(pump_tasks(DispatcherConfig::default(), n, 16)))
+        });
+        g.bench_with_input(BenchmarkId::new("no_piggyback", n), &n, |b, &n| {
+            b.iter(|| black_box(pump_tasks(DispatcherConfig::no_optimizations(), n, 16)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_scale_executors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatcher_executor_scale");
+    g.sample_size(10);
+    for &execs in &[100u64, 1_000, 10_000] {
+        g.bench_with_input(BenchmarkId::new("register_and_run", execs), &execs, |b, &e| {
+            b.iter(|| black_box(pump_tasks(DispatcherConfig::default(), e, e)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lifecycle, bench_scale_executors);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! End-to-end *measured* throughput on this machine (real threads), the
+//! honest counterpart to Figures 3 and 5: wire-mode ablation (plain /
+//! encoded / secure) and a bundle-size sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use falkon_core::DispatcherConfig;
+use falkon_proto::bundle::BundleConfig;
+use falkon_rt::inproc::{run_sleep_workload, InprocConfig};
+use falkon_rt::WireMode;
+use std::hint::black_box;
+
+const TASKS: u64 = 2_000;
+
+fn cfg(wire: WireMode, bundle: usize) -> InprocConfig {
+    InprocConfig {
+        executors: 8,
+        wire,
+        bundle: BundleConfig::of(bundle),
+        dispatcher: DispatcherConfig {
+            client_notify_batch: 1_000,
+            ..DispatcherConfig::default()
+        },
+        ..InprocConfig::default()
+    }
+}
+
+fn bench_wire_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inproc_wire_mode");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(TASKS));
+    for (name, wire) in [
+        ("plain", WireMode::Plain),
+        ("encoded", WireMode::Encoded),
+        ("secure", WireMode::Secure),
+    ] {
+        g.bench_function(BenchmarkId::new("sleep0", name), |b| {
+            b.iter(|| black_box(run_sleep_workload(&cfg(wire, 300), TASKS, 0)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_bundle_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inproc_bundle");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(TASKS));
+    for &bundle in &[1usize, 10, 100, 300] {
+        g.bench_with_input(BenchmarkId::new("sleep0", bundle), &bundle, |b, &k| {
+            b.iter(|| black_box(run_sleep_workload(&cfg(WireMode::Encoded, k), TASKS, 0)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire_modes, bench_bundle_sizes);
+criterion_main!(benches);

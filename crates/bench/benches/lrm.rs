@@ -1,0 +1,40 @@
+//! Batch-scheduler model benchmarks: how fast the PBS/Condor substrate
+//! processes job streams (so the provisioning experiments scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use falkon_lrm::job::JobSpec;
+use falkon_lrm::profile::{CONDOR_V6_9_3, PBS_V2_1_8};
+use falkon_lrm::scheduler::{BatchScheduler, LrmInput};
+use std::hint::black_box;
+
+fn run_jobs(profile: falkon_lrm::profile::LrmProfile, n: u64) -> u64 {
+    let mut s = BatchScheduler::new(profile, 128);
+    let mut out = Vec::new();
+    for i in 0..n {
+        s.handle(0, LrmInput::Submit(JobSpec::task(i, 0)), &mut out);
+    }
+    while s.stats().finished < n {
+        let t = s.next_wakeup().expect("pending work");
+        s.handle(t, LrmInput::Tick, &mut out);
+        out.clear();
+    }
+    s.stats().finished
+}
+
+fn bench_lrm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lrm_job_stream");
+    g.sample_size(10);
+    for &n in &[1_000u64, 10_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("pbs", n), &n, |b, &n| {
+            b.iter(|| black_box(run_jobs(PBS_V2_1_8, n)))
+        });
+        g.bench_with_input(BenchmarkId::new("condor693", n), &n, |b, &n| {
+            b.iter(|| black_box(run_jobs(CONDOR_V6_9_3, n)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lrm);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! GSISecureConversation stand-in cost: seal/open per message size — the
+//! per-byte work behind the Figure 3 security gap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use falkon_proto::security::established_pair;
+use std::hint::black_box;
+
+fn bench_seal_open(c: &mut Criterion) {
+    let mut g = c.benchmark_group("secure_channel");
+    for &size in &[64usize, 1024, 16 * 1024, 256 * 1024] {
+        let payload = vec![0xABu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("seal_open", size), &payload, |b, p| {
+            let (mut a, mut bb) = established_pair(42, 1, 2);
+            b.iter(|| {
+                let sealed = a.seal(black_box(p)).unwrap();
+                black_box(bb.open(&sealed).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_seal_open);
+criterion_main!(benches);

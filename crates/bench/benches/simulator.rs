@@ -1,0 +1,50 @@
+//! Simulator throughput: events/sec of the discrete-event engine and the
+//! full simulated deployment (how long the paper's at-scale reproductions
+//! take per simulated task).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use falkon_exp::simfalkon::{SimFalkon, SimFalkonConfig};
+use falkon_proto::task::TaskSpec;
+use falkon_sim::{Engine, SimDuration};
+use std::hint::black_box;
+
+fn bench_event_engine(c: &mut Criterion) {
+    const N: u64 = 100_000;
+    let mut g = c.benchmark_group("event_engine");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("chained_timer_events", |b| {
+        b.iter(|| {
+            let mut eng: Engine<u64> = Engine::new();
+            eng.schedule(SimDuration::from_micros(1), 0);
+            eng.run(|eng, n| {
+                if n < N {
+                    eng.schedule(SimDuration::from_micros(1), n + 1);
+                }
+            });
+            black_box(eng.events_processed())
+        })
+    });
+    g.finish();
+}
+
+fn bench_sim_deployment(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_deployment");
+    g.sample_size(10);
+    for &n in &[1_000u64, 10_000] {
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("sleep0_tasks", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = SimFalkon::new(SimFalkonConfig {
+                    executors: 64,
+                    ..SimFalkonConfig::default()
+                });
+                sim.submit(0, (0..n).map(|i| TaskSpec::sleep(i, 0)).collect());
+                black_box(sim.run_until_drained().tasks)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_engine, bench_sim_deployment);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Criterion benchmarks and the `repro` harness binary live in this crate.
+//! See `benches/` and `src/bin/repro.rs`.

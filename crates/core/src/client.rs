@@ -1,0 +1,289 @@
+//! Client-side session: submit task bundles, track completions.
+//!
+//! Mirrors the paper's client API: create an instance (receiving an EPR),
+//! submit arrays of tasks (optionally bundled), wait for notifications,
+//! retrieve results, destroy the instance. Sans-io like the rest of the
+//! crate.
+
+use crate::ids::InstanceId;
+use crate::Micros;
+use falkon_proto::bundle::{bundles, BundleConfig};
+use falkon_proto::message::Message;
+use falkon_proto::task::{TaskResult, TaskSpec};
+use std::collections::HashMap;
+
+/// Inputs to the client state machine (messages from the dispatcher).
+#[derive(Clone, Debug)]
+pub enum ClientEvent {
+    /// The driver connected us; begin by creating an instance.
+    Start,
+    /// The dispatcher created our instance.
+    InstanceCreated {
+        /// Our EPR.
+        instance: InstanceId,
+    },
+    /// The dispatcher accepted a submission.
+    SubmitAcked {
+        /// Tasks accepted.
+        accepted: u64,
+    },
+    /// Results are ready for pick-up `{8}`.
+    ResultsReady,
+    /// The dispatcher delivered results `{10}`.
+    Results {
+        /// Completed results.
+        results: Vec<TaskResult>,
+    },
+}
+
+/// Outputs of the client state machine.
+#[derive(Clone, Debug)]
+pub enum ClientAction {
+    /// Send a message to the dispatcher.
+    Send(Message),
+    /// All submitted tasks have completed.
+    WorkloadComplete,
+}
+
+/// Per-task completion record kept by the client.
+#[derive(Clone, Debug)]
+pub struct CompletionRecord {
+    /// The result as delivered.
+    pub result: TaskResult,
+    /// When the client submitted the task (µs).
+    pub submitted_us: Micros,
+    /// When the client received the result (µs).
+    pub received_us: Micros,
+}
+
+/// A Falkon client session. Queue tasks with [`Client::enqueue`], drive it
+/// with events, and read completions from [`Client::completions`].
+pub struct Client {
+    bundle: BundleConfig,
+    instance: Option<InstanceId>,
+    /// Tasks waiting for the instance to be created.
+    staged: Vec<TaskSpec>,
+    /// Submission timestamps by task id.
+    submitted_at: HashMap<u64, Micros>,
+    outstanding: u64,
+    completions: Vec<CompletionRecord>,
+    done_emitted: bool,
+}
+
+impl Client {
+    /// Create a client with the given bundling configuration.
+    pub fn new(bundle: BundleConfig) -> Self {
+        Client {
+            bundle,
+            instance: None,
+            staged: Vec::new(),
+            submitted_at: HashMap::new(),
+            outstanding: 0,
+            completions: Vec::new(),
+            done_emitted: false,
+        }
+    }
+
+    /// Our EPR, once created.
+    pub fn instance(&self) -> Option<InstanceId> {
+        self.instance
+    }
+
+    /// Tasks submitted but not yet completed.
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding
+    }
+
+    /// Completed task records.
+    pub fn completions(&self) -> &[CompletionRecord] {
+        &self.completions
+    }
+
+    /// Queue tasks for submission. If the instance already exists, returns
+    /// the submit actions immediately; otherwise tasks are staged until
+    /// [`ClientEvent::InstanceCreated`] arrives.
+    pub fn enqueue(&mut self, now: Micros, tasks: Vec<TaskSpec>, out: &mut Vec<ClientAction>) {
+        for t in &tasks {
+            self.submitted_at.insert(t.id.0, now);
+        }
+        self.outstanding += tasks.len() as u64;
+        self.done_emitted = false;
+        match self.instance {
+            Some(instance) => {
+                for chunk in bundles(tasks, self.bundle.max_bundle) {
+                    out.push(ClientAction::Send(Message::Submit {
+                        instance,
+                        tasks: chunk,
+                    }));
+                }
+            }
+            None => self.staged.extend(tasks),
+        }
+    }
+
+    /// Feed one event; actions are appended to `out`.
+    pub fn on_event(&mut self, now: Micros, ev: ClientEvent, out: &mut Vec<ClientAction>) {
+        match ev {
+            ClientEvent::Start => {
+                out.push(ClientAction::Send(Message::CreateInstance));
+            }
+            ClientEvent::InstanceCreated { instance } => {
+                self.instance = Some(instance);
+                let staged = std::mem::take(&mut self.staged);
+                if !staged.is_empty() {
+                    for chunk in bundles(staged, self.bundle.max_bundle) {
+                        out.push(ClientAction::Send(Message::Submit {
+                            instance,
+                            tasks: chunk,
+                        }));
+                    }
+                }
+            }
+            ClientEvent::SubmitAcked { .. } => {}
+            ClientEvent::ResultsReady => {
+                if let Some(instance) = self.instance {
+                    out.push(ClientAction::Send(Message::GetResults { instance }));
+                }
+            }
+            ClientEvent::Results { results } => {
+                for result in results {
+                    let submitted_us = self.submitted_at.remove(&result.id.0).unwrap_or(now);
+                    self.outstanding = self.outstanding.saturating_sub(1);
+                    self.completions.push(CompletionRecord {
+                        result,
+                        submitted_us,
+                        received_us: now,
+                    });
+                }
+                if self.outstanding == 0 && !self.done_emitted && !self.completions.is_empty() {
+                    self.done_emitted = true;
+                    out.push(ClientAction::WorkloadComplete);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falkon_proto::task::TaskId;
+
+    fn step(c: &mut Client, now: Micros, ev: ClientEvent) -> Vec<ClientAction> {
+        let mut out = Vec::new();
+        c.on_event(now, ev, &mut out);
+        out
+    }
+
+    #[test]
+    fn start_requests_instance() {
+        let mut c = Client::new(BundleConfig::default());
+        let acts = step(&mut c, 0, ClientEvent::Start);
+        assert!(matches!(&acts[0], ClientAction::Send(Message::CreateInstance)));
+    }
+
+    #[test]
+    fn staged_tasks_flush_on_instance_creation() {
+        let mut c = Client::new(BundleConfig::of(2));
+        let mut out = Vec::new();
+        c.enqueue(0, (0..5).map(|i| TaskSpec::sleep(i, 0)).collect(), &mut out);
+        assert!(out.is_empty(), "no instance yet");
+        let acts = step(
+            &mut c,
+            1,
+            ClientEvent::InstanceCreated {
+                instance: InstanceId(7),
+            },
+        );
+        // 5 tasks in bundles of 2 → 3 submits.
+        assert_eq!(acts.len(), 3);
+        assert!(acts.iter().all(|a| matches!(
+            a,
+            ClientAction::Send(Message::Submit {
+                instance: InstanceId(7),
+                ..
+            })
+        )));
+    }
+
+    #[test]
+    fn enqueue_after_instance_submits_directly() {
+        let mut c = Client::new(BundleConfig::of(10));
+        step(
+            &mut c,
+            0,
+            ClientEvent::InstanceCreated {
+                instance: InstanceId(1),
+            },
+        );
+        let mut out = Vec::new();
+        c.enqueue(1, vec![TaskSpec::sleep(1, 0)], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(c.outstanding(), 1);
+    }
+
+    #[test]
+    fn notification_triggers_retrieval_and_completion() {
+        let mut c = Client::new(BundleConfig::default());
+        step(
+            &mut c,
+            0,
+            ClientEvent::InstanceCreated {
+                instance: InstanceId(1),
+            },
+        );
+        let mut out = Vec::new();
+        c.enqueue(10, vec![TaskSpec::sleep(1, 0)], &mut out);
+        let acts = step(&mut c, 20, ClientEvent::ResultsReady);
+        assert!(matches!(
+            &acts[0],
+            ClientAction::Send(Message::GetResults { .. })
+        ));
+        let acts = step(
+            &mut c,
+            30,
+            ClientEvent::Results {
+                results: vec![TaskResult::success(TaskId(1))],
+            },
+        );
+        assert!(matches!(&acts[0], ClientAction::WorkloadComplete));
+        assert_eq!(c.completions().len(), 1);
+        let rec = &c.completions()[0];
+        assert_eq!(rec.submitted_us, 10);
+        assert_eq!(rec.received_us, 30);
+        assert_eq!(c.outstanding(), 0);
+    }
+
+    #[test]
+    fn completion_emitted_once() {
+        let mut c = Client::new(BundleConfig::default());
+        step(
+            &mut c,
+            0,
+            ClientEvent::InstanceCreated {
+                instance: InstanceId(1),
+            },
+        );
+        let mut out = Vec::new();
+        c.enqueue(0, vec![TaskSpec::sleep(1, 0), TaskSpec::sleep(2, 0)], &mut out);
+        let acts = step(
+            &mut c,
+            1,
+            ClientEvent::Results {
+                results: vec![TaskResult::success(TaskId(1))],
+            },
+        );
+        assert!(acts.is_empty());
+        let acts = step(
+            &mut c,
+            2,
+            ClientEvent::Results {
+                results: vec![TaskResult::success(TaskId(2))],
+            },
+        );
+        assert_eq!(acts.len(), 1);
+        // Duplicate empty delivery does not re-emit.
+        let acts = step(&mut c, 3, ClientEvent::Results { results: vec![] });
+        assert!(acts.is_empty());
+    }
+}

@@ -1,0 +1,671 @@
+//! The Falkon executor (paper Section 3.2–3.3).
+//!
+//! An executor registers with the dispatcher, then loops: receive a
+//! notification (push) → request work (pull) → run the task(s) → deliver
+//! results → receive the acknowledgement, which may piggy-back the next
+//! task(s). Under the distributed resource-release policy it deregisters
+//! itself after a configurable idle time.
+//!
+//! Like the dispatcher this is a sans-io state machine; the driver performs
+//! the actual process execution when it sees [`ExecutorAction::Run`] and
+//! reports back with [`ExecutorEvent::TaskCompleted`].
+
+use crate::ids::{ExecutorId, NotifyKey};
+use crate::Micros;
+use falkon_proto::message::Message;
+use falkon_proto::task::{TaskResult, TaskSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Executor configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ExecutorConfig {
+    /// Self-release after this much idle time (distributed release policy);
+    /// `None` means never self-release.
+    pub idle_release_us: Option<Micros>,
+    /// Pre-fetch: request new work before finishing the current task
+    /// (listed as future work in the paper, implemented here as an
+    /// extension; off by default to match the paper's experiments).
+    pub prefetch: bool,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            idle_release_us: None,
+            prefetch: false,
+        }
+    }
+}
+
+/// Inputs to the executor state machine.
+#[derive(Clone, Debug)]
+pub enum ExecutorEvent {
+    /// The executor process started; begin registration.
+    Start,
+    /// The dispatcher accepted our registration.
+    RegisterAcked,
+    /// A work-available notification `{3}` arrived.
+    Notified {
+        /// The key to present when pulling work.
+        key: NotifyKey,
+    },
+    /// The dispatcher answered our `GetWork` with task(s) `{5}`.
+    WorkReceived {
+        /// Assigned tasks (possibly empty if we lost the race).
+        tasks: Vec<TaskSpec>,
+    },
+    /// The driver finished executing a task.
+    TaskCompleted {
+        /// The task's result.
+        result: TaskResult,
+    },
+    /// The dispatcher acknowledged our results `{7}`, possibly piggy-backing
+    /// new work.
+    ResultAcked {
+        /// New tasks delivered in the acknowledgement.
+        piggybacked: Vec<TaskSpec>,
+    },
+    /// Timer: the idle-release deadline passed.
+    IdleTimeout,
+}
+
+/// Outputs of the executor state machine.
+#[derive(Clone, Debug)]
+pub enum ExecutorAction {
+    /// Send a protocol message to the dispatcher.
+    Send(Message),
+    /// Execute a task; report back with [`ExecutorEvent::TaskCompleted`].
+    Run(TaskSpec),
+    /// Terminate this executor process (after deregistering).
+    Shutdown,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    /// Created, not yet started.
+    New,
+    /// Register sent, awaiting ack.
+    Registering,
+    /// Registered and waiting for a notification.
+    Idle,
+    /// GetWork sent, awaiting tasks.
+    Pulling,
+    /// Running task(s).
+    Running,
+    /// Results sent, awaiting ack.
+    Reporting,
+    /// Deregistered.
+    Done,
+}
+
+/// The Falkon executor state machine. See module docs.
+pub struct Executor {
+    id: ExecutorId,
+    host: String,
+    config: ExecutorConfig,
+    phase: Phase,
+    /// Tasks received but not yet started (work_bundle > 1 or pre-fetch).
+    backlog: VecDeque<TaskSpec>,
+    /// Results finished but not yet delivered.
+    finished: Vec<TaskResult>,
+    /// Outstanding (running) task count.
+    running: usize,
+    /// When the executor last became idle (for the release policy).
+    idle_since_us: Option<Micros>,
+    /// A pre-fetch `GetWork` is in flight.
+    prefetch_inflight: bool,
+    /// Tasks executed in total.
+    pub tasks_run: u64,
+}
+
+impl Executor {
+    /// Create an executor with the given identity and configuration.
+    pub fn new(id: ExecutorId, host: impl Into<String>, config: ExecutorConfig) -> Self {
+        Executor {
+            id,
+            host: host.into(),
+            config,
+            phase: Phase::New,
+            backlog: VecDeque::new(),
+            finished: Vec::new(),
+            running: 0,
+            idle_since_us: None,
+            prefetch_inflight: false,
+            tasks_run: 0,
+        }
+    }
+
+    /// This executor's id.
+    pub fn id(&self) -> ExecutorId {
+        self.id
+    }
+
+    /// Whether the executor has shut down.
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    /// Whether the executor is registered and idle (no work anywhere).
+    pub fn is_idle(&self) -> bool {
+        self.phase == Phase::Idle && self.backlog.is_empty() && self.running == 0
+    }
+
+    /// The absolute time at which the idle-release timer fires, if armed.
+    pub fn idle_deadline_us(&self) -> Option<Micros> {
+        match (self.config.idle_release_us, self.idle_since_us) {
+            (Some(limit), Some(since)) => Some(since.saturating_add(limit)),
+            _ => None,
+        }
+    }
+
+    /// Feed one event; actions are appended to `out`.
+    pub fn on_event(&mut self, now: Micros, ev: ExecutorEvent, out: &mut Vec<ExecutorAction>) {
+        match ev {
+            ExecutorEvent::Start => {
+                assert_eq!(self.phase, Phase::New, "Start must be the first event");
+                self.phase = Phase::Registering;
+                out.push(ExecutorAction::Send(Message::Register {
+                    executor: self.id,
+                    host: self.host.clone(),
+                }));
+            }
+            ExecutorEvent::RegisterAcked => {
+                if self.phase == Phase::Registering {
+                    self.phase = Phase::Idle;
+                    self.idle_since_us = Some(now);
+                }
+            }
+            ExecutorEvent::Notified { key } => {
+                // Only answer if we are actually free; a busy executor
+                // ignores stray notifications (it will pick work up via
+                // piggy-backing).
+                if self.phase == Phase::Idle {
+                    self.phase = Phase::Pulling;
+                    self.idle_since_us = None;
+                    out.push(ExecutorAction::Send(Message::GetWork {
+                        executor: self.id,
+                        key,
+                    }));
+                }
+            }
+            ExecutorEvent::WorkReceived { tasks } => {
+                match self.phase {
+                    Phase::Pulling => {
+                        if tasks.is_empty() {
+                            // Lost the race for the queue: back to idle.
+                            self.phase = Phase::Idle;
+                            self.idle_since_us = Some(now);
+                        } else {
+                            self.backlog.extend(tasks);
+                            self.start_next(out);
+                        }
+                    }
+                    // Pre-fetch answer while running: queue the work locally
+                    // so it starts the moment the current task finishes
+                    // (Section 6 "Pre-fetching").
+                    Phase::Running if self.prefetch_inflight => {
+                        self.prefetch_inflight = false;
+                        self.backlog.extend(tasks);
+                    }
+                    // Pre-fetch answer that lost the race with the current
+                    // task's completion: the machine already moved on to
+                    // Reporting (awaiting the result ack) or Idle. The work
+                    // must not be dropped — queue it, and start immediately
+                    // when idle.
+                    Phase::Reporting | Phase::Idle if self.prefetch_inflight => {
+                        self.prefetch_inflight = false;
+                        if !tasks.is_empty() {
+                            self.backlog.extend(tasks);
+                            if self.phase == Phase::Idle {
+                                self.idle_since_us = None;
+                                self.start_next(out);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            ExecutorEvent::TaskCompleted { result } => {
+                self.running = self.running.saturating_sub(1);
+                self.tasks_run += 1;
+                self.finished.push(result);
+                if self.config.prefetch {
+                    // Pre-fetch mode reports each result immediately and
+                    // keeps computing from the local backlog — communication
+                    // overlaps execution.
+                    out.push(ExecutorAction::Send(Message::Result {
+                        executor: self.id,
+                        results: std::mem::take(&mut self.finished),
+                    }));
+                    if !self.backlog.is_empty() {
+                        self.start_next(out);
+                    } else {
+                        self.phase = Phase::Reporting;
+                    }
+                } else if !self.backlog.is_empty() {
+                    // More local work before reporting (work_bundle > 1).
+                    self.start_next(out);
+                } else if self.running == 0 {
+                    self.phase = Phase::Reporting;
+                    out.push(ExecutorAction::Send(Message::Result {
+                        executor: self.id,
+                        results: std::mem::take(&mut self.finished),
+                    }));
+                }
+            }
+            ExecutorEvent::ResultAcked { piggybacked } => {
+                match self.phase {
+                    Phase::Reporting => {
+                        if piggybacked.is_empty() && self.backlog.is_empty() && self.running == 0 {
+                            self.phase = Phase::Idle;
+                            self.idle_since_us = Some(now);
+                        } else {
+                            self.backlog.extend(piggybacked);
+                            self.start_next(out);
+                        }
+                    }
+                    // Pre-fetch mode: acks (possibly piggy-backing work)
+                    // arrive while the next task is already running.
+                    Phase::Running if self.config.prefetch => {
+                        self.backlog.extend(piggybacked);
+                    }
+                    _ => {}
+                }
+            }
+            ExecutorEvent::IdleTimeout => {
+                // Distributed release policy: only fire if genuinely idle
+                // past the deadline (the timer may race with new work).
+                let expired = self
+                    .idle_deadline_us()
+                    .is_some_and(|deadline| now >= deadline);
+                if self.phase == Phase::Idle && expired {
+                    self.phase = Phase::Done;
+                    out.push(ExecutorAction::Send(Message::Deregister {
+                        executor: self.id,
+                    }));
+                    out.push(ExecutorAction::Shutdown);
+                }
+            }
+        }
+    }
+
+    fn start_next(&mut self, out: &mut Vec<ExecutorAction>) {
+        self.phase = Phase::Running;
+        // One task at a time per executor (1:1 executor-to-CPU mapping).
+        if self.running == 0 {
+            if let Some(task) = self.backlog.pop_front() {
+                self.running = 1;
+                out.push(ExecutorAction::Run(task));
+            }
+        }
+        // Section 6 "Pre-fetching": request the next task before this one
+        // completes, overlapping communication and execution.
+        if self.config.prefetch && self.backlog.is_empty() && !self.prefetch_inflight {
+            self.prefetch_inflight = true;
+            out.push(ExecutorAction::Send(Message::GetWork {
+                executor: self.id,
+                key: NotifyKey(0),
+            }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use falkon_proto::task::TaskId;
+
+    fn step(e: &mut Executor, now: Micros, ev: ExecutorEvent) -> Vec<ExecutorAction> {
+        let mut out = Vec::new();
+        e.on_event(now, ev, &mut out);
+        out
+    }
+
+    fn registered_executor(config: ExecutorConfig) -> Executor {
+        let mut e = Executor::new(ExecutorId(1), "n1", config);
+        let acts = step(&mut e, 0, ExecutorEvent::Start);
+        assert!(matches!(
+            acts[0],
+            ExecutorAction::Send(Message::Register { .. })
+        ));
+        step(&mut e, 1, ExecutorEvent::RegisterAcked);
+        e
+    }
+
+    #[test]
+    fn registration_flow() {
+        let e = registered_executor(ExecutorConfig::default());
+        assert!(e.is_idle());
+    }
+
+    #[test]
+    fn notify_pull_run_report_cycle() {
+        let mut e = registered_executor(ExecutorConfig::default());
+        let acts = step(&mut e, 10, ExecutorEvent::Notified { key: NotifyKey(5) });
+        assert!(matches!(
+            &acts[0],
+            ExecutorAction::Send(Message::GetWork { key: NotifyKey(5), .. })
+        ));
+        let acts = step(
+            &mut e,
+            20,
+            ExecutorEvent::WorkReceived {
+                tasks: vec![TaskSpec::sleep(1, 0)],
+            },
+        );
+        assert!(matches!(&acts[0], ExecutorAction::Run(t) if t.id == TaskId(1)));
+        let acts = step(
+            &mut e,
+            30,
+            ExecutorEvent::TaskCompleted {
+                result: TaskResult::success(TaskId(1)),
+            },
+        );
+        match &acts[0] {
+            ExecutorAction::Send(Message::Result { results, .. }) => {
+                assert_eq!(results.len(), 1)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Ack without piggyback: idle again.
+        step(&mut e, 40, ExecutorEvent::ResultAcked { piggybacked: vec![] });
+        assert!(e.is_idle());
+        assert_eq!(e.tasks_run, 1);
+    }
+
+    #[test]
+    fn piggybacked_work_runs_immediately() {
+        let mut e = registered_executor(ExecutorConfig::default());
+        step(&mut e, 10, ExecutorEvent::Notified { key: NotifyKey(1) });
+        step(
+            &mut e,
+            20,
+            ExecutorEvent::WorkReceived {
+                tasks: vec![TaskSpec::sleep(1, 0)],
+            },
+        );
+        step(
+            &mut e,
+            30,
+            ExecutorEvent::TaskCompleted {
+                result: TaskResult::success(TaskId(1)),
+            },
+        );
+        let acts = step(
+            &mut e,
+            40,
+            ExecutorEvent::ResultAcked {
+                piggybacked: vec![TaskSpec::sleep(2, 0)],
+            },
+        );
+        assert!(matches!(&acts[0], ExecutorAction::Run(t) if t.id == TaskId(2)));
+        assert!(!e.is_idle());
+    }
+
+    #[test]
+    fn empty_work_response_returns_to_idle() {
+        let mut e = registered_executor(ExecutorConfig::default());
+        step(&mut e, 10, ExecutorEvent::Notified { key: NotifyKey(1) });
+        step(&mut e, 20, ExecutorEvent::WorkReceived { tasks: vec![] });
+        assert!(e.is_idle());
+    }
+
+    #[test]
+    fn busy_executor_ignores_notifications() {
+        let mut e = registered_executor(ExecutorConfig::default());
+        step(&mut e, 10, ExecutorEvent::Notified { key: NotifyKey(1) });
+        step(
+            &mut e,
+            20,
+            ExecutorEvent::WorkReceived {
+                tasks: vec![TaskSpec::sleep(1, 0)],
+            },
+        );
+        let acts = step(&mut e, 25, ExecutorEvent::Notified { key: NotifyKey(2) });
+        assert!(acts.is_empty(), "busy executor must not answer notify");
+    }
+
+    #[test]
+    fn work_bundle_runs_sequentially_then_reports_batch() {
+        let mut e = registered_executor(ExecutorConfig::default());
+        step(&mut e, 10, ExecutorEvent::Notified { key: NotifyKey(1) });
+        let acts = step(
+            &mut e,
+            20,
+            ExecutorEvent::WorkReceived {
+                tasks: vec![TaskSpec::sleep(1, 0), TaskSpec::sleep(2, 0)],
+            },
+        );
+        assert_eq!(acts.len(), 1, "one task at a time");
+        let acts = step(
+            &mut e,
+            30,
+            ExecutorEvent::TaskCompleted {
+                result: TaskResult::success(TaskId(1)),
+            },
+        );
+        assert!(matches!(&acts[0], ExecutorAction::Run(t) if t.id == TaskId(2)));
+        let acts = step(
+            &mut e,
+            40,
+            ExecutorEvent::TaskCompleted {
+                result: TaskResult::success(TaskId(2)),
+            },
+        );
+        match &acts[0] {
+            ExecutorAction::Send(Message::Result { results, .. }) => {
+                assert_eq!(results.len(), 2, "batched result delivery")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn idle_release_deregisters() {
+        let cfg = ExecutorConfig {
+            idle_release_us: Some(15_000_000),
+            prefetch: false,
+        };
+        let mut e = registered_executor(cfg);
+        assert_eq!(e.idle_deadline_us(), Some(1 + 15_000_000));
+        let acts = step(&mut e, 16_000_000, ExecutorEvent::IdleTimeout);
+        assert!(matches!(
+            &acts[0],
+            ExecutorAction::Send(Message::Deregister { .. })
+        ));
+        assert!(matches!(&acts[1], ExecutorAction::Shutdown));
+        assert!(e.is_done());
+    }
+
+    #[test]
+    fn idle_timeout_races_with_new_work() {
+        let cfg = ExecutorConfig {
+            idle_release_us: Some(15_000_000),
+            prefetch: false,
+        };
+        let mut e = registered_executor(cfg);
+        // Work arrives before the timer fires…
+        step(&mut e, 10, ExecutorEvent::Notified { key: NotifyKey(1) });
+        // …so a stale timeout must be ignored.
+        let acts = step(&mut e, 16_000_000, ExecutorEvent::IdleTimeout);
+        assert!(acts.is_empty());
+        assert!(!e.is_done());
+    }
+
+    #[test]
+    fn premature_timeout_ignored() {
+        let cfg = ExecutorConfig {
+            idle_release_us: Some(15_000_000),
+            prefetch: false,
+        };
+        let mut e = registered_executor(cfg);
+        let acts = step(&mut e, 5_000_000, ExecutorEvent::IdleTimeout);
+        assert!(acts.is_empty());
+        assert!(!e.is_done());
+    }
+
+    #[test]
+    fn no_idle_release_when_unconfigured() {
+        let e = registered_executor(ExecutorConfig::default());
+        assert_eq!(e.idle_deadline_us(), None);
+    }
+}
+
+#[cfg(test)]
+mod prefetch_tests {
+    use super::*;
+    use falkon_proto::task::TaskId;
+
+    fn step(e: &mut Executor, now: Micros, ev: ExecutorEvent) -> Vec<ExecutorAction> {
+        let mut out = Vec::new();
+        e.on_event(now, ev, &mut out);
+        out
+    }
+
+    fn prefetching_executor() -> Executor {
+        let mut e = Executor::new(
+            ExecutorId(1),
+            "n1",
+            ExecutorConfig {
+                idle_release_us: None,
+                prefetch: true,
+            },
+        );
+        step(&mut e, 0, ExecutorEvent::Start);
+        step(&mut e, 1, ExecutorEvent::RegisterAcked);
+        e
+    }
+
+    #[test]
+    fn prefetch_requests_next_task_while_running() {
+        let mut e = prefetching_executor();
+        step(&mut e, 10, ExecutorEvent::Notified { key: NotifyKey(1) });
+        let acts = step(
+            &mut e,
+            20,
+            ExecutorEvent::WorkReceived {
+                tasks: vec![TaskSpec::sleep(1, 5)],
+            },
+        );
+        // Run the task AND immediately pre-fetch the next one.
+        assert!(matches!(&acts[0], ExecutorAction::Run(t) if t.id == TaskId(1)));
+        assert!(matches!(
+            &acts[1],
+            ExecutorAction::Send(Message::GetWork { .. })
+        ));
+    }
+
+    #[test]
+    fn prefetched_work_starts_without_round_trip() {
+        let mut e = prefetching_executor();
+        step(&mut e, 10, ExecutorEvent::Notified { key: NotifyKey(1) });
+        step(
+            &mut e,
+            20,
+            ExecutorEvent::WorkReceived {
+                tasks: vec![TaskSpec::sleep(1, 5)],
+            },
+        );
+        // Pre-fetch answer arrives while task 1 still runs.
+        let acts = step(
+            &mut e,
+            25,
+            ExecutorEvent::WorkReceived {
+                tasks: vec![TaskSpec::sleep(2, 5)],
+            },
+        );
+        assert!(acts.is_empty(), "queued locally, nothing to send yet");
+        // On completion: result goes out AND task 2 starts in the same step.
+        let acts = step(
+            &mut e,
+            30,
+            ExecutorEvent::TaskCompleted {
+                result: TaskResult::success(TaskId(1)),
+            },
+        );
+        assert!(matches!(
+            &acts[0],
+            ExecutorAction::Send(Message::Result { .. })
+        ));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, ExecutorAction::Run(t) if t.id == TaskId(2))));
+    }
+
+    #[test]
+    fn empty_prefetch_answer_is_harmless() {
+        let mut e = prefetching_executor();
+        step(&mut e, 10, ExecutorEvent::Notified { key: NotifyKey(1) });
+        step(
+            &mut e,
+            20,
+            ExecutorEvent::WorkReceived {
+                tasks: vec![TaskSpec::sleep(1, 5)],
+            },
+        );
+        // Queue was empty at the dispatcher.
+        step(&mut e, 22, ExecutorEvent::WorkReceived { tasks: vec![] });
+        // Completion falls back to the normal report-then-ack path.
+        let acts = step(
+            &mut e,
+            30,
+            ExecutorEvent::TaskCompleted {
+                result: TaskResult::success(TaskId(1)),
+            },
+        );
+        assert!(matches!(
+            &acts[0],
+            ExecutorAction::Send(Message::Result { .. })
+        ));
+        step(&mut e, 35, ExecutorEvent::ResultAcked { piggybacked: vec![] });
+        assert!(e.is_idle());
+    }
+
+    #[test]
+    fn piggyback_during_prefetch_run_extends_backlog() {
+        let mut e = prefetching_executor();
+        step(&mut e, 10, ExecutorEvent::Notified { key: NotifyKey(1) });
+        step(
+            &mut e,
+            20,
+            ExecutorEvent::WorkReceived {
+                tasks: vec![TaskSpec::sleep(1, 5)],
+            },
+        );
+        step(
+            &mut e,
+            25,
+            ExecutorEvent::WorkReceived {
+                tasks: vec![TaskSpec::sleep(2, 5)],
+            },
+        );
+        step(
+            &mut e,
+            30,
+            ExecutorEvent::TaskCompleted {
+                result: TaskResult::success(TaskId(1)),
+            },
+        );
+        // Ack of task 1's result piggy-backs task 3 while task 2 runs.
+        let acts = step(
+            &mut e,
+            32,
+            ExecutorEvent::ResultAcked {
+                piggybacked: vec![TaskSpec::sleep(3, 5)],
+            },
+        );
+        assert!(acts.is_empty());
+        let acts = step(
+            &mut e,
+            40,
+            ExecutorEvent::TaskCompleted {
+                result: TaskResult::success(TaskId(2)),
+            },
+        );
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, ExecutorAction::Run(t) if t.id == TaskId(3))));
+        assert_eq!(e.tasks_run, 2);
+    }
+}

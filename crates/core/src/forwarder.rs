@@ -1,0 +1,410 @@
+//! The 3-tier architecture's *forwarder* tier (paper Section 6).
+//!
+//! Falkon's two-tier design requires the dispatcher to reach every executor
+//! directly, which breaks down for private-IP clusters and caps the system
+//! at one dispatcher's CPU (≈500 tasks/sec in the paper, which is why the
+//! authors target "two or more orders of magnitude more executors" for
+//! BlueGene/P-class machines via forwarders). A [`Forwarder`] accepts task
+//! bundles from clients, routes each bundle to one of several dispatchers —
+//! least-loaded first — and funnels results back to the owning client
+//! instance.
+//!
+//! Sans-io like every other component: the driver owns the actual
+//! connections to the dispatchers (which may sit on cluster head nodes
+//! bridging public and private networks).
+
+use crate::ids::{InstanceId, TaskId};
+use crate::Micros;
+use falkon_proto::task::{TaskResult, TaskSpec};
+use std::collections::HashMap;
+
+/// Identifies a downstream dispatcher (index into the driver's table).
+pub type DispatcherIndex = usize;
+
+/// Inputs to the forwarder.
+#[derive(Clone, Debug)]
+pub enum ForwarderEvent {
+    /// A client submits a bundle.
+    ClientSubmit {
+        /// The client's instance at the forwarder tier.
+        instance: InstanceId,
+        /// The bundle.
+        tasks: Vec<TaskSpec>,
+    },
+    /// A downstream dispatcher delivered results.
+    DispatcherResults {
+        /// Which dispatcher.
+        dispatcher: DispatcherIndex,
+        /// The completed results.
+        results: Vec<TaskResult>,
+    },
+    /// A downstream dispatcher was lost (its tasks must be re-routed).
+    DispatcherLost {
+        /// Which dispatcher.
+        dispatcher: DispatcherIndex,
+    },
+}
+
+/// Outputs of the forwarder.
+#[derive(Clone, Debug)]
+pub enum ForwarderAction {
+    /// Forward a bundle to a dispatcher.
+    SubmitTo {
+        /// Destination dispatcher.
+        dispatcher: DispatcherIndex,
+        /// The bundle.
+        tasks: Vec<TaskSpec>,
+    },
+    /// Deliver results to a client instance.
+    DeliverResults {
+        /// The owning instance.
+        instance: InstanceId,
+        /// The results.
+        results: Vec<TaskResult>,
+    },
+}
+
+/// Monotonic forwarder counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ForwarderStats {
+    /// Bundles routed downstream.
+    pub bundles_routed: u64,
+    /// Tasks routed downstream (incl. re-routes).
+    pub tasks_routed: u64,
+    /// Results funnelled back to clients.
+    pub results_delivered: u64,
+    /// Tasks re-routed after a dispatcher loss.
+    pub rerouted: u64,
+}
+
+/// The forwarder state machine. See module docs.
+pub struct Forwarder {
+    /// Tasks outstanding at each downstream dispatcher.
+    outstanding: Vec<u64>,
+    /// Which instance owns each in-flight task, and where it went.
+    in_flight: HashMap<TaskId, (InstanceId, DispatcherIndex)>,
+    /// Copies of in-flight specs for re-routing after dispatcher loss.
+    specs: HashMap<TaskId, TaskSpec>,
+    stats: ForwarderStats,
+}
+
+impl Forwarder {
+    /// Create a forwarder over `dispatchers` downstream dispatchers.
+    pub fn new(dispatchers: usize) -> Forwarder {
+        assert!(dispatchers > 0, "need at least one dispatcher");
+        Forwarder {
+            outstanding: vec![0; dispatchers],
+            in_flight: HashMap::new(),
+            specs: HashMap::new(),
+            stats: ForwarderStats::default(),
+        }
+    }
+
+    /// Downstream dispatcher count.
+    pub fn dispatchers(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Monotonic counters.
+    pub fn stats(&self) -> ForwarderStats {
+        self.stats
+    }
+
+    /// Tasks currently in flight downstream.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// The least-loaded dispatcher right now.
+    fn least_loaded(&self) -> DispatcherIndex {
+        self.outstanding
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &n)| n)
+            .map(|(i, _)| i)
+            .expect("non-empty")
+    }
+
+    fn route(
+        &mut self,
+        instance: InstanceId,
+        tasks: Vec<TaskSpec>,
+        out: &mut Vec<ForwarderAction>,
+    ) {
+        if tasks.is_empty() {
+            return;
+        }
+        let target = self.least_loaded();
+        self.outstanding[target] += tasks.len() as u64;
+        self.stats.bundles_routed += 1;
+        self.stats.tasks_routed += tasks.len() as u64;
+        for t in &tasks {
+            self.in_flight.insert(t.id, (instance, target));
+            self.specs.insert(t.id, t.clone());
+        }
+        out.push(ForwarderAction::SubmitTo {
+            dispatcher: target,
+            tasks,
+        });
+    }
+
+    /// Feed one event; actions are appended to `out`.
+    pub fn on_event(&mut self, _now: Micros, ev: ForwarderEvent, out: &mut Vec<ForwarderAction>) {
+        match ev {
+            ForwarderEvent::ClientSubmit { instance, tasks } => {
+                self.route(instance, tasks, out);
+            }
+            ForwarderEvent::DispatcherResults {
+                dispatcher,
+                results,
+            } => {
+                // Group results back by owning instance.
+                let mut by_instance: HashMap<InstanceId, Vec<TaskResult>> = HashMap::new();
+                for r in results {
+                    let Some((instance, routed_to)) = self.in_flight.remove(&r.id) else {
+                        continue; // unknown/duplicate
+                    };
+                    debug_assert_eq!(routed_to, dispatcher);
+                    self.specs.remove(&r.id);
+                    self.outstanding[dispatcher] = self.outstanding[dispatcher].saturating_sub(1);
+                    self.stats.results_delivered += 1;
+                    by_instance.entry(instance).or_default().push(r);
+                }
+                for (instance, results) in by_instance {
+                    out.push(ForwarderAction::DeliverResults { instance, results });
+                }
+            }
+            ForwarderEvent::DispatcherLost { dispatcher } => {
+                // Mark the dead dispatcher saturated immediately so neither
+                // the re-routes below nor new client submissions land on it
+                // until the driver calls `readmit` — even when nothing was
+                // in flight there.
+                self.outstanding[dispatcher] = u64::MAX / 2;
+                // Re-route everything that was in flight there.
+                let mut orphaned: Vec<TaskId> = self
+                    .in_flight
+                    .iter()
+                    .filter(|(_, &(_, d))| d == dispatcher)
+                    .map(|(&id, _)| id)
+                    .collect();
+                orphaned.sort_unstable();
+                let mut by_instance: HashMap<InstanceId, Vec<TaskSpec>> = HashMap::new();
+                for id in orphaned {
+                    let (instance, _) = self.in_flight.remove(&id).expect("collected");
+                    let spec = self.specs.remove(&id).expect("paired");
+                    self.stats.rerouted += 1;
+                    by_instance.entry(instance).or_default().push(spec);
+                }
+                for (instance, tasks) in by_instance {
+                    self.route(instance, tasks, out);
+                }
+            }
+        }
+    }
+
+    /// Re-admit a dispatcher after the driver re-established it.
+    pub fn readmit(&mut self, dispatcher: DispatcherIndex) {
+        if let Some(o) = self.outstanding.get_mut(dispatcher) {
+            *o = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(f: &mut Forwarder, ev: ForwarderEvent) -> Vec<ForwarderAction> {
+        let mut out = Vec::new();
+        f.on_event(0, ev, &mut out);
+        out
+    }
+
+    fn tasks(range: std::ops::Range<u64>) -> Vec<TaskSpec> {
+        range.map(|i| TaskSpec::sleep(i, 0)).collect()
+    }
+
+    #[test]
+    fn routes_to_least_loaded() {
+        let mut f = Forwarder::new(3);
+        let acts = step(
+            &mut f,
+            ForwarderEvent::ClientSubmit {
+                instance: InstanceId(1),
+                tasks: tasks(0..10),
+            },
+        );
+        let first = match &acts[0] {
+            ForwarderAction::SubmitTo { dispatcher, .. } => *dispatcher,
+            other => panic!("unexpected {other:?}"),
+        };
+        // Next bundle goes elsewhere (dispatcher `first` now has 10).
+        let acts = step(
+            &mut f,
+            ForwarderEvent::ClientSubmit {
+                instance: InstanceId(1),
+                tasks: tasks(10..15),
+            },
+        );
+        match &acts[0] {
+            ForwarderAction::SubmitTo { dispatcher, .. } => assert_ne!(*dispatcher, first),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(f.in_flight(), 15);
+    }
+
+    #[test]
+    fn results_funnel_back_to_owner() {
+        let mut f = Forwarder::new(2);
+        let acts = step(
+            &mut f,
+            ForwarderEvent::ClientSubmit {
+                instance: InstanceId(7),
+                tasks: tasks(0..3),
+            },
+        );
+        let d = match &acts[0] {
+            ForwarderAction::SubmitTo { dispatcher, .. } => *dispatcher,
+            other => panic!("unexpected {other:?}"),
+        };
+        let acts = step(
+            &mut f,
+            ForwarderEvent::DispatcherResults {
+                dispatcher: d,
+                results: (0..3).map(|i| TaskResult::success(TaskId(i))).collect(),
+            },
+        );
+        match &acts[0] {
+            ForwarderAction::DeliverResults { instance, results } => {
+                assert_eq!(*instance, InstanceId(7));
+                assert_eq!(results.len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(f.in_flight(), 0);
+        assert_eq!(f.stats().results_delivered, 3);
+    }
+
+    #[test]
+    fn duplicate_results_ignored() {
+        let mut f = Forwarder::new(1);
+        step(
+            &mut f,
+            ForwarderEvent::ClientSubmit {
+                instance: InstanceId(1),
+                tasks: tasks(0..1),
+            },
+        );
+        step(
+            &mut f,
+            ForwarderEvent::DispatcherResults {
+                dispatcher: 0,
+                results: vec![TaskResult::success(TaskId(0))],
+            },
+        );
+        let acts = step(
+            &mut f,
+            ForwarderEvent::DispatcherResults {
+                dispatcher: 0,
+                results: vec![TaskResult::success(TaskId(0))],
+            },
+        );
+        assert!(acts.is_empty());
+        assert_eq!(f.stats().results_delivered, 1);
+    }
+
+    #[test]
+    fn dispatcher_loss_reroutes_tasks() {
+        let mut f = Forwarder::new(2);
+        // Load both dispatchers.
+        step(
+            &mut f,
+            ForwarderEvent::ClientSubmit {
+                instance: InstanceId(1),
+                tasks: tasks(0..4),
+            },
+        );
+        step(
+            &mut f,
+            ForwarderEvent::ClientSubmit {
+                instance: InstanceId(1),
+                tasks: tasks(4..8),
+            },
+        );
+        let acts = step(&mut f, ForwarderEvent::DispatcherLost { dispatcher: 0 });
+        // The four tasks that were on dispatcher 0 move to dispatcher 1.
+        match &acts[0] {
+            ForwarderAction::SubmitTo { dispatcher, tasks } => {
+                assert_eq!(*dispatcher, 1);
+                assert_eq!(tasks.len(), 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(f.stats().rerouted, 4);
+        assert_eq!(f.in_flight(), 8);
+        // After re-admission new work can land on dispatcher 0 again.
+        f.readmit(0);
+        let acts = step(
+            &mut f,
+            ForwarderEvent::ClientSubmit {
+                instance: InstanceId(1),
+                tasks: tasks(8..9),
+            },
+        );
+        match &acts[0] {
+            ForwarderAction::SubmitTo { dispatcher, .. } => assert_eq!(*dispatcher, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dispatcher")]
+    fn zero_dispatchers_rejected() {
+        Forwarder::new(0);
+    }
+}
+
+#[cfg(test)]
+mod loss_regressions {
+    use super::*;
+    use falkon_proto::task::TaskSpec;
+
+    /// Bug: losing a dispatcher with zero in-flight tasks left its load at
+    /// 0, making the dead dispatcher the preferred target for new work.
+    #[test]
+    fn idle_dispatcher_loss_is_poisoned() {
+        let mut f = Forwarder::new(2);
+        let mut out = Vec::new();
+        // Dispatcher 0 never had work; it dies.
+        f.on_event(0, ForwarderEvent::DispatcherLost { dispatcher: 0 }, &mut out);
+        assert!(out.is_empty());
+        // New work must go to the live dispatcher 1, not the dead 0.
+        f.on_event(
+            1,
+            ForwarderEvent::ClientSubmit {
+                instance: crate::ids::InstanceId(1),
+                tasks: vec![TaskSpec::sleep(1, 0)],
+            },
+            &mut out,
+        );
+        match &out[0] {
+            ForwarderAction::SubmitTo { dispatcher, .. } => assert_eq!(*dispatcher, 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        // After re-admission it participates again.
+        f.readmit(0);
+        out.clear();
+        f.on_event(
+            2,
+            ForwarderEvent::ClientSubmit {
+                instance: crate::ids::InstanceId(1),
+                tasks: vec![TaskSpec::sleep(2, 0)],
+            },
+            &mut out,
+        );
+        match &out[0] {
+            ForwarderAction::SubmitTo { dispatcher, .. } => assert_eq!(*dispatcher, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

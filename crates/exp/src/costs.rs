@@ -1,0 +1,157 @@
+//! The calibrated cost model for simulated deployments.
+//!
+//! Every knob is traceable to a number in the paper:
+//!
+//! * **Dispatcher CPU per message.** Falkon sustains 487 tasks/sec without
+//!   security on `UC_x64`. In steady state (bundling + piggy-backing) each
+//!   task costs one WS call = two messages at the dispatcher, so the
+//!   dispatcher spends ≈ 1e6/487/2 ≈ 1,030 µs of serial CPU per message.
+//!   With GSISecureConversation throughput drops to 204 tasks/sec →
+//!   ≈ 2,450 µs per message.
+//! * **Per-executor client cost.** A single executor drives 28 tasks/sec
+//!   (12 with security): ≈ 35.7 ms per task of executor-side work
+//!   (thread creation, WS call, exec, result delivery).
+//! * **JVM startup ≈ 5 s** and **PBS poll loop 60 s** (Section 4.6: 5–65 s
+//!   executor creation variance).
+//! * **GC stalls.** Figure 8's raw throughput shows frequent 0-tasks/sec
+//!   samples with a 1.5 GB heap and a queue that peaks at ≈1.5 M tasks;
+//!   the moving average (298/s) sits ≈35% below the raw burst rate
+//!   (450–500/s). We model a stop-the-world pause every `gc_every_done`
+//!   completions whose length grows with the live set (queue length).
+
+use crate::Micros;
+use serde::{Deserialize, Serialize};
+
+/// Cost model for one simulated deployment.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Serial dispatcher CPU consumed per received or sent message, µs.
+    pub dispatcher_msg_cpu_us: Micros,
+    /// One-way network latency between any two hosts, µs (paper: 1–2 ms).
+    pub network_latency_us: Micros,
+    /// Executor-side handling cost per task (thread create, WS pickup,
+    /// fork/exec, result send), µs.
+    pub executor_task_overhead_us: Micros,
+    /// Log-normal sigma for executor overhead jitter (0 = deterministic).
+    pub executor_overhead_sigma: f64,
+    /// Cap on executor overhead after jitter, µs (Figure 10 max ≈ 1.3 s).
+    pub executor_overhead_cap_us: Micros,
+    /// JVM startup before a new executor registers, µs.
+    pub executor_startup_us: Micros,
+    /// Stop-the-world GC pause every this many completed tasks (0 = off).
+    pub gc_every_done: u64,
+    /// GC pause length per queued task, µs (live-set mark cost).
+    pub gc_pause_per_queued_us: f64,
+    /// Minimum GC pause when triggered, µs.
+    pub gc_pause_min_us: Micros,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::no_security()
+    }
+}
+
+impl CostModel {
+    /// Calibrated to Falkon without security (487 tasks/sec, 28 tasks/sec
+    /// per executor).
+    pub fn no_security() -> CostModel {
+        CostModel {
+            dispatcher_msg_cpu_us: 1_030,
+            network_latency_us: 1_500,
+            executor_task_overhead_us: 32_000,
+            executor_overhead_sigma: 0.35,
+            executor_overhead_cap_us: 1_300_000,
+            executor_startup_us: 5_000_000,
+            gc_every_done: 0,
+            gc_pause_per_queued_us: 0.0,
+            gc_pause_min_us: 0,
+        }
+    }
+
+    /// Calibrated to GSISecureConversation (204 tasks/sec, 12 tasks/sec per
+    /// executor).
+    pub fn secure() -> CostModel {
+        CostModel {
+            dispatcher_msg_cpu_us: 2_450,
+            executor_task_overhead_us: 80_000,
+            ..CostModel::no_security()
+        }
+    }
+
+    /// The Figure 8 endurance-run model: GC stalls enabled.
+    pub fn with_gc() -> CostModel {
+        CostModel {
+            gc_every_done: 1_500,
+            gc_pause_per_queued_us: 2.0,
+            gc_pause_min_us: 50_000,
+            ..CostModel::no_security()
+        }
+    }
+
+    /// An idealized model with zero overheads (unit tests, ideal baselines).
+    pub fn ideal() -> CostModel {
+        CostModel {
+            dispatcher_msg_cpu_us: 0,
+            network_latency_us: 0,
+            executor_task_overhead_us: 0,
+            executor_overhead_sigma: 0.0,
+            executor_overhead_cap_us: 0,
+            executor_startup_us: 0,
+            gc_every_done: 0,
+            gc_pause_per_queued_us: 0.0,
+            gc_pause_min_us: 0,
+        }
+    }
+
+    /// Steady-state dispatch throughput bound implied by the dispatcher CPU
+    /// cost (two messages per task), tasks/sec.
+    pub fn dispatch_bound_tps(&self) -> f64 {
+        if self.dispatcher_msg_cpu_us == 0 {
+            f64::INFINITY
+        } else {
+            1e6 / (2.0 * self.dispatcher_msg_cpu_us as f64)
+        }
+    }
+
+    /// Per-executor throughput bound implied by the executor overhead,
+    /// tasks/sec.
+    pub fn executor_bound_tps(&self) -> f64 {
+        if self.executor_task_overhead_us == 0 {
+            f64::INFINITY
+        } else {
+            1e6 / self.executor_task_overhead_us as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_security_matches_487() {
+        let tps = CostModel::no_security().dispatch_bound_tps();
+        assert!((480.0..500.0).contains(&tps), "tps = {tps}");
+    }
+
+    #[test]
+    fn secure_matches_204() {
+        let tps = CostModel::secure().dispatch_bound_tps();
+        assert!((195.0..215.0).contains(&tps), "tps = {tps}");
+    }
+
+    #[test]
+    fn per_executor_bounds_match_28_and_12() {
+        let open = CostModel::no_security().executor_bound_tps();
+        assert!((27.0..33.0).contains(&open), "open = {open}");
+        let sec = CostModel::secure().executor_bound_tps();
+        assert!((11.0..14.0).contains(&sec), "secure = {sec}");
+    }
+
+    #[test]
+    fn ideal_is_unbounded() {
+        assert!(CostModel::ideal().dispatch_bound_tps().is_infinite());
+        assert!(CostModel::ideal().executor_bound_tps().is_infinite());
+    }
+}

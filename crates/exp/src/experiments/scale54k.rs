@@ -1,0 +1,154 @@
+//! Figures 9 and 10: scalability with 54,000 executors.
+//!
+//! The paper runs 900 executors on each of 60 machines (54,000 total, far
+//! above the 1:1 executor-per-CPU norm), submits 54,000 `sleep 480` tasks
+//! (one per executor), and shows (Fig. 9) the busy-executor count ramping
+//! to 54 K in 408 s with dispatch rate equal to submit rate, ≈60 tasks/sec
+//! overall including ramp-up/down; and (Fig. 10) per-task overhead mostly
+//! below 200 ms with a 1.3 s maximum (inflated because 900 executors share
+//! each machine).
+
+use crate::costs::CostModel;
+use crate::experiments::Scale;
+use crate::simfalkon::{SimFalkon, SimFalkonConfig};
+use falkon_core::DispatcherConfig;
+use falkon_proto::task::TaskSpec;
+use falkon_sim::table::series_tsv;
+use falkon_sim::Histogram;
+
+/// Figures 9+10 result.
+#[derive(Clone, Debug)]
+pub struct Scale54k {
+    /// Executors (= tasks).
+    pub executors: u32,
+    /// Time for the busy-executor count to reach its maximum, s.
+    pub ramp_up_s: f64,
+    /// Total run time, s.
+    pub duration_s: f64,
+    /// Overall throughput including ramp up/down, tasks/sec.
+    pub overall_tps: f64,
+    /// Busy executors over time.
+    pub busy_series: Vec<(f64, f64)>,
+    /// Per-task overhead histogram (executor handling time − payload), ms.
+    pub overhead_hist_ms: Vec<(u64, usize)>,
+    /// Fraction of tasks with overhead ≤ 200 ms.
+    pub frac_under_200ms: f64,
+    /// Maximum observed overhead, ms.
+    pub max_overhead_ms: u64,
+}
+
+/// Run the 54 K-executor experiment.
+pub fn run(scale: Scale) -> Scale54k {
+    let executors: u32 = scale.pick(5_400, 54_000);
+    let task_secs: u64 = scale.pick(48, 480);
+    // 900 executors per machine: heavy per-task overhead contention.
+    let costs = CostModel {
+        executor_task_overhead_us: 110_000,
+        executor_overhead_sigma: 0.45,
+        executor_overhead_cap_us: 1_300_000,
+        ..CostModel::no_security()
+    };
+    let mut sim = SimFalkon::new(SimFalkonConfig {
+        executors,
+        executors_per_node: 900,
+        costs,
+        // Piggy-backing is irrelevant here (one task per executor), and the
+        // paper disabled everything except client→dispatcher bundling.
+        dispatcher: DispatcherConfig {
+            piggyback: false,
+            client_notify_batch: 100_000,
+            ..DispatcherConfig::default()
+        },
+        sample_interval_us: 1_000_000,
+        seed: 7,
+        ..SimFalkonConfig::default()
+    });
+    sim.submit(
+        0,
+        (0..executors as u64)
+            .map(|i| TaskSpec::sleep(i, task_secs))
+            .collect(),
+    );
+    let out = sim.run_until_drained();
+
+    let peak = out.busy_series.max_value();
+    let ramp_up_s = out
+        .busy_series
+        .points()
+        .iter()
+        .find(|&&(_, v)| v >= peak * 0.999)
+        .map(|&(t, _)| t.as_secs_f64())
+        .unwrap_or(0.0);
+
+    let mut hist = Histogram::new();
+    for r in &out.records {
+        let overhead_us = r
+            .result
+            .executor_time_us
+            .saturating_sub(task_secs * 1_000_000);
+        hist.record(overhead_us / 1_000); // ms
+    }
+    let frac_under_200ms = hist.fraction_le(200);
+    let max_overhead_ms = hist.max();
+
+    Scale54k {
+        executors,
+        ramp_up_s,
+        duration_s: out.makespan_us as f64 / 1e6,
+        overall_tps: out.throughput,
+        busy_series: out
+            .busy_series
+            .thin(400)
+            .into_iter()
+            .map(|(t, v)| (t.as_secs_f64(), v))
+            .collect(),
+        overhead_hist_ms: hist.bins(26),
+        frac_under_200ms,
+        max_overhead_ms,
+    }
+}
+
+/// Render Figures 9 and 10.
+pub fn render(s: &Scale54k) -> String {
+    let mut out = String::new();
+    out.push_str("== Figure 9: Falkon scalability with 54K executors ==\n");
+    out.push_str(&format!(
+        "executors={}  ramp-up={:.0}s  duration={:.0}s  overall={:.1} tasks/s\n",
+        s.executors, s.ramp_up_s, s.duration_s, s.overall_tps
+    ));
+    out.push_str(&series_tsv(
+        "busy executors",
+        "t (s)",
+        "executors",
+        &s.busy_series,
+    ));
+    out.push_str("== Figure 10: Task overhead with 54K executors ==\n");
+    out.push_str(&format!(
+        "overhead ≤200 ms: {:.1}%   max: {} ms\n",
+        s.frac_under_200ms * 100.0,
+        s.max_overhead_ms
+    ));
+    out.push_str("bucket_upper_ms\ttasks\n");
+    for &(upper, count) in &s.overhead_hist_ms {
+        out.push_str(&format!("{upper}\t{count}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_has_paper_shape() {
+        let s = run(Scale::Quick);
+        assert_eq!(s.executors, 5_400);
+        // Ramp-up must be visible and shorter than the task length.
+        assert!(s.ramp_up_s > 1.0 && s.ramp_up_s < 48.0, "ramp = {}", s.ramp_up_s);
+        // Majority of overheads below 200 ms, cap respected.
+        assert!(s.frac_under_200ms > 0.6, "under200 = {}", s.frac_under_200ms);
+        assert!(s.max_overhead_ms <= 1_300);
+        // Overall throughput includes ramp and drain phases.
+        assert!(s.overall_tps > 10.0);
+    }
+}

@@ -1,0 +1,325 @@
+//! The GRAM4 gateway model.
+//!
+//! GRAM4 fronts the batch scheduler for grid clients: submissions pass
+//! through a gateway that handles requests serially at a limited rate
+//! (≈0.5 requests/sec on the paper's testbed, Section 4.6), and job state
+//! changes reach the client as delayed notifications. The "Active" → "Done"
+//! interval that GRAM reports is what Table 3 calls execution time — it
+//! includes GRAM-side staging/cleanup, which is why GRAM4+PBS shows 56.5 s
+//! of visible execution for tasks whose payload averages 17.8 s.
+
+use crate::job::{JobId, JobSpec, JobState};
+use crate::scheduler::{BatchScheduler, LrmInput, LrmOutput};
+use crate::Micros;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// GRAM gateway cost parameters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct GramConfig {
+    /// Serial handling time per submission (the ≈0.5 req/s bottleneck).
+    pub submit_overhead_us: Micros,
+    /// Delay before the client sees the `Active` notification.
+    pub active_delay_us: Micros,
+    /// Delay before the client sees the `Done` notification (includes GRAM
+    /// stage-out/cleanup; the dominant contributor to the per-task overhead
+    /// the paper measures for GRAM4+PBS).
+    pub done_delay_us: Micros,
+}
+
+impl Default for GramConfig {
+    fn default() -> Self {
+        GramConfig {
+            submit_overhead_us: 2_000_000, // ≈0.5 submissions/sec
+            active_delay_us: 2_000_000,
+            // Table 3/4 calibration: GRAM4+PBS wastes ≈41 s per task
+            // (41,040 s over 1,000 tasks) between payload exit and the
+            // client-visible Done.
+            done_delay_us: 38_000_000,
+        }
+    }
+}
+
+/// Inputs to the gateway.
+#[derive(Clone, Debug)]
+pub enum GramInput {
+    /// Submit a job through GRAM.
+    Submit(JobSpec),
+    /// Cancel a job through GRAM.
+    Cancel(JobId),
+    /// Timer.
+    Tick,
+}
+
+/// Client-visible gateway outputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GramOutput {
+    /// A (delayed) job state-change notification.
+    Notification {
+        /// The job.
+        job: JobId,
+        /// The state GRAM reports.
+        state: JobState,
+    },
+}
+
+/// GRAM4 gateway wrapping a [`BatchScheduler`].
+pub struct Gram {
+    config: GramConfig,
+    lrm: BatchScheduler,
+    /// Serial submission pipeline: next submission forwarded no earlier.
+    gateway_free_at_us: Micros,
+    /// Pending forwards and delayed notifications.
+    pending: BinaryHeap<Reverse<(Micros, u64, Pending)>>,
+    next_seq: u64,
+    /// Specs stashed between submit and forward.
+    specs: std::collections::HashMap<JobId, JobSpec>,
+    /// Jobs cancelled while their Submit was still queued in the gateway.
+    cancelled_before_forward: std::collections::HashSet<JobId>,
+    /// Latest observed LRM state per job (reported in delayed notifications).
+    last_state: std::collections::HashMap<JobId, JobState>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum Pending {
+    Forward(JobId),
+    Notify(JobId, NotifyState),
+}
+
+/// `JobState` without the payload enum (for heap ordering).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum NotifyState {
+    Queued,
+    Active,
+    Done,
+}
+
+impl Gram {
+    /// Wrap a scheduler with a GRAM gateway.
+    pub fn new(config: GramConfig, lrm: BatchScheduler) -> Self {
+        Gram {
+            config,
+            lrm,
+            gateway_free_at_us: 0,
+            pending: BinaryHeap::new(),
+            next_seq: 0,
+            specs: std::collections::HashMap::new(),
+            cancelled_before_forward: std::collections::HashSet::new(),
+            last_state: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Access the wrapped scheduler (e.g. for idle-node queries).
+    pub fn lrm(&self) -> &BatchScheduler {
+        &self.lrm
+    }
+
+    /// The next instant at which `Tick` must be delivered.
+    pub fn next_wakeup(&self) -> Option<Micros> {
+        let mine = self.pending.peek().map(|Reverse((t, _, _))| *t);
+        match (mine, self.lrm.next_wakeup()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Feed one input at time `now`; outputs are appended to `out`.
+    pub fn handle(&mut self, now: Micros, input: GramInput, out: &mut Vec<GramOutput>) {
+        match input {
+            GramInput::Submit(spec) => {
+                // Serial gateway pipeline.
+                let forward_at = self.gateway_free_at_us.max(now) + self.config.submit_overhead_us;
+                self.gateway_free_at_us = forward_at;
+                let seq = self.bump();
+                self.pending
+                    .push(Reverse((forward_at, seq, Pending::Forward(spec.id))));
+                // The heap entries stay Copy; specs live in a side table.
+                self.specs.insert(spec.id, spec);
+            }
+            GramInput::Cancel(job) => {
+                if self.specs.contains_key(&job)
+                    && self.lrm.job_state(job).is_none()
+                {
+                    // The Submit is still queued in the gateway pipeline:
+                    // cancel must not overtake it and silently no-op. Mark
+                    // it so the Forward is skipped and report Done.
+                    self.cancelled_before_forward.insert(job);
+                    let seq = self.bump();
+                    self.last_state
+                        .insert(job, JobState::Done(crate::job::DoneReason::Cancelled));
+                    self.pending
+                        .push(Reverse((now, seq, Pending::Notify(job, NotifyState::Done))));
+                } else {
+                    let mut lrm_out = Vec::new();
+                    self.lrm.handle(now, LrmInput::Cancel(job), &mut lrm_out);
+                    self.relay(now, lrm_out);
+                }
+            }
+            GramInput::Tick => {}
+        }
+        self.advance(now, out);
+    }
+
+    fn bump(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Convert immediate LRM outputs into delayed client notifications.
+    fn relay(&mut self, now: Micros, lrm_out: Vec<LrmOutput>) {
+        for LrmOutput::State { job, state } in lrm_out {
+            let (delay, ns) = match state {
+                JobState::Queued => (0, NotifyState::Queued),
+                JobState::Active => (self.config.active_delay_us, NotifyState::Active),
+                JobState::Done(_) => (self.config.done_delay_us, NotifyState::Done),
+            };
+            let seq = self.bump();
+            self.last_state.insert(job, state);
+            self.pending
+                .push(Reverse((now + delay, seq, Pending::Notify(job, ns))));
+        }
+    }
+
+    /// Process pending forwards/notifications and LRM wakeups up to `now`.
+    fn advance(&mut self, now: Micros, out: &mut Vec<GramOutput>) {
+        loop {
+            // Let the LRM advance first if its wakeup is earliest.
+            let lrm_next = self.lrm.next_wakeup();
+            let mine_next = self.pending.peek().map(|Reverse((t, _, _))| *t);
+            match (mine_next, lrm_next) {
+                (Some(tm), _) if tm <= now && lrm_next.is_none_or(|tl| tm <= tl) => {
+                    let Reverse((t, _, p)) = self.pending.pop().expect("peeked");
+                    match p {
+                        Pending::Forward(job) => {
+                            if self.cancelled_before_forward.remove(&job) {
+                                // Cancelled while queued: never reaches the LRM.
+                            } else {
+                                let spec = *self.specs.get(&job).expect("spec stashed at submit");
+                                let mut lrm_out = Vec::new();
+                                self.lrm.handle(t, LrmInput::Submit(spec), &mut lrm_out);
+                                self.relay(t, lrm_out);
+                            }
+                        }
+                        Pending::Notify(job, ns) => {
+                            // Report the state this notification was queued
+                            // for, resolving Done to its recorded reason.
+                            let state = match ns {
+                                NotifyState::Queued => JobState::Queued,
+                                NotifyState::Active => JobState::Active,
+                                NotifyState::Done => *self
+                                    .last_state
+                                    .get(&job)
+                                    .expect("state recorded at relay"),
+                            };
+                            out.push(GramOutput::Notification { job, state });
+                        }
+                    }
+                }
+                (_, Some(tl)) if tl <= now => {
+                    let mut lrm_out = Vec::new();
+                    self.lrm.handle(tl, LrmInput::Tick, &mut lrm_out);
+                    self.relay(tl, lrm_out);
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::PBS_V2_1_8;
+
+    fn drive(g: &mut Gram, until_quiet: bool) -> Vec<(Micros, GramOutput)> {
+        let mut log = Vec::new();
+        let mut out = Vec::new();
+        let mut guard = 0;
+        while let Some(t) = g.next_wakeup() {
+            g.handle(t, GramInput::Tick, &mut out);
+            for o in out.drain(..) {
+                log.push((t, o));
+            }
+            guard += 1;
+            assert!(guard < 100_000, "runaway gateway");
+            if !until_quiet {
+                break;
+            }
+        }
+        log
+    }
+
+    #[test]
+    fn submission_passes_through_with_delays() {
+        let lrm = BatchScheduler::new(PBS_V2_1_8, 4);
+        let mut g = Gram::new(GramConfig::default(), lrm);
+        let mut out = Vec::new();
+        g.handle(0, GramInput::Submit(JobSpec::task(1, 10_000_000)), &mut out);
+        let log = drive(&mut g, true);
+        let states: Vec<_> = log
+            .iter()
+            .map(|(_, GramOutput::Notification { state, .. })| *state)
+            .collect();
+        assert!(states.contains(&JobState::Queued));
+        assert!(states.contains(&JobState::Active));
+        assert!(states.iter().any(|s| matches!(s, JobState::Done(_))));
+        // Client-visible Active→Done must exceed the payload by roughly the
+        // GRAM done-delay.
+        let t_active = log
+            .iter()
+            .find(|(_, GramOutput::Notification { state, .. })| *state == JobState::Active)
+            .unwrap()
+            .0;
+        let t_done = log
+            .iter()
+            .find(|(_, GramOutput::Notification { state, .. })| matches!(state, JobState::Done(_)))
+            .unwrap()
+            .0;
+        let visible = (t_done - t_active) as f64 / 1e6;
+        assert!(
+            (40.0..70.0).contains(&visible),
+            "visible exec = {visible} s"
+        );
+    }
+
+    #[test]
+    fn gateway_serializes_submissions() {
+        let lrm = BatchScheduler::new(PBS_V2_1_8, 100);
+        let mut g = Gram::new(GramConfig::default(), lrm);
+        let mut out = Vec::new();
+        for i in 0..5 {
+            g.handle(0, GramInput::Submit(JobSpec::task(i, 0)), &mut out);
+        }
+        // The 5th submission reaches the LRM no earlier than 5 × 2 s.
+        let log = drive(&mut g, true);
+        let queued: Vec<Micros> = log
+            .iter()
+            .filter(|(_, GramOutput::Notification { state, .. })| *state == JobState::Queued)
+            .map(|(t, _)| *t)
+            .collect();
+        assert_eq!(queued.len(), 5);
+        assert!(queued[4] >= 10_000_000);
+    }
+
+    #[test]
+    fn cancel_relays_done() {
+        let lrm = BatchScheduler::new(PBS_V2_1_8, 4);
+        let mut g = Gram::new(GramConfig::default(), lrm);
+        let mut out = Vec::new();
+        g.handle(
+            0,
+            GramInput::Submit(JobSpec::service(1, 4, 3_600_000_000)),
+            &mut out,
+        );
+        // Let it activate, then cancel.
+        let _ = drive(&mut g, false);
+        let mut out = Vec::new();
+        g.handle(200_000_000, GramInput::Cancel(JobId(1)), &mut out);
+        let log = drive(&mut g, true);
+        assert!(log.iter().any(|(_, GramOutput::Notification { state, .. })| {
+            matches!(state, JobState::Done(_))
+        }));
+    }
+}

@@ -1,0 +1,77 @@
+//! Protocol error types.
+
+use std::fmt;
+
+/// Errors raised while decoding wire data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before the value was complete.
+    Truncated {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// A tag byte did not correspond to any known variant.
+    UnknownTag {
+        /// What was being decoded.
+        context: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// A length field exceeded the protocol's sanity limit.
+    LengthOverflow {
+        /// What was being decoded.
+        context: &'static str,
+        /// The claimed length.
+        len: u64,
+    },
+    /// A string field was not valid UTF-8.
+    InvalidUtf8 {
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// Trailing bytes remained after a complete message.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+    /// Message authentication failed on a secured frame.
+    MacMismatch,
+    /// A secured frame arrived before the handshake completed.
+    HandshakeIncomplete,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { context } => write!(f, "truncated input while decoding {context}"),
+            CodecError::UnknownTag { context, tag } => {
+                write!(f, "unknown tag {tag} while decoding {context}")
+            }
+            CodecError::LengthOverflow { context, len } => {
+                write!(f, "length {len} exceeds limit while decoding {context}")
+            }
+            CodecError::InvalidUtf8 { context } => write!(f, "invalid UTF-8 in {context}"),
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after message")
+            }
+            CodecError::MacMismatch => write!(f, "MAC verification failed"),
+            CodecError::HandshakeIncomplete => write!(f, "secure channel handshake incomplete"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CodecError::UnknownTag { context: "Message", tag: 99 };
+        assert!(e.to_string().contains("99"));
+        assert!(e.to_string().contains("Message"));
+        let t = CodecError::Truncated { context: "TaskSpec" };
+        assert!(t.to_string().contains("TaskSpec"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Length-delimited framing for byte streams (TCP).
+//!
+//! A frame is `u32 little-endian length` followed by `length` payload bytes.
+//! [`FrameDecoder`] consumes arbitrary chunkings of the stream and yields
+//! complete frames — the property tests feed it byte-by-byte and in random
+//! splits to verify reassembly.
+
+use crate::error::CodecError;
+
+/// Maximum payload accepted in one frame: 64 MiB, matching the codec's
+/// per-field sanity limit.
+pub const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
+
+/// Prefix `payload` with its length and append to `out`.
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    assert!(payload.len() <= MAX_FRAME_LEN, "frame too large");
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Incremental frame reassembler.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// Create an empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Feed a chunk of stream bytes.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Pop the next complete frame, if one is fully buffered.
+    ///
+    /// Returns `Err` if the stream declares a frame longer than
+    /// [`MAX_FRAME_LEN`] (the connection should be dropped).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, CodecError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(CodecError::LengthOverflow {
+                context: "frame",
+                len: len as u64,
+            });
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame = self.buf[4..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Ok(Some(frame))
+    }
+
+    /// Drain all complete frames currently buffered.
+    pub fn drain_frames(&mut self) -> Result<Vec<Vec<u8>>, CodecError> {
+        let mut out = Vec::new();
+        while let Some(f) = self.next_frame()? {
+            out.push(f);
+        }
+        Ok(out)
+    }
+
+    /// Bytes currently buffered but not yet framed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"hello");
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream);
+        assert_eq!(dec.next_frame().unwrap().unwrap(), b"hello");
+        assert!(dec.next_frame().unwrap().is_none());
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn reassembles_byte_by_byte() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"abc");
+        write_frame(&mut stream, b"");
+        write_frame(&mut stream, &[9u8; 1000]);
+        let mut dec = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for &b in &stream {
+            dec.feed(&[b]);
+            frames.extend(dec.drain_frames().unwrap());
+        }
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[0], b"abc");
+        assert_eq!(frames[1], b"");
+        assert_eq!(frames[2], vec![9u8; 1000]);
+    }
+
+    #[test]
+    fn multiple_frames_in_one_chunk() {
+        let mut stream = Vec::new();
+        for i in 0..10u8 {
+            write_frame(&mut stream, &[i]);
+        }
+        let mut dec = FrameDecoder::new();
+        dec.feed(&stream);
+        let frames = dec.drain_frames().unwrap();
+        assert_eq!(frames.len(), 10);
+        assert_eq!(frames[9], vec![9]);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&(u32::MAX).to_le_bytes());
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "frame too large")]
+    fn write_rejects_oversized_payload() {
+        let mut out = Vec::new();
+        // Fake a huge payload without allocating 64MiB: use a boxed slice of
+        // exactly MAX+1 zeros.
+        let payload = vec![0u8; MAX_FRAME_LEN + 1];
+        write_frame(&mut out, &payload);
+    }
+}

@@ -1,0 +1,233 @@
+//! Task descriptions and results.
+//!
+//! A client "submit" request in Falkon carries an array of tasks, each with a
+//! working directory, command, arguments, and environment variables; the
+//! response carries per-task exit codes and optional STDOUT/STDERR contents
+//! (paper Section 3.2). [`DataSpec`] additionally describes the synthetic
+//! data staging performed by the Section 4.2 experiments.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Globally unique task identifier, assigned by the client.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub u64);
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Where a task's input/output data lives (Section 4.2 experiments).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum DataLocation {
+    /// The GPFS shared filesystem (8 I/O nodes in the paper's testbed).
+    SharedFs,
+    /// The local disk of the compute node.
+    LocalDisk,
+}
+
+/// Whether a task only reads its data or reads and writes it back.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum DataAccess {
+    /// Read `bytes` of input only.
+    Read,
+    /// Read `bytes` of input and write `bytes` of output.
+    ReadWrite,
+}
+
+/// Synthetic data-staging requirements attached to a task.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DataSpec {
+    /// Identity of the data object (files with the same id are the same
+    /// data; lets caches and the data-aware dispatcher recognise reuse).
+    pub object: u64,
+    /// Bytes read (and, for [`DataAccess::ReadWrite`], also written).
+    pub bytes: u64,
+    /// Filesystem the data lives on.
+    pub location: DataLocation,
+    /// Read-only or read+write.
+    pub access: DataAccess,
+}
+
+/// A unit of work dispatched by Falkon: an executable invocation.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Unique id.
+    pub id: TaskId,
+    /// Executable name (the microbenchmarks use `sleep`).
+    pub command: String,
+    /// Command-line arguments.
+    pub args: Vec<String>,
+    /// Environment variables.
+    pub env: Vec<(String, String)>,
+    /// Working directory on the executor.
+    pub working_dir: String,
+    /// Client-estimated runtime in microseconds, if known. The paper notes
+    /// that dispatcher→executor bundling requires runtime estimates; absent
+    /// ones, only client→dispatcher bundling is used.
+    pub estimated_runtime_us: Option<u64>,
+    /// Optional synthetic data staging (Section 4.2).
+    pub data: Option<DataSpec>,
+}
+
+impl TaskSpec {
+    /// A canonical `sleep <secs>` task, the paper's microbenchmark workload.
+    /// `sleep 0` measures pure dispatch overhead.
+    pub fn sleep(id: u64, secs: u64) -> TaskSpec {
+        TaskSpec {
+            id: TaskId(id),
+            command: "sleep".to_string(),
+            args: vec![secs.to_string()],
+            env: Vec::new(),
+            working_dir: "/tmp".to_string(),
+            estimated_runtime_us: Some(secs * 1_000_000),
+            data: None,
+        }
+    }
+
+    /// A sleep task with sub-second resolution (microseconds).
+    pub fn sleep_us(id: u64, us: u64) -> TaskSpec {
+        TaskSpec {
+            id: TaskId(id),
+            command: "sleep".to_string(),
+            args: vec![format!("{}", us as f64 / 1e6)],
+            env: Vec::new(),
+            working_dir: "/tmp".to_string(),
+            estimated_runtime_us: Some(us),
+            data: None,
+        }
+    }
+
+    /// Attach a data-staging spec (builder style). The object id defaults
+    /// to the task id (all objects distinct); use [`TaskSpec::with_object`]
+    /// when tasks share data.
+    pub fn with_data(mut self, bytes: u64, location: DataLocation, access: DataAccess) -> Self {
+        self.data = Some(DataSpec {
+            object: self.id.0,
+            bytes,
+            location,
+            access,
+        });
+        self
+    }
+
+    /// Attach a data-staging spec for a shared, named object.
+    pub fn with_object(
+        mut self,
+        object: u64,
+        bytes: u64,
+        location: DataLocation,
+        access: DataAccess,
+    ) -> Self {
+        self.data = Some(DataSpec {
+            object,
+            bytes,
+            location,
+            access,
+        });
+        self
+    }
+
+    /// The declared runtime for simulation purposes (zero when unknown).
+    pub fn runtime_us(&self) -> u64 {
+        self.estimated_runtime_us.unwrap_or(0)
+    }
+}
+
+/// The outcome of one executed task.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TaskResult {
+    /// The task this result belongs to.
+    pub id: TaskId,
+    /// Process exit code; 0 means success.
+    pub exit_code: i32,
+    /// Captured standard output, if requested.
+    pub stdout: Option<String>,
+    /// Captured standard error, if requested.
+    pub stderr: Option<String>,
+    /// Executor-measured total handling time (thread creation, WS pickup,
+    /// exec, result delivery) in microseconds — the paper's "task overhead"
+    /// metric of Figure 10 *includes* the run time; harnesses subtract it.
+    pub executor_time_us: u64,
+}
+
+impl TaskResult {
+    /// A successful result with no captured output.
+    pub fn success(id: TaskId) -> TaskResult {
+        TaskResult {
+            id,
+            exit_code: 0,
+            stdout: None,
+            stderr: None,
+            executor_time_us: 0,
+        }
+    }
+
+    /// A failed result with the given exit code.
+    pub fn failure(id: TaskId, exit_code: i32) -> TaskResult {
+        TaskResult {
+            id,
+            exit_code,
+            stdout: None,
+            stderr: None,
+            executor_time_us: 0,
+        }
+    }
+
+    /// Whether the task exited successfully.
+    pub fn is_success(&self) -> bool {
+        self.exit_code == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sleep_task_shape() {
+        let t = TaskSpec::sleep(7, 480);
+        assert_eq!(t.id, TaskId(7));
+        assert_eq!(t.command, "sleep");
+        assert_eq!(t.args, vec!["480"]);
+        assert_eq!(t.runtime_us(), 480_000_000);
+    }
+
+    #[test]
+    fn sleep_us_fractional() {
+        let t = TaskSpec::sleep_us(1, 1_500_000);
+        assert_eq!(t.args, vec!["1.5"]);
+        assert_eq!(t.runtime_us(), 1_500_000);
+    }
+
+    #[test]
+    fn with_data_builder() {
+        let t = TaskSpec::sleep(1, 0).with_data(1 << 20, DataLocation::SharedFs, DataAccess::ReadWrite);
+        let d = t.data.unwrap();
+        assert_eq!(d.bytes, 1 << 20);
+        assert_eq!(d.location, DataLocation::SharedFs);
+        assert_eq!(d.access, DataAccess::ReadWrite);
+    }
+
+    #[test]
+    fn result_constructors() {
+        assert!(TaskResult::success(TaskId(1)).is_success());
+        let f = TaskResult::failure(TaskId(2), 3);
+        assert!(!f.is_success());
+        assert_eq!(f.exit_code, 3);
+    }
+
+    #[test]
+    fn task_id_display() {
+        assert_eq!(TaskId(42).to_string(), "42");
+        assert_eq!(format!("{:?}", TaskId(42)), "task#42");
+    }
+}

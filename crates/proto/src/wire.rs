@@ -1,0 +1,284 @@
+//! Low-level binary read/write helpers shared by the codecs.
+//!
+//! All integers are little-endian. Strings and byte blobs are length-
+//! prefixed with a u32. Every read is bounds-checked; decoding untrusted
+//! input can fail but never panic.
+
+use crate::error::CodecError;
+
+/// Sanity cap on any single length field (strings, arrays): 64 MiB.
+pub const MAX_LEN: u64 = 64 * 1024 * 1024;
+
+/// A bounds-checked cursor over an input buffer.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated { context });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self, context: &'static str) -> Result<u8, CodecError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    pub fn u32(&mut self, context: &'static str) -> Result<u32, CodecError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self, context: &'static str) -> Result<u64, CodecError> {
+        let b = self.take(8, context)?;
+        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    pub fn i32(&mut self, context: &'static str) -> Result<i32, CodecError> {
+        let b = self.take(4, context)?;
+        Ok(i32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Length-prefixed array count, validated against [`MAX_LEN`].
+    pub fn len(&mut self, context: &'static str) -> Result<usize, CodecError> {
+        let n = self.u32(context)? as u64;
+        if n > MAX_LEN {
+            return Err(CodecError::LengthOverflow { context, len: n });
+        }
+        Ok(n as usize)
+    }
+
+    pub fn bytes(&mut self, context: &'static str) -> Result<&'a [u8], CodecError> {
+        let n = self.len(context)?;
+        self.take(n, context)
+    }
+
+    pub fn string(&mut self, context: &'static str) -> Result<String, CodecError> {
+        let b = self.bytes(context)?;
+        std::str::from_utf8(b)
+            .map(|s| s.to_string())
+            .map_err(|_| CodecError::InvalidUtf8 { context })
+    }
+
+    pub fn opt_string(&mut self, context: &'static str) -> Result<Option<String>, CodecError> {
+        match self.u8(context)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.string(context)?)),
+            tag => Err(CodecError::UnknownTag { context, tag }),
+        }
+    }
+
+    pub fn opt_u64(&mut self, context: &'static str) -> Result<Option<u64>, CodecError> {
+        match self.u8(context)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64(context)?)),
+            tag => Err(CodecError::UnknownTag { context, tag }),
+        }
+    }
+
+    /// Fail if any input remains unconsumed.
+    pub fn finish(self) -> Result<(), CodecError> {
+        if self.remaining() != 0 {
+            Err(CodecError::TrailingBytes {
+                remaining: self.remaining(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// A growable output buffer abstraction so the efficient and the Axis-style
+/// codecs can share one encoding routine while differing in append behaviour.
+pub trait Sink {
+    /// Append raw bytes.
+    fn put(&mut self, data: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put(&[v]);
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.put(&v.to_le_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.put(&v.to_le_bytes());
+    }
+    fn put_i32(&mut self, v: i32) {
+        self.put(&v.to_le_bytes());
+    }
+    fn put_len(&mut self, n: usize) {
+        // A hard check: silently truncating `n as u32` in release builds
+        // would corrupt the stream for any array above 4 GiB elements.
+        assert!(n as u64 <= MAX_LEN, "length {n} exceeds protocol maximum");
+        self.put_u32(n as u32);
+    }
+    fn put_bytes(&mut self, b: &[u8]) {
+        self.put_len(b.len());
+        self.put(b);
+    }
+    fn put_string(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+    fn put_opt_string(&mut self, s: &Option<String>) {
+        match s {
+            None => self.put_u8(0),
+            Some(s) => {
+                self.put_u8(1);
+                self.put_string(s);
+            }
+        }
+    }
+    fn put_opt_u64(&mut self, v: &Option<u64>) {
+        match v {
+            None => self.put_u8(0),
+            Some(v) => {
+                self.put_u8(1);
+                self.put_u64(*v);
+            }
+        }
+    }
+}
+
+/// Standard amortized-growth sink (what any sane implementation uses).
+#[derive(Default)]
+pub struct VecSink {
+    /// Accumulated output.
+    pub buf: Vec<u8>,
+}
+
+impl Sink for VecSink {
+    fn put(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+}
+
+/// A sink that reallocates to *exactly* the new size and copies the entire
+/// existing contents on every append — the grow-able array behaviour of the
+/// Axis XML serialization stack called out in paper Section 4.3. Appending n
+/// items costs O(n²) byte copies, which is what bends the Figure 5 bundling
+/// curve downward past ~300 tasks per bundle.
+#[derive(Default)]
+pub struct GrowByCopySink {
+    /// Accumulated output.
+    pub buf: Vec<u8>,
+    /// Total bytes copied due to reallocation (observability for tests).
+    pub bytes_copied: u64,
+}
+
+impl Sink for GrowByCopySink {
+    fn put(&mut self, data: &[u8]) {
+        // Allocate a fresh exact-size buffer and copy everything, like a
+        // naive `Arrays.copyOf`-per-append implementation.
+        let mut next = Vec::with_capacity(self.buf.len() + data.len());
+        next.extend_from_slice(&self.buf);
+        next.extend_from_slice(data);
+        self.bytes_copied += self.buf.len() as u64;
+        self.buf = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut s = VecSink::default();
+        s.put_u8(7);
+        s.put_u32(0xDEAD_BEEF);
+        s.put_u64(u64::MAX);
+        s.put_i32(-42);
+        let mut r = Reader::new(&s.buf);
+        assert_eq!(r.u8("t").unwrap(), 7);
+        assert_eq!(r.u32("t").unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64("t").unwrap(), u64::MAX);
+        assert_eq!(r.i32("t").unwrap(), -42);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_strings_and_options() {
+        let mut s = VecSink::default();
+        s.put_string("héllo");
+        s.put_opt_string(&None);
+        s.put_opt_string(&Some("x".into()));
+        s.put_opt_u64(&Some(9));
+        s.put_opt_u64(&None);
+        let mut r = Reader::new(&s.buf);
+        assert_eq!(r.string("t").unwrap(), "héllo");
+        assert_eq!(r.opt_string("t").unwrap(), None);
+        assert_eq!(r.opt_string("t").unwrap(), Some("x".into()));
+        assert_eq!(r.opt_u64("t").unwrap(), Some(9));
+        assert_eq!(r.opt_u64("t").unwrap(), None);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut s = VecSink::default();
+        s.put_u64(1);
+        let mut r = Reader::new(&s.buf[..4]);
+        assert!(matches!(r.u64("ctx"), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut s = VecSink::default();
+        s.put_u32(u32::MAX); // length far above MAX_LEN
+        let mut r = Reader::new(&s.buf);
+        assert!(matches!(
+            r.len("arr"),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut s = VecSink::default();
+        s.put_bytes(&[0xFF, 0xFE]);
+        let mut r = Reader::new(&s.buf);
+        assert!(matches!(
+            r.string("s"),
+            Err(CodecError::InvalidUtf8 { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let r = Reader::new(&[1, 2, 3]);
+        assert!(matches!(
+            r.finish(),
+            Err(CodecError::TrailingBytes { remaining: 3 })
+        ));
+    }
+
+    #[test]
+    fn grow_by_copy_is_quadratic_in_copies() {
+        let mut s = GrowByCopySink::default();
+        for _ in 0..100 {
+            s.put(&[0u8; 10]);
+        }
+        // Copies: 0 + 10 + 20 + ... + 990 = 49_500
+        assert_eq!(s.bytes_copied, 49_500);
+        assert_eq!(s.buf.len(), 1_000);
+        // Same logical output as VecSink
+        let mut v = VecSink::default();
+        for _ in 0..100 {
+            v.put(&[0u8; 10]);
+        }
+        assert_eq!(s.buf, v.buf);
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests for the wire protocol: arbitrary messages round-trip
+//! through both codecs, framing survives arbitrary stream chunkings, and the
+//! secure channel is lossless for arbitrary payloads.
+
+use falkon_proto::*;
+use proptest::prelude::*;
+
+fn arb_task() -> BoxedStrategy<TaskSpec> {
+    (
+        any::<u64>(),
+        "[a-zA-Z0-9_/.-]{0,20}",
+        prop::collection::vec("[ -~]{0,16}", 0..5),
+        prop::collection::vec(("[A-Z_]{1,8}", "[ -~]{0,12}"), 0..4),
+        "[a-zA-Z0-9_/.-]{0,24}",
+        prop::option::of(any::<u64>()),
+        prop::option::of((any::<u64>(), any::<u64>(), any::<bool>(), any::<bool>())),
+    )
+        .prop_map(|(id, command, args, env, working_dir, est, data)| TaskSpec {
+            id: TaskId(id),
+            command,
+            args,
+            env,
+            working_dir,
+            estimated_runtime_us: est,
+            data: data.map(|(object, bytes, loc, acc)| DataSpec {
+                object,
+                bytes,
+                location: if loc {
+                    DataLocation::SharedFs
+                } else {
+                    DataLocation::LocalDisk
+                },
+                access: if acc {
+                    DataAccess::Read
+                } else {
+                    DataAccess::ReadWrite
+                },
+            }),
+        })
+        .boxed()
+}
+
+fn arb_result() -> BoxedStrategy<TaskResult> {
+    (
+        any::<u64>(),
+        any::<i32>(),
+        prop::option::of("[ -~]{0,32}"),
+        prop::option::of("[ -~]{0,32}"),
+        any::<u64>(),
+    )
+        .prop_map(|(id, exit_code, stdout, stderr, t)| TaskResult {
+            id: TaskId(id),
+            exit_code,
+            stdout,
+            stderr,
+            executor_time_us: t,
+        })
+        .boxed()
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    let tasks = prop::collection::vec(arb_task(), 0..8);
+    let results = prop::collection::vec(arb_result(), 0..8);
+    prop_oneof![
+        Just(Message::CreateInstance),
+        any::<u64>().prop_map(|i| Message::InstanceCreated {
+            instance: falkon_proto::message::InstanceId(i)
+        }),
+        (any::<u64>(), tasks.clone()).prop_map(|(i, tasks)| Message::Submit {
+            instance: falkon_proto::message::InstanceId(i),
+            tasks
+        }),
+        tasks.clone().prop_map(|tasks| Message::Work { tasks }),
+        (any::<u64>(), results.clone()).prop_map(|(e, results)| Message::Result {
+            executor: falkon_proto::message::ExecutorId(e),
+            results
+        }),
+        tasks.prop_map(|piggybacked| Message::ResultAck { piggybacked }),
+        results.prop_map(|results| Message::Results { results }),
+        (any::<u64>(), "[a-z0-9.-]{0,16}").prop_map(|(e, host)| Message::Register {
+            executor: falkon_proto::message::ExecutorId(e),
+            host
+        }),
+        Just(Message::StatusPoll),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(q, r, reg, busy)| Message::Status {
+                status: DispatcherStatus {
+                    queued_tasks: q,
+                    running_tasks: r,
+                    registered_executors: reg,
+                    busy_executors: busy,
+                }
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn efficient_codec_roundtrips(msg in arb_message()) {
+        let bytes = EfficientCodec.encode(&msg);
+        prop_assert_eq!(EfficientCodec.decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn codecs_agree_on_bytes(msg in arb_message()) {
+        prop_assert_eq!(EfficientCodec.encode(&msg), AxisCodec.encode(&msg));
+    }
+
+    #[test]
+    fn cross_codec_roundtrip(msg in arb_message()) {
+        let bytes = AxisCodec.encode(&msg);
+        prop_assert_eq!(EfficientCodec.decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        // May error, must not panic.
+        let _ = EfficientCodec.decode(&data);
+    }
+
+    #[test]
+    fn truncated_prefix_never_decodes_to_wrong_message(msg in arb_message()) {
+        let bytes = EfficientCodec.encode(&msg);
+        for cut in 0..bytes.len() {
+            // Either an error, or (never) an equal message with fewer bytes.
+            if let Ok(decoded) = EfficientCodec.decode(&bytes[..cut]) {
+                prop_assert_ne!(decoded, msg.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn framing_survives_arbitrary_chunking(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..128), 1..10),
+        splits in prop::collection::vec(1usize..64, 1..64),
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            write_frame(&mut stream, p);
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        let mut pos = 0;
+        let mut si = 0;
+        while pos < stream.len() {
+            let n = splits[si % splits.len()].min(stream.len() - pos);
+            si += 1;
+            dec.feed(&stream[pos..pos + n]);
+            pos += n;
+            got.extend(dec.drain_frames().unwrap());
+        }
+        prop_assert_eq!(got, payloads);
+    }
+
+    #[test]
+    fn secure_channel_roundtrips_arbitrary_payloads(
+        psk in any::<u64>(),
+        na in any::<u64>(),
+        nb in any::<u64>(),
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..256), 1..8),
+    ) {
+        let (mut a, mut b) = falkon_proto::security::established_pair(psk, na, nb);
+        for p in &payloads {
+            let sealed = a.seal(p).unwrap();
+            prop_assert_eq!(&b.open(&sealed).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn bundles_preserve_tasks(
+        n in 0u64..500,
+        k in 1usize..64,
+    ) {
+        let tasks: Vec<TaskSpec> = (0..n).map(|i| TaskSpec::sleep(i, 0)).collect();
+        let b = bundles(tasks.clone(), k);
+        let flat: Vec<TaskSpec> = b.iter().flatten().cloned().collect();
+        prop_assert_eq!(flat, tasks);
+        for (i, chunk) in b.iter().enumerate() {
+            if i + 1 < b.len() {
+                prop_assert_eq!(chunk.len(), k);
+            } else {
+                prop_assert!(chunk.len() <= k && !chunk.is_empty());
+            }
+        }
+    }
+}

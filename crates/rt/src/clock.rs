@@ -1,0 +1,51 @@
+//! Monotonic microsecond clock.
+
+use std::time::Instant;
+
+/// A shared origin for microsecond timestamps (`falkon_core::Micros`).
+#[derive(Clone, Copy, Debug)]
+pub struct Clock {
+    origin: Instant,
+}
+
+impl Clock {
+    /// Start a clock at the current instant.
+    pub fn start() -> Clock {
+        Clock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Microseconds since the clock started.
+    pub fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic() {
+        let c = Clock::start();
+        let a = c.now_us();
+        let b = c.now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn copies_share_origin() {
+        let c = Clock::start();
+        let d = c;
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(d.now_us() >= 2_000);
+        assert!(c.now_us() >= d.now_us().saturating_sub(1_000));
+    }
+}

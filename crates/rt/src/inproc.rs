@@ -1,0 +1,386 @@
+//! Threaded in-process Falkon deployment.
+//!
+//! One dispatcher thread, N executor threads, and the calling thread as the
+//! client, connected by crossbeam channels. Every hop optionally pays real
+//! serialization ([`WireMode::Encoded`]) and security ([`WireMode::Secure`])
+//! costs, which is how the Figure 3 "no security" vs
+//! "GSISecureConversation" comparison is reproduced as a *measurement*.
+
+use crate::clock::Clock;
+use crate::transport::{link, Endpoint, Packet, WireMode};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use falkon_core::client::{Client, ClientAction, ClientEvent};
+use falkon_core::dispatcher::{Dispatcher, DispatcherAction, DispatcherEvent, TaskRecord};
+use falkon_core::executor::{Executor, ExecutorAction, ExecutorConfig, ExecutorEvent};
+use falkon_core::DispatcherConfig;
+use falkon_proto::bundle::BundleConfig;
+use falkon_proto::message::ExecutorId;
+use falkon_proto::task::{TaskResult, TaskSpec};
+use std::collections::HashMap;
+use std::thread;
+use std::time::Duration;
+
+/// Configuration of an in-process deployment.
+#[derive(Clone, Debug)]
+pub struct InprocConfig {
+    /// Number of executor threads.
+    pub executors: usize,
+    /// Dispatcher tunables.
+    pub dispatcher: DispatcherConfig,
+    /// Executor tunables.
+    pub executor: ExecutorConfig,
+    /// Per-hop message treatment.
+    pub wire: WireMode,
+    /// Client→dispatcher bundling.
+    pub bundle: BundleConfig,
+    /// Execute tasks by spawning real OS processes (true) or by an
+    /// in-thread sleep of the declared runtime (false, default — the
+    /// paper's `sleep 0` microbenchmark either way).
+    pub spawn_processes: bool,
+}
+
+impl Default for InprocConfig {
+    fn default() -> Self {
+        InprocConfig {
+            executors: 4,
+            dispatcher: DispatcherConfig::default(),
+            executor: ExecutorConfig::default(),
+            wire: WireMode::Encoded,
+            bundle: BundleConfig::default(),
+            spawn_processes: false,
+        }
+    }
+}
+
+/// Result of a workload run.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// Tasks completed.
+    pub tasks: u64,
+    /// Wall time from submission to last result, µs.
+    pub elapsed_us: u64,
+    /// Aggregate throughput, tasks/sec.
+    pub throughput: f64,
+    /// Dispatcher-side per-task records.
+    pub records: Vec<TaskRecord>,
+    /// Dispatcher counters.
+    pub stats: falkon_core::dispatcher::DispatcherStats,
+}
+
+enum DispIn {
+    FromExecutor(ExecutorId, Packet),
+    FromClient(Packet),
+    Stop,
+}
+
+/// Execute one task on the executor thread.
+fn execute(spec: &TaskSpec, spawn: bool) -> TaskResult {
+    if spawn {
+        crate::exec::execute_process(spec)
+    } else {
+        crate::exec::execute_builtin(spec)
+    }
+}
+
+/// Run `tasks` through a fresh deployment; returns when all results have
+/// been delivered to the client.
+pub fn run_workload(config: &InprocConfig, tasks: Vec<TaskSpec>) -> RunOutcome {
+    assert!(config.executors > 0, "need at least one executor");
+    let n_tasks = tasks.len() as u64;
+    let clock = Clock::start();
+
+    let (disp_tx, disp_rx) = unbounded::<DispIn>();
+    let (client_tx, client_rx) = unbounded::<Packet>();
+
+    // Build links (one per executor plus one for the client) and spawn the
+    // executor threads; the dispatcher keeps its side of every link.
+    let (client_disp_ep, client_ep) = link(config.wire, 0x5EC, 1_000_001, 1_000_002);
+    let mut exec_txs: HashMap<ExecutorId, Sender<Packet>> = HashMap::new();
+    let mut disp_eps: Vec<Endpoint> = Vec::with_capacity(config.executors);
+    let mut handles = Vec::new();
+    for i in 0..config.executors {
+        let (disp_side, exec_side) = link(config.wire, 0x5EC, i as u64 * 2 + 1, i as u64 * 2 + 2);
+        disp_eps.push(disp_side);
+        let (tx, rx) = unbounded::<Packet>();
+        let id = ExecutorId(i as u64);
+        exec_txs.insert(id, tx);
+        let disp_tx = disp_tx.clone();
+        let cfg = config.clone();
+        handles.push(thread::spawn(move || {
+            executor_thread(id, cfg, clock, exec_side, rx, disp_tx);
+        }));
+    }
+
+    // Dispatcher thread.
+    let disp_cfg = config.dispatcher;
+    let disp_handle = thread::spawn(move || {
+        dispatcher_thread(
+            disp_cfg,
+            clock,
+            disp_rx,
+            exec_txs,
+            client_tx,
+            disp_eps,
+            client_disp_ep,
+        )
+    });
+
+    // The calling thread is the client.
+    let mut client = Client::new(config.bundle);
+    let mut client_ep = client_ep;
+    let mut actions = Vec::new();
+    client.on_event(clock.now_us(), ClientEvent::Start, &mut actions);
+    let t_submit = clock.now_us();
+    client.enqueue(t_submit, tasks, &mut actions);
+    send_client_actions(&mut actions, &mut client_ep, &disp_tx);
+
+    let mut elapsed_us = 0;
+    while client.outstanding() > 0 || client.completions().is_empty() && n_tasks > 0 {
+        let packet = client_rx.recv().expect("dispatcher alive");
+        let msg = client_ep.unpack(packet).expect("valid packet");
+        let now = clock.now_us();
+        let ev = falkon_core::mapping::message_to_client_event(msg)
+            .expect("dispatcher sent a non-client message to the client");
+        client.on_event(now, ev, &mut actions);
+        let complete = actions
+            .iter()
+            .any(|a| matches!(a, ClientAction::WorkloadComplete));
+        send_client_actions(&mut actions, &mut client_ep, &disp_tx);
+        if complete {
+            elapsed_us = clock.now_us() - t_submit;
+            break;
+        }
+    }
+
+    // Tear down: stop dispatcher; executor channels drop with it.
+    disp_tx.send(DispIn::Stop).ok();
+    let (records, stats) = disp_handle.join().expect("dispatcher thread");
+    for h in handles {
+        h.join().expect("executor thread");
+    }
+
+    RunOutcome {
+        tasks: client.completions().len() as u64,
+        elapsed_us: elapsed_us.max(1),
+        throughput: client.completions().len() as f64 / (elapsed_us.max(1) as f64 / 1e6),
+        records,
+        stats,
+    }
+}
+
+fn send_client_actions(
+    actions: &mut Vec<ClientAction>,
+    ep: &mut Endpoint,
+    disp_tx: &Sender<DispIn>,
+) {
+    for act in actions.drain(..) {
+        if let ClientAction::Send(msg) = act {
+            let pkt = ep.pack(msg).expect("packable");
+            disp_tx.send(DispIn::FromClient(pkt)).expect("dispatcher alive");
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatcher_thread(
+    config: DispatcherConfig,
+    clock: Clock,
+    rx: Receiver<DispIn>,
+    exec_txs: HashMap<ExecutorId, Sender<Packet>>,
+    client_tx: Sender<Packet>,
+    mut exec_eps: Vec<Endpoint>,
+    mut client_ep: Endpoint,
+) -> (Vec<TaskRecord>, falkon_core::dispatcher::DispatcherStats) {
+    let mut d = Dispatcher::new(config);
+    let mut records = Vec::new();
+    let mut out = Vec::new();
+    loop {
+        let timeout = match d.next_deadline() {
+            Some(dl) => Duration::from_micros(dl.saturating_sub(clock.now_us()).max(1)),
+            None => Duration::from_millis(200),
+        };
+        let recv = rx.recv_timeout(timeout);
+        // Read the clock after the (possibly long) wait, or deadline checks
+        // would be evaluated against a stale pre-wait timestamp.
+        let now = clock.now_us();
+        let ev = match recv {
+            Ok(DispIn::Stop) | Err(RecvTimeoutError::Disconnected) => break,
+            Ok(DispIn::FromExecutor(id, pkt)) => {
+                let msg = exec_eps[id.0 as usize].unpack(pkt).expect("valid packet");
+                falkon_core::mapping::executor_message_to_dispatcher_event(msg)
+                    .expect("executor sent a non-executor message")
+            }
+            Ok(DispIn::FromClient(pkt)) => {
+                let msg = client_ep.unpack(pkt).expect("valid packet");
+                falkon_core::mapping::client_message_to_dispatcher_event(msg)
+                    .expect("client sent a non-client message")
+            }
+            Err(RecvTimeoutError::Timeout) => DispatcherEvent::CheckDeadlines,
+        };
+        d.on_event(now, ev, &mut out);
+        for act in out.drain(..) {
+            match act {
+                DispatcherAction::ToExecutor { executor, msg } => {
+                    let pkt = exec_eps[executor.0 as usize].pack(msg).expect("packable");
+                    // A send failure means the executor already exited
+                    // (e.g. idle-released); the dispatcher will time the
+                    // task out and replay.
+                    let _ = exec_txs[&executor].send(pkt);
+                }
+                DispatcherAction::ToClient { msg, .. } => {
+                    let pkt = client_ep.pack(msg).expect("packable");
+                    let _ = client_tx.send(pkt);
+                }
+                DispatcherAction::TaskDone { record, .. } => records.push(record),
+                DispatcherAction::TaskFailed { .. } | DispatcherAction::ToProvisioner { .. } => {}
+            }
+        }
+    }
+    (records, d.stats())
+}
+
+fn executor_thread(
+    id: ExecutorId,
+    config: InprocConfig,
+    clock: Clock,
+    mut ep: Endpoint,
+    rx: Receiver<Packet>,
+    disp_tx: Sender<DispIn>,
+) {
+    let mut machine = Executor::new(id, format!("inproc-{}", id.0), config.executor);
+    let mut actions = Vec::new();
+    machine.on_event(clock.now_us(), ExecutorEvent::Start, &mut actions);
+    let mut pending_events: Vec<ExecutorEvent> = Vec::new();
+    'main: loop {
+        // Drain actions (possibly generating follow-up events locally).
+        while !actions.is_empty() || !pending_events.is_empty() {
+            for act in actions.drain(..).collect::<Vec<_>>() {
+                match act {
+                    ExecutorAction::Send(msg) => {
+                        let pkt = ep.pack(msg).expect("packable");
+                        if disp_tx.send(DispIn::FromExecutor(id, pkt)).is_err() {
+                            break 'main;
+                        }
+                    }
+                    ExecutorAction::Run(spec) => {
+                        let t0 = clock.now_us();
+                        let mut result = execute(&spec, config.spawn_processes);
+                        result.executor_time_us = clock.now_us() - t0;
+                        pending_events.push(ExecutorEvent::TaskCompleted { result });
+                    }
+                    ExecutorAction::Shutdown => break 'main,
+                }
+            }
+            for ev in pending_events.drain(..).collect::<Vec<_>>() {
+                machine.on_event(clock.now_us(), ev, &mut actions);
+            }
+        }
+        // Wait for the next message (or the idle-release deadline).
+        let msg = match machine.idle_deadline_us() {
+            Some(deadline) => {
+                let wait = deadline.saturating_sub(clock.now_us());
+                match rx.recv_timeout(Duration::from_micros(wait.max(1))) {
+                    Ok(pkt) => Some(pkt),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => break 'main,
+                }
+            }
+            None => match rx.recv() {
+                Ok(pkt) => Some(pkt),
+                Err(_) => break 'main,
+            },
+        };
+        let now = clock.now_us();
+        match msg {
+            None => machine.on_event(now, ExecutorEvent::IdleTimeout, &mut actions),
+            Some(pkt) => {
+                let msg = ep.unpack(pkt).expect("valid packet");
+                let ev = falkon_core::mapping::message_to_executor_event(msg)
+                    .expect("dispatcher sent a non-executor message");
+                machine.on_event(now, ev, &mut actions);
+            }
+        }
+    }
+}
+
+/// Convenience: run `n` sleep tasks of `task_us` microseconds each.
+pub fn run_sleep_workload(config: &InprocConfig, n: u64, task_us: u64) -> RunOutcome {
+    let tasks: Vec<TaskSpec> = (0..n).map(|i| TaskSpec::sleep_us(i, task_us)).collect();
+    run_workload(config, tasks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(executors: usize, wire: WireMode) -> InprocConfig {
+        InprocConfig {
+            executors,
+            wire,
+            bundle: BundleConfig::of(100),
+            dispatcher: DispatcherConfig {
+                client_notify_batch: 64,
+                ..DispatcherConfig::default()
+            },
+            ..InprocConfig::default()
+        }
+    }
+
+    #[test]
+    fn completes_all_tasks_plain() {
+        let out = run_sleep_workload(&quick_config(2, WireMode::Plain), 200, 0);
+        assert_eq!(out.tasks, 200);
+        assert_eq!(out.stats.completed, 200);
+        assert!(out.throughput > 0.0);
+    }
+
+    #[test]
+    fn completes_all_tasks_encoded() {
+        let out = run_sleep_workload(&quick_config(4, WireMode::Encoded), 500, 0);
+        assert_eq!(out.tasks, 500);
+        assert_eq!(out.records.len(), 500);
+    }
+
+    #[test]
+    fn completes_all_tasks_secure() {
+        let out = run_sleep_workload(&quick_config(4, WireMode::Secure), 300, 0);
+        assert_eq!(out.tasks, 300);
+        assert_eq!(out.stats.failed, 0);
+    }
+
+    #[test]
+    fn piggybacking_carries_most_dispatches() {
+        let out = run_sleep_workload(&quick_config(2, WireMode::Plain), 400, 0);
+        // With 2 executors and 400 tasks, nearly all hand-offs should ride
+        // result acks rather than fresh notifications.
+        assert!(
+            out.stats.piggybacked > out.stats.notifies,
+            "piggybacked={} notifies={}",
+            out.stats.piggybacked,
+            out.stats.notifies
+        );
+    }
+
+    #[test]
+    fn nonzero_sleep_tasks_take_time() {
+        let cfg = quick_config(4, WireMode::Plain);
+        let out = run_sleep_workload(&cfg, 8, 50_000); // 8 × 50 ms on 4 workers
+        assert_eq!(out.tasks, 8);
+        // At least two waves of 50 ms.
+        assert!(out.elapsed_us >= 100_000, "elapsed = {}", out.elapsed_us);
+    }
+
+    #[test]
+    fn idle_release_shrinks_pool_without_losing_tasks() {
+        let mut cfg = quick_config(3, WireMode::Plain);
+        cfg.executor.idle_release_us = Some(30_000); // 30 ms idle release
+        let out = run_sleep_workload(&cfg, 100, 0);
+        assert_eq!(out.tasks, 100);
+    }
+
+    #[test]
+    fn empty_workload_returns_immediately() {
+        let out = run_workload(&quick_config(1, WireMode::Plain), Vec::new());
+        assert_eq!(out.tasks, 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! The real-time Falkon runtime.
+//!
+//! This crate mounts the sans-io state machines of `falkon-core` onto real
+//! OS threads and sockets, for the experiments where the paper *measures*
+//! throughput rather than modelling it (Figures 3 and 5, Table 2):
+//!
+//! * [`inproc`] — dispatcher, executors, and client as threads connected by
+//!   crossbeam channels; message encoding and the GSISecureConversation
+//!   stand-in are optionally applied on every hop so that "security on/off"
+//!   and "serialization cost" are real CPU work, exactly like the paper's
+//!   WS stack.
+//! * [`tcp`] — the same deployment over real localhost TCP sockets with
+//!   length-delimited frames (the custom TCP notification path of Figure 2,
+//!   extended to all messages).
+//! * [`wscounter`] — the paper's GT4 "counter service" baseline: a trivial
+//!   request/response server whose call rate upper-bounds achievable
+//!   dispatch throughput on the same transport.
+//! * [`clock`] — a monotonic microsecond clock shared by all components.
+
+pub mod clock;
+pub mod exec;
+pub mod inproc;
+pub mod tcp;
+pub mod transport;
+pub mod wscounter;
+
+pub use clock::Clock;
+pub use inproc::{InprocConfig, RunOutcome};
+pub use transport::WireMode;

@@ -1,0 +1,521 @@
+//! Falkon over real TCP sockets.
+//!
+//! The dispatcher listens on a socket; executors and clients connect and
+//! exchange length-delimited frames of the `falkon-proto` binary encoding.
+//! With security enabled, each connection performs the toy
+//! GSISecureConversation handshake first and seals every frame. This is the
+//! deployment the `tcp_cluster` example and the TCP throughput benchmarks
+//! use; it exercises the exact Figure 2 message sequence over a real
+//! network stack (localhost).
+
+use crate::clock::Clock;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use falkon_core::client::{Client, ClientAction, ClientEvent};
+use falkon_core::dispatcher::{Dispatcher, DispatcherAction, DispatcherEvent, TaskRecord};
+use falkon_core::executor::{Executor, ExecutorAction, ExecutorConfig, ExecutorEvent};
+use falkon_core::DispatcherConfig;
+use falkon_proto::bundle::BundleConfig;
+use falkon_proto::codec::{Codec, EfficientCodec};
+use falkon_proto::frame::{write_frame, FrameDecoder};
+use falkon_proto::message::{ExecutorId, InstanceId, Message};
+use falkon_proto::security::SecureChannel;
+use falkon_proto::task::TaskSpec;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+static NONCE: AtomicU64 = AtomicU64::new(0x9E37_79B9);
+
+/// Security setting for a TCP deployment: `Some(psk)` enables the secure
+/// conversation stand-in on every connection.
+pub type TcpSecurity = Option<u64>;
+
+/// A framed, optionally sealed TCP connection.
+pub struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    secure: Option<SecureChannel>,
+    codec: EfficientCodec,
+    readbuf: [u8; 64 * 1024],
+}
+
+impl Conn {
+    /// Wrap a connected stream, performing the security handshake if asked.
+    pub fn establish(stream: TcpStream, security: TcpSecurity) -> std::io::Result<Conn> {
+        stream.set_nodelay(true).ok();
+        // Bound writes: a peer that stops reading while we flush a large
+        // outbound burst must not wedge this thread (write-write deadlock);
+        // on timeout the connection drops and the dispatcher replays.
+        stream.set_write_timeout(Some(Duration::from_secs(10))).ok();
+        let mut conn = Conn {
+            stream,
+            decoder: FrameDecoder::new(),
+            secure: None,
+            codec: EfficientCodec,
+            readbuf: [0; 64 * 1024],
+        };
+        if let Some(psk) = security {
+            // Bound the handshake: a peer that connects and never speaks
+            // must not pin this thread forever.
+            conn.set_read_timeout(Some(Duration::from_secs(10)));
+            let nonce = NONCE.fetch_add(0x517C_C1B7_2722_0A95, Ordering::Relaxed);
+            let mut chan = SecureChannel::new(psk, nonce);
+            conn.write_raw(&chan.handshake_message())?;
+            let peer = conn.read_raw_frame()?;
+            chan.complete_handshake(&peer)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            conn.secure = Some(chan);
+            conn.set_read_timeout(None);
+        }
+        Ok(conn)
+    }
+
+    fn write_raw(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        let mut buf = Vec::with_capacity(payload.len() + 4);
+        write_frame(&mut buf, payload);
+        self.stream.write_all(&buf)
+    }
+
+    /// Blocking read of one raw frame.
+    fn read_raw_frame(&mut self) -> std::io::Result<Vec<u8>> {
+        loop {
+            if let Some(frame) = self
+                .decoder
+                .next_frame()
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+            {
+                return Ok(frame);
+            }
+            let n = self.stream.read(&mut self.readbuf)?;
+            if n == 0 {
+                return Err(std::io::ErrorKind::UnexpectedEof.into());
+            }
+            self.decoder.feed(&self.readbuf[..n]);
+        }
+    }
+
+    /// Send one message.
+    pub fn send(&mut self, msg: &Message) -> std::io::Result<()> {
+        let bytes = self.codec.encode(msg);
+        let payload = match self.secure.as_mut() {
+            Some(chan) => chan
+                .seal(&bytes)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?,
+            None => bytes,
+        };
+        self.write_raw(&payload)
+    }
+
+    /// Blocking receive of one message.
+    pub fn recv(&mut self) -> std::io::Result<Message> {
+        let frame = self.read_raw_frame()?;
+        let plain = match self.secure.as_mut() {
+            Some(chan) => chan
+                .open(&frame)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?,
+            None => frame,
+        };
+        self.codec
+            .decode(&plain)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Set a read timeout for subsequent `recv` calls.
+    pub fn set_read_timeout(&mut self, d: Option<Duration>) {
+        self.stream.set_read_timeout(d).ok();
+    }
+}
+
+/// Handle to a running TCP dispatcher.
+pub struct DispatcherServer {
+    /// The bound address (connect executors/clients here).
+    pub addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    core_handle: Option<JoinHandle<(Vec<TaskRecord>, falkon_core::dispatcher::DispatcherStats)>>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct ConnId(u64);
+
+enum CoreIn {
+    Msg(ConnId, Message),
+    ConnClosed(ConnId),
+    NewConn(ConnId, Sender<Message>),
+    Stop,
+}
+
+impl DispatcherServer {
+    /// Bind and start a dispatcher on `127.0.0.1:0` (ephemeral port).
+    pub fn start(config: DispatcherConfig, security: TcpSecurity) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (core_tx, core_rx) = unbounded::<CoreIn>();
+
+        let accept_stop = stop.clone();
+        let accept_tx = core_tx.clone();
+        let accept_handle = thread::spawn(move || {
+            let mut next_conn = 0u64;
+            while !accept_stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(false).ok();
+                        let id = ConnId(next_conn);
+                        next_conn += 1;
+                        let tx = accept_tx.clone();
+                        let conn_stop = accept_stop.clone();
+                        thread::spawn(move || serve_conn(id, stream, security, tx, conn_stop));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        let core_handle = thread::spawn(move || dispatcher_core(config, core_rx));
+        // Keep a sender alive inside the server for Stop.
+        let server = DispatcherServer {
+            addr,
+            stop,
+            accept_handle: Some(accept_handle),
+            core_handle: Some(core_handle),
+        };
+        // Stash the stop sender via a thread-local trick is overkill; store
+        // it in a once-cell style field instead.
+        STOP_SENDERS.lock().unwrap().insert(addr, core_tx);
+        Ok(server)
+    }
+
+    /// Stop the server, returning dispatcher records and stats.
+    pub fn shutdown(mut self) -> (Vec<TaskRecord>, falkon_core::dispatcher::DispatcherStats) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(tx) = STOP_SENDERS.lock().unwrap().remove(&self.addr) {
+            tx.send(CoreIn::Stop).ok();
+        }
+        let result = self
+            .core_handle
+            .take()
+            .expect("not yet shut down")
+            .join()
+            .expect("core thread");
+        if let Some(h) = self.accept_handle.take() {
+            h.join().ok();
+        }
+        result
+    }
+}
+
+static STOP_SENDERS: std::sync::LazyLock<
+    std::sync::Mutex<HashMap<SocketAddr, Sender<CoreIn>>>,
+> = std::sync::LazyLock::new(|| std::sync::Mutex::new(HashMap::new()));
+
+/// Per-connection: handshake, then pump frames into the core and messages
+/// back out.
+fn serve_conn(
+    id: ConnId,
+    stream: TcpStream,
+    security: TcpSecurity,
+    core_tx: Sender<CoreIn>,
+    stop: Arc<AtomicBool>,
+) {
+    let Ok(mut conn) = Conn::establish(stream, security) else {
+        core_tx.send(CoreIn::ConnClosed(id)).ok();
+        return;
+    };
+    let (out_tx, out_rx) = unbounded::<Message>();
+    if core_tx.send(CoreIn::NewConn(id, out_tx)).is_err() {
+        return;
+    }
+    // Writer: sealing must happen where the security state lives, so the
+    // reader thread owns `conn` and the writer sends pre-encoded frames…
+    // which conflicts with counter-ordered sealing. Instead the single
+    // connection thread alternates: block on the socket with a short
+    // timeout, drain outbound messages between reads.
+    conn.set_read_timeout(Some(Duration::from_millis(2)));
+    while !stop.load(Ordering::Relaxed) {
+        // Drain outbound first.
+        let mut closed = false;
+        while let Ok(msg) = out_rx.try_recv() {
+            if conn.send(&msg).is_err() {
+                closed = true;
+                break;
+            }
+        }
+        if closed {
+            break;
+        }
+        match conn.recv() {
+            Ok(msg) => {
+                if core_tx.send(CoreIn::Msg(id, msg)).is_err() {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+    core_tx.send(CoreIn::ConnClosed(id)).ok();
+}
+
+/// The dispatcher state machine driven by connection events.
+fn dispatcher_core(
+    config: DispatcherConfig,
+    rx: Receiver<CoreIn>,
+) -> (Vec<TaskRecord>, falkon_core::dispatcher::DispatcherStats) {
+    let clock = Clock::start();
+    let mut d = Dispatcher::new(config);
+    let mut records = Vec::new();
+    let mut conns: HashMap<ConnId, Sender<Message>> = HashMap::new();
+    let mut exec_conn: HashMap<ExecutorId, ConnId> = HashMap::new();
+    let mut inst_conn: HashMap<InstanceId, ConnId> = HashMap::new();
+    let mut conn_execs: HashMap<ConnId, Vec<ExecutorId>> = HashMap::new();
+    let mut out = Vec::new();
+    loop {
+        let timeout = match d.next_deadline() {
+            Some(dl) => Duration::from_micros(dl.saturating_sub(clock.now_us()).max(1)),
+            None => Duration::from_millis(100),
+        };
+        let recv = rx.recv_timeout(timeout);
+        // Clock read must follow the wait (deadline checks compare to now).
+        let now = clock.now_us();
+        let (from, ev) = match recv {
+            Ok(CoreIn::Stop) | Err(RecvTimeoutError::Disconnected) => break,
+            Ok(CoreIn::NewConn(id, tx)) => {
+                conns.insert(id, tx);
+                continue;
+            }
+            Ok(CoreIn::ConnClosed(id)) => {
+                conns.remove(&id);
+                // Any executors on this connection are lost.
+                for exec in conn_execs.remove(&id).unwrap_or_default() {
+                    exec_conn.remove(&exec);
+                    d.on_event(now, DispatcherEvent::ExecutorLost { executor: exec }, &mut out);
+                }
+                route(&mut d, &mut out, &mut records, &conns, &mut exec_conn, &mut inst_conn, None);
+                continue;
+            }
+            Ok(CoreIn::Msg(id, msg)) => {
+                // Remember which connection each executor registered on.
+                if let Message::Register { executor, .. } = &msg {
+                    exec_conn.insert(*executor, id);
+                    conn_execs.entry(id).or_default().push(*executor);
+                }
+                let ev = falkon_core::mapping::executor_message_to_dispatcher_event(msg.clone())
+                    .or_else(|| falkon_core::mapping::client_message_to_dispatcher_event(msg));
+                match ev {
+                    Some(ev) => (Some(id), ev),
+                    None => continue,
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => (None, DispatcherEvent::CheckDeadlines),
+        };
+        d.on_event(now, ev, &mut out);
+        route(&mut d, &mut out, &mut records, &conns, &mut exec_conn, &mut inst_conn, from);
+    }
+    (records, d.stats())
+}
+
+/// Deliver dispatcher actions to the right connections.
+fn route(
+    _d: &mut Dispatcher,
+    out: &mut Vec<DispatcherAction>,
+    records: &mut Vec<TaskRecord>,
+    conns: &HashMap<ConnId, Sender<Message>>,
+    exec_conn: &mut HashMap<ExecutorId, ConnId>,
+    inst_conn: &mut HashMap<InstanceId, ConnId>,
+    current: Option<ConnId>,
+) {
+    for act in out.drain(..) {
+        match act {
+            DispatcherAction::ToExecutor { executor, msg } => {
+                if let Some(conn) = exec_conn.get(&executor) {
+                    if let Some(tx) = conns.get(conn) {
+                        tx.send(msg).ok();
+                    }
+                }
+            }
+            DispatcherAction::ToClient { instance, msg } => {
+                // Bind fresh instances to the connection that created them.
+                if let Message::InstanceCreated { instance } = msg {
+                    if let Some(c) = current {
+                        inst_conn.insert(instance, c);
+                    }
+                }
+                if let Some(conn) = inst_conn.get(&instance) {
+                    if let Some(tx) = conns.get(conn) {
+                        tx.send(msg).ok();
+                    }
+                }
+            }
+            DispatcherAction::TaskDone { record, .. } => records.push(record),
+            DispatcherAction::TaskFailed { .. } | DispatcherAction::ToProvisioner { .. } => {}
+        }
+    }
+}
+
+/// Run an executor against a TCP dispatcher until the connection closes or
+/// the idle-release policy fires. Returns tasks executed.
+pub fn run_executor(
+    addr: SocketAddr,
+    id: ExecutorId,
+    config: ExecutorConfig,
+    security: TcpSecurity,
+) -> std::io::Result<u64> {
+    let clock = Clock::start();
+    let stream = TcpStream::connect(addr)?;
+    let mut conn = Conn::establish(stream, security)?;
+    let mut machine = Executor::new(id, "tcp-exec", config);
+    let mut actions = Vec::new();
+    machine.on_event(clock.now_us(), ExecutorEvent::Start, &mut actions);
+    let mut queue: Vec<ExecutorEvent> = Vec::new();
+    loop {
+        while !actions.is_empty() || !queue.is_empty() {
+            for act in actions.drain(..).collect::<Vec<_>>() {
+                match act {
+                    ExecutorAction::Send(msg) => conn.send(&msg)?,
+                    ExecutorAction::Run(spec) => {
+                        let t0 = clock.now_us();
+                        let mut result = crate::exec::execute_builtin(&spec);
+                        result.executor_time_us = clock.now_us() - t0;
+                        queue.push(ExecutorEvent::TaskCompleted { result });
+                    }
+                    ExecutorAction::Shutdown => return Ok(machine.tasks_run),
+                }
+            }
+            for ev in queue.drain(..).collect::<Vec<_>>() {
+                machine.on_event(clock.now_us(), ev, &mut actions);
+            }
+        }
+        // Wait for the next message, respecting the idle deadline.
+        match machine.idle_deadline_us() {
+            Some(deadline) => {
+                let wait = deadline.saturating_sub(clock.now_us()).max(1_000);
+                conn.set_read_timeout(Some(Duration::from_micros(wait)));
+            }
+            None => conn.set_read_timeout(None),
+        }
+        match conn.recv() {
+            Ok(msg) => {
+                let Some(ev) = falkon_core::mapping::message_to_executor_event(msg) else {
+                    continue;
+                };
+                machine.on_event(clock.now_us(), ev, &mut actions);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                machine.on_event(clock.now_us(), ExecutorEvent::IdleTimeout, &mut actions);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                return Ok(machine.tasks_run)
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Run a client workload against a TCP dispatcher; returns the completion
+/// count and elapsed µs.
+pub fn run_client(
+    addr: SocketAddr,
+    tasks: Vec<TaskSpec>,
+    bundle: BundleConfig,
+    security: TcpSecurity,
+) -> std::io::Result<(u64, u64)> {
+    let clock = Clock::start();
+    let stream = TcpStream::connect(addr)?;
+    let mut conn = Conn::establish(stream, security)?;
+    let mut client = Client::new(bundle);
+    let n = tasks.len() as u64;
+    let mut actions = Vec::new();
+    client.on_event(clock.now_us(), ClientEvent::Start, &mut actions);
+    let t0 = clock.now_us();
+    client.enqueue(t0, tasks, &mut actions);
+    flush_client(&mut conn, &mut actions)?;
+    if n == 0 {
+        return Ok((0, 0));
+    }
+    loop {
+        let msg = conn.recv()?;
+        let Some(ev) = falkon_core::mapping::message_to_client_event(msg) else {
+            continue;
+        };
+        client.on_event(clock.now_us(), ev, &mut actions);
+        let complete = actions
+            .iter()
+            .any(|a| matches!(a, ClientAction::WorkloadComplete));
+        flush_client(&mut conn, &mut actions)?;
+        if complete {
+            return Ok((client.completions().len() as u64, clock.now_us() - t0));
+        }
+    }
+}
+
+fn flush_client(conn: &mut Conn, actions: &mut Vec<ClientAction>) -> std::io::Result<()> {
+    for act in actions.drain(..) {
+        if let ClientAction::Send(msg) = act {
+            conn.send(&msg)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deploy(n_exec: usize, security: TcpSecurity, n_tasks: u64) -> (u64, u64) {
+        let config = DispatcherConfig {
+            client_notify_batch: 64,
+            ..DispatcherConfig::default()
+        };
+        let server = DispatcherServer::start(config, security).expect("bind");
+        let addr = server.addr;
+        let mut execs = Vec::new();
+        for i in 0..n_exec {
+            let cfg = ExecutorConfig::default();
+            execs.push(thread::spawn(move || {
+                run_executor(addr, ExecutorId(i as u64), cfg, security)
+            }));
+        }
+        let tasks: Vec<TaskSpec> = (0..n_tasks).map(|i| TaskSpec::sleep(i, 0)).collect();
+        let (done, elapsed) =
+            run_client(addr, tasks, BundleConfig::of(50), security).expect("client run");
+        let (records, stats) = server.shutdown();
+        for e in execs {
+            e.join().expect("executor thread").ok();
+        }
+        assert_eq!(records.len() as u64, n_tasks);
+        assert_eq!(stats.completed, n_tasks);
+        (done, elapsed)
+    }
+
+    #[test]
+    fn tcp_plain_roundtrip() {
+        let (done, _) = deploy(2, None, 100);
+        assert_eq!(done, 100);
+    }
+
+    #[test]
+    fn tcp_secure_roundtrip() {
+        let (done, _) = deploy(2, Some(0xFA1C0), 100);
+        assert_eq!(done, 100);
+    }
+
+    #[test]
+    fn tcp_many_executors() {
+        let (done, _) = deploy(8, None, 400);
+        assert_eq!(done, 400);
+    }
+}

@@ -1,0 +1,183 @@
+//! The GT4 "counter service" baseline (paper Section 4.1, Figure 3).
+//!
+//! The paper measures the maximum WS-call rate of a bare GT4 container with
+//! a service that just increments a counter per call, and takes that
+//! (≈500 calls/sec) as the upper bound on any dispatch throughput
+//! achievable over the same stack. Our equivalent: a TCP server that
+//! increments a counter per framed request and echoes the new value.
+//! Benchmarking it with k concurrent clients upper-bounds what the TCP
+//! Falkon deployment can reach on this machine.
+
+use falkon_proto::frame::{write_frame, FrameDecoder};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// A running counter service.
+pub struct CounterServer {
+    /// Bound address.
+    pub addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    counter: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl CounterServer {
+    /// Bind and serve on an ephemeral localhost port.
+    pub fn start() -> std::io::Result<CounterServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counter = Arc::new(AtomicU64::new(0));
+        let tstop = stop.clone();
+        let tcounter = counter.clone();
+        let handle = thread::spawn(move || {
+            while !tstop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let c = tcounter.clone();
+                        let s = tstop.clone();
+                        thread::spawn(move ||
+
+ serve(stream, c, s));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(CounterServer {
+            addr,
+            stop,
+            counter,
+            handle: Some(handle),
+        })
+    }
+
+    /// Calls served so far.
+    pub fn count(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+
+    /// Stop the server.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            h.join().ok();
+        }
+    }
+}
+
+fn serve(mut stream: TcpStream, counter: Arc<AtomicU64>, stop: Arc<AtomicBool>) {
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .ok();
+    let mut dec = FrameDecoder::new();
+    let mut buf = [0u8; 4096];
+    while !stop.load(Ordering::Relaxed) {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                dec.feed(&buf[..n]);
+                loop {
+                    match dec.next_frame() {
+                        Ok(Some(_req)) => {
+                            let v = counter.fetch_add(1, Ordering::Relaxed) + 1;
+                            let mut out = Vec::with_capacity(12);
+                            write_frame(&mut out, &v.to_le_bytes());
+                            if stream.write_all(&out).is_err() {
+                                return;
+                            }
+                        }
+                        Ok(None) => break,
+                        // Oversized/garbage length prefix: the stream cannot
+                        // resynchronise — drop the connection.
+                        Err(_) => return,
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+}
+
+/// Drive `clients` concurrent request loops for `duration`; returns the
+/// aggregate call rate (calls/sec).
+pub fn measure_call_rate(addr: SocketAddr, clients: usize, duration: Duration) -> f64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for _ in 0..clients {
+        let stop = stop.clone();
+        handles.push(thread::spawn(move || -> u64 {
+            let Ok(mut stream) = TcpStream::connect(addr) else {
+                return 0;
+            };
+            stream.set_nodelay(true).ok();
+            let mut dec = FrameDecoder::new();
+            let mut buf = [0u8; 256];
+            let mut calls = 0u64;
+            let mut req = Vec::new();
+            write_frame(&mut req, b"inc");
+            while !stop.load(Ordering::Relaxed) {
+                if stream.write_all(&req).is_err() {
+                    break;
+                }
+                // Await the response frame.
+                'resp: loop {
+                    match dec.next_frame() {
+                        Ok(Some(_)) => break 'resp,
+                        Ok(None) => match stream.read(&mut buf) {
+                            Ok(0) => return calls,
+                            Ok(n) => dec.feed(&buf[..n]),
+                            Err(_) => return calls,
+                        },
+                        Err(_) => return calls,
+                    }
+                }
+                calls += 1;
+            }
+            calls
+        }));
+    }
+    let t0 = Instant::now();
+    thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap_or(0)).sum();
+    total as f64 / t0.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_calls() {
+        let server = CounterServer::start().expect("bind");
+        let rate = measure_call_rate(server.addr, 2, Duration::from_millis(200));
+        assert!(rate > 100.0, "rate = {rate}");
+        assert!(server.count() > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_sustain_rate() {
+        // On loopback a single ping-pong client can already saturate the
+        // server; the requirement is that concurrency does not collapse the
+        // aggregate rate (the paper's Figure 3 plateau, not linear scaling).
+        let server = CounterServer::start().expect("bind");
+        let r1 = measure_call_rate(server.addr, 1, Duration::from_millis(150));
+        let r4 = measure_call_rate(server.addr, 4, Duration::from_millis(150));
+        server.shutdown();
+        assert!(r4 > r1 * 0.5, "r1 = {r1}, r4 = {r4}");
+    }
+}

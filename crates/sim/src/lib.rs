@@ -1,0 +1,34 @@
+//! Discrete-event simulation substrate for the Falkon reproduction.
+//!
+//! The Falkon paper evaluates the system at scales (54,000 executors,
+//! 2,000,000 tasks, multi-hour provisioning runs on TeraGrid clusters) that
+//! cannot be reproduced in real time on a single machine. This crate provides
+//! the virtual-time machinery used to run the *same* Falkon state machines
+//! (from `falkon-core`) against modelled clusters:
+//!
+//! * [`time`] — a microsecond-resolution virtual clock ([`SimTime`],
+//!   [`SimDuration`]) with ergonomic constructors and arithmetic.
+//! * [`event`] — a deterministic event queue with stable FIFO ordering for
+//!   simultaneous events.
+//! * [`engine`] — the event loop: actors implement [`engine::Process`] and the
+//!   [`engine::Engine`] delivers timed events to them.
+//! * [`metrics`] — histograms, time series, moving averages, and summary
+//!   statistics used to regenerate the paper's figures.
+//! * [`rng`] — deterministic, seedable random distributions so every
+//!   experiment is exactly reproducible.
+//! * [`platform`] — the Table 1 testbed profiles (node counts, CPUs, network).
+//! * [`table`] — plain-text table/TSV formatting for experiment output.
+
+pub mod engine;
+pub mod event;
+pub mod metrics;
+pub mod platform;
+pub mod rng;
+pub mod table;
+pub mod time;
+
+pub use engine::{Engine, Process, ProcessId};
+pub use event::EventQueue;
+pub use metrics::{Histogram, MovingAverage, Summary, TimeSeries};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

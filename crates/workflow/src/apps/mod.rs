@@ -1,0 +1,6 @@
+//! Application workload generators for the paper's experiments.
+
+pub mod fmri;
+pub mod montage;
+pub mod synthetic;
+pub mod table5;

@@ -1,0 +1,154 @@
+//! Cross-crate integration tests: the full Falkon stack driven end-to-end
+//! through the facade crate, over both real threads and the simulator.
+
+use falkon::core::executor::ExecutorConfig;
+use falkon::core::DispatcherConfig;
+use falkon::exp::simfalkon::{SimFalkon, SimFalkonConfig};
+use falkon::proto::bundle::BundleConfig;
+use falkon::proto::task::TaskSpec;
+use falkon::rt::inproc::{run_sleep_workload, run_workload, InprocConfig};
+use falkon::rt::WireMode;
+
+fn quick(executors: usize, wire: WireMode) -> InprocConfig {
+    InprocConfig {
+        executors,
+        wire,
+        bundle: BundleConfig::of(100),
+        dispatcher: DispatcherConfig {
+            client_notify_batch: 100,
+            ..DispatcherConfig::default()
+        },
+        ..InprocConfig::default()
+    }
+}
+
+#[test]
+fn inproc_and_sim_agree_on_accounting() {
+    let n = 1_000;
+    // Real threads.
+    let rt = run_sleep_workload(&quick(4, WireMode::Encoded), n, 0);
+    assert_eq!(rt.tasks, n);
+    assert_eq!(rt.stats.completed, n);
+    assert_eq!(rt.stats.submitted, n);
+    assert_eq!(rt.stats.failed, 0);
+    // Simulator: identical state machines, identical accounting.
+    let mut sim = SimFalkon::new(SimFalkonConfig {
+        executors: 4,
+        ..SimFalkonConfig::default()
+    });
+    sim.submit(0, (0..n).map(|i| TaskSpec::sleep(i, 0)).collect());
+    let so = sim.run_until_drained();
+    assert_eq!(so.tasks, n);
+    // Exactly-once in both worlds.
+    let mut rt_ids: Vec<u64> = rt.records.iter().map(|r| r.result.id.0).collect();
+    rt_ids.sort_unstable();
+    let mut sim_ids: Vec<u64> = so.records.iter().map(|r| r.result.id.0).collect();
+    sim_ids.sort_unstable();
+    assert_eq!(rt_ids, (0..n).collect::<Vec<_>>());
+    assert_eq!(sim_ids, (0..n).collect::<Vec<_>>());
+}
+
+#[test]
+fn wire_modes_all_complete_and_secure_is_not_faster() {
+    let n = 3_000;
+    let plain = run_sleep_workload(&quick(8, WireMode::Plain), n, 0);
+    let secure = run_sleep_workload(&quick(8, WireMode::Secure), n, 0);
+    assert_eq!(plain.tasks, n);
+    assert_eq!(secure.tasks, n);
+    // Security does real work; it cannot beat plain by more than noise.
+    assert!(
+        secure.throughput < plain.throughput * 1.3,
+        "secure {:.0}/s vs plain {:.0}/s",
+        secure.throughput,
+        plain.throughput
+    );
+}
+
+#[test]
+fn idle_release_with_ongoing_work_never_loses_tasks() {
+    let mut cfg = quick(4, WireMode::Plain);
+    cfg.executor = ExecutorConfig {
+        idle_release_us: Some(20_000), // aggressive 20 ms idle release
+        prefetch: false,
+    };
+    // Two waves with a gap longer than the idle release.
+    let out = run_sleep_workload(&cfg, 500, 0);
+    assert_eq!(out.tasks, 500);
+    assert_eq!(out.stats.failed, 0);
+}
+
+#[test]
+fn real_process_execution() {
+    // Spawn actual /bin/sleep processes (exit code 0) — the paper's tasks
+    // are real executables.
+    let mut cfg = quick(4, WireMode::Encoded);
+    cfg.spawn_processes = true;
+    let tasks: Vec<TaskSpec> = (0..8).map(|i| TaskSpec::sleep(i, 0)).collect();
+    let out = run_workload(&cfg, tasks);
+    assert_eq!(out.tasks, 8);
+    assert!(out.records.iter().all(|r| r.result.is_success()));
+}
+
+#[test]
+fn failing_command_reports_nonzero_exit() {
+    let mut cfg = quick(2, WireMode::Plain);
+    cfg.spawn_processes = true;
+    let mut task = TaskSpec::sleep(1, 0);
+    task.command = "false".to_string();
+    task.args.clear();
+    let out = run_workload(&cfg, vec![task]);
+    assert_eq!(out.tasks, 1);
+    assert!(!out.records[0].result.is_success());
+}
+
+#[test]
+fn bundling_reduces_submit_messages() {
+    let n = 2_000;
+    let unbundled = run_workload(
+        &InprocConfig {
+            bundle: BundleConfig::of(1),
+            ..quick(4, WireMode::Plain)
+        },
+        (0..n).map(|i| TaskSpec::sleep(i, 0)).collect(),
+    );
+    let bundled = run_workload(
+        &InprocConfig {
+            bundle: BundleConfig::of(300),
+            ..quick(4, WireMode::Plain)
+        },
+        (0..n).map(|i| TaskSpec::sleep(i, 0)).collect(),
+    );
+    assert_eq!(unbundled.tasks, n);
+    assert_eq!(bundled.tasks, n);
+}
+
+#[test]
+fn simulated_executor_failures_are_replayed() {
+    use falkon::core::policy::ReplayPolicy;
+    // Short deadline + tasks that finish fast: replay machinery must not
+    // lose or duplicate anything even when deadlines race completions.
+    let mut sim = SimFalkon::new(SimFalkonConfig {
+        executors: 8,
+        dispatcher: DispatcherConfig {
+            replay: ReplayPolicy {
+                max_retries: 5,
+                timeout_slack_us: 40_000, // 40 ms: tight but above RTT
+                runtime_factor: 1.0,
+                retry_on_failure: false,
+                io_slack_us_per_mib: 10_000_000,
+            },
+            client_notify_batch: 10_000,
+            ..DispatcherConfig::default()
+        },
+        ..SimFalkonConfig::default()
+    });
+    let n = 2_000;
+    sim.submit(0, (0..n).map(|i| TaskSpec::sleep(i, 0)).collect());
+    let out = sim.run_until_drained();
+    assert_eq!(out.tasks + sim.failed(), n);
+    // Exactly-once: no duplicated record ids.
+    let mut ids: Vec<u64> = out.records.iter().map(|r| r.result.id.0).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len() as u64, out.tasks);
+}

@@ -1,0 +1,70 @@
+//! Integration tests pinning the paper's headline claims, end-to-end
+//! through the experiment harnesses (quick scale).
+
+use falkon::exp::experiments::{applications, provisioning, throughput, Scale};
+
+#[test]
+fn headline_throughput_orders_of_magnitude() {
+    // "Microbenchmarks show that Falkon throughput (487 tasks/sec) …
+    //  one to two orders of magnitude better than other systems."
+    let rows = throughput::table2(Scale::Quick);
+    let falkon = rows
+        .iter()
+        .find(|r| r.system == "Falkon (no security)")
+        .unwrap()
+        .throughput;
+    let pbs = rows
+        .iter()
+        .find(|r| r.system.starts_with("PBS"))
+        .unwrap()
+        .throughput;
+    assert!(falkon / pbs > 100.0, "falkon/pbs = {:.0}", falkon / pbs);
+    assert!((300.0..520.0).contains(&falkon), "falkon = {falkon:.0}");
+    assert!((0.3..0.7).contains(&pbs), "pbs = {pbs:.2}");
+}
+
+#[test]
+fn headline_application_speedup() {
+    // "…achieve up to 90% reduction in end-to-end run time, relative to
+    //  versions that execute tasks via separate scheduler submissions."
+    let pts = applications::fig14(Scale::Quick);
+    let best = pts
+        .iter()
+        .map(|p| 1.0 - p.falkon_s / p.gram_s)
+        .fold(0.0, f64::max);
+    assert!(best > 0.7, "best reduction = {best:.2}");
+}
+
+#[test]
+fn provisioning_tradeoff_exists() {
+    // "This ability to trade off resource utilization and execution
+    //  efficiency is an advantage of Falkon."
+    let runs = provisioning::run_all(Scale::Quick);
+    let f15 = runs.iter().find(|r| r.label == "Falkon-15").unwrap();
+    let finf = runs.iter().find(|r| r.label == "Falkon-inf").unwrap();
+    // Aggressive release: better utilization, worse completion time.
+    assert!(f15.resource_utilization > finf.resource_utilization);
+    assert!(f15.time_to_complete_s > finf.time_to_complete_s);
+    // Falkon-inf approaches the paper's 99% execution efficiency.
+    assert!(finf.exec_efficiency > 0.9, "eff = {}", finf.exec_efficiency);
+}
+
+#[test]
+fn table3_shape() {
+    let runs = provisioning::run_all(Scale::Quick);
+    let gram = runs.iter().find(|r| r.label == "GRAM4+PBS").unwrap();
+    let ideal = runs.iter().find(|r| r.label.starts_with("Ideal")).unwrap();
+    // Paper: GRAM4+PBS queue time 611 s ≈ 15× the 42.2 s ideal.
+    assert!(
+        gram.avg_queue_s / ideal.avg_queue_s.max(1.0) > 4.0,
+        "gram queue = {:.0}, ideal queue = {:.1}",
+        gram.avg_queue_s,
+        ideal.avg_queue_s
+    );
+    // Ideal execution time ≈ 17.8 s (17,820 CPU-s over 1,000 tasks).
+    assert!(
+        (17.0..19.0).contains(&ideal.avg_exec_s),
+        "ideal exec = {:.2}",
+        ideal.avg_exec_s
+    );
+}

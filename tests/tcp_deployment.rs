@@ -1,0 +1,121 @@
+//! Integration tests for the TCP deployment: the full Figure 2 message
+//! sequence over real sockets, with and without the security layer, plus
+//! executor churn.
+
+use falkon::core::executor::ExecutorConfig;
+use falkon::core::DispatcherConfig;
+use falkon::proto::bundle::BundleConfig;
+use falkon::proto::message::ExecutorId;
+use falkon::proto::task::TaskSpec;
+use falkon::rt::tcp::{run_client, run_executor, DispatcherServer};
+use std::thread;
+
+fn tasks(n: u64) -> Vec<TaskSpec> {
+    (0..n).map(|i| TaskSpec::sleep(i, 0)).collect()
+}
+
+#[test]
+fn tcp_plain_end_to_end() {
+    let server = DispatcherServer::start(
+        DispatcherConfig {
+            client_notify_batch: 50,
+            ..DispatcherConfig::default()
+        },
+        None,
+    )
+    .expect("bind");
+    let addr = server.addr;
+    let execs: Vec<_> = (0..4)
+        .map(|i| {
+            thread::spawn(move || {
+                run_executor(addr, ExecutorId(i), ExecutorConfig::default(), None)
+            })
+        })
+        .collect();
+    let (done, _) = run_client(addr, tasks(300), BundleConfig::of(50), None).expect("client");
+    assert_eq!(done, 300);
+    let (records, stats) = server.shutdown();
+    assert_eq!(records.len(), 300);
+    assert_eq!(stats.completed, 300);
+    for e in execs {
+        e.join().expect("join").ok();
+    }
+}
+
+#[test]
+fn tcp_secure_with_idle_release() {
+    let psk = Some(0xFA1C0);
+    let server = DispatcherServer::start(
+        DispatcherConfig {
+            client_notify_batch: 50,
+            ..DispatcherConfig::default()
+        },
+        psk,
+    )
+    .expect("bind");
+    let addr = server.addr;
+    let execs: Vec<_> = (0..3)
+        .map(|i| {
+            thread::spawn(move || {
+                run_executor(
+                    addr,
+                    ExecutorId(i),
+                    ExecutorConfig {
+                        idle_release_us: Some(200_000),
+                        prefetch: false,
+                    },
+                    psk,
+                )
+            })
+        })
+        .collect();
+    let (done, _) = run_client(addr, tasks(200), BundleConfig::of(40), psk).expect("client");
+    assert_eq!(done, 200);
+    // Executors self-release once idle: their threads terminate on their own.
+    let mut ran = 0;
+    for e in execs {
+        ran += e.join().expect("join").expect("clean exit");
+    }
+    assert_eq!(ran, 200, "every task ran exactly once across the pool");
+    server.shutdown();
+}
+
+#[test]
+fn tcp_wrong_psk_executor_cannot_join() {
+    let server = DispatcherServer::start(DispatcherConfig::default(), Some(1)).expect("bind");
+    let addr = server.addr;
+    let r = run_executor(addr, ExecutorId(9), ExecutorConfig::default(), Some(2));
+    assert!(r.is_err(), "handshake with wrong PSK must fail");
+    server.shutdown();
+}
+
+#[test]
+fn tcp_executor_joining_late_still_gets_work() {
+    let server = DispatcherServer::start(
+        DispatcherConfig {
+            client_notify_batch: 10,
+            ..DispatcherConfig::default()
+        },
+        None,
+    )
+    .expect("bind");
+    let addr = server.addr;
+    // Client submits first; executor arrives afterwards.
+    let client = thread::spawn(move || run_client(addr, tasks(50), BundleConfig::of(10), None));
+    thread::sleep(std::time::Duration::from_millis(150));
+    let exec = thread::spawn(move || {
+        run_executor(
+            addr,
+            ExecutorId(0),
+            ExecutorConfig {
+                idle_release_us: Some(300_000),
+                prefetch: false,
+            },
+            None,
+        )
+    });
+    let (done, _) = client.join().expect("client thread").expect("client io");
+    assert_eq!(done, 50);
+    assert_eq!(exec.join().expect("join").expect("io"), 50);
+    server.shutdown();
+}
