@@ -1,33 +1,27 @@
 //! `repro` — regenerate every table and figure of the Falkon paper.
 //!
 //! ```text
-//! repro <experiment> [--full]
+//! repro [<experiment>] [--full] [--trace <path>]
 //!
-//! experiments:
-//!   table1 table2 table3 table4 table5
-//!   fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15
-//!   all            run everything
-//!   measured       locally *measured* throughput (real threads/TCP), not
-//!                  the paper-calibrated simulation
-//!   ablations      design-choice ablations and Section 6 extensions
-//!                  (data diffusion, acquisition policies, pre-fetching,
-//!                  3-tier architecture)
+//! repro list       enumerate experiments (id + description)
+//! repro all        run everything (the default)
+//! repro <id>       run one experiment (see `repro list`)
+//!
+//! flags:
+//!   --full         the paper's parameters (2,000,000 tasks, 54,000
+//!                  executors) instead of the quick smoke scale
+//!   --trace <path> with a single experiment: also dump every completed
+//!                  task's lifecycle (enqueue/dispatch/complete timestamps)
+//!                  as TSV to <path>
 //! ```
 //!
-//! By default experiments run at `Scale::Quick` (minutes for everything);
-//! `--full` uses the paper's parameters (2,000,000 tasks, 54,000 executors),
-//! which takes noticeably longer for fig8/fig9/fig10.
+//! Experiments sharing one expensive run (fig9/fig10; table3/table4/
+//! fig12/fig13) execute it once per `repro all` via their registry group.
 
-use falkon_exp::experiments::{
-    ablation, applications, bundling, data, efficiency, endurance, provisioning, scale54k,
-    tables, threetier, throughput, Scale,
-};
-use falkon_proto::bundle::BundleConfig;
-use falkon_rt::inproc::{run_sleep_workload, InprocConfig};
-use falkon_rt::wscounter::{measure_call_rate, CounterServer};
-use falkon_rt::WireMode;
+use falkon_exp::experiments::{registry, Scale};
+use falkon_exp::trace;
+use std::collections::HashMap;
 use std::io::Write;
-use std::time::Duration;
 
 /// Print a block, exiting quietly on a closed pipe (`repro all | head`).
 fn emit(block: &str) {
@@ -40,135 +34,100 @@ fn emit(block: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    if let Some(bad) = args.iter().find(|a| a.starts_with("--") && *a != "--full") {
-        eprintln!("unknown flag `{bad}`; the only flag is --full");
+    let trace_path = match args.iter().position(|a| a == "--trace") {
+        Some(i) => match args.get(i + 1) {
+            Some(p) if !p.starts_with("--") => Some(p.clone()),
+            _ => {
+                eprintln!("--trace needs a file path");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    if let Some(bad) = args
+        .iter()
+        .enumerate()
+        .find(|&(i, a)| {
+            a.starts_with("--")
+                && a != "--full"
+                && a != "--trace"
+                && !(i > 0 && args[i - 1] == "--trace")
+        })
+        .map(|(_, a)| a)
+    {
+        eprintln!("unknown flag `{bad}`; flags are --full and --trace <path>");
         std::process::exit(2);
     }
     let scale = if full { Scale::Full } else { Scale::Quick };
     let what = args
         .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
+        .enumerate()
+        .filter(|&(i, a)| !a.starts_with("--") && !(i > 0 && args[i - 1] == "--trace"))
+        .map(|(_, a)| a.as_str())
+        .next()
         .unwrap_or("all");
 
-    let known = [
-        "table1", "table2", "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6", "fig7",
-        "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "all", "measured",
-        "ablations",
-    ];
-    if !known.contains(&what) {
-        eprintln!("unknown experiment `{what}`; choose one of: {}", known.join(" "));
+    if what == "list" {
+        for e in registry::REGISTRY {
+            emit(&format!("{:<10} {}", e.id(), e.title()));
+        }
+        return;
+    }
+
+    if what == "all" {
+        if trace_path.is_some() {
+            eprintln!("--trace needs a single experiment (see `repro list`)");
+            std::process::exit(2);
+        }
+        run_all(scale);
+        return;
+    }
+
+    let Some(exp) = registry::lookup(what) else {
+        let known: Vec<&str> = registry::REGISTRY.iter().map(|e| e.id()).collect();
+        eprintln!(
+            "unknown experiment `{what}`; choose one of: list all {}",
+            known.join(" ")
+        );
         std::process::exit(2);
+    };
+    if trace_path.is_some() {
+        trace::enable();
     }
-
-    let run = |name: &str| what == name || what == "all";
-
-    if run("table1") {
-        emit(&tables::render_table1());
+    let report = exp.run(scale);
+    let text = exp.render(&report);
+    if !text.is_empty() {
+        emit(&text);
     }
-    if run("fig3") {
-        emit(&throughput::render_fig3(&throughput::fig3(scale)));
-    }
-    if run("table2") {
-        emit(&throughput::render_table2(&throughput::table2(scale)));
-    }
-    if run("fig4") {
-        emit(&data::render_fig4(&data::fig4(scale)));
-    }
-    if run("fig5") {
-        emit(&bundling::render_fig5(&bundling::fig5(scale)));
-    }
-    if run("fig6") {
-        emit(&efficiency::render_fig6(&efficiency::fig6(scale)));
-    }
-    if run("fig7") {
-        emit(&efficiency::render_fig7(&efficiency::fig7(scale)));
-    }
-    if run("fig8") {
-        emit(&endurance::render_fig8(&endurance::fig8(scale)));
-    }
-    if run("fig9") || run("fig10") {
-        let s = scale54k::run(scale);
-        emit(&scale54k::render(&s));
-    }
-    if run("fig11") {
-        emit(&provisioning::render_fig11());
-    }
-    if run("table3") || run("table4") || run("fig12") || run("fig13") {
-        let runs = provisioning::run_all(scale);
-        if run("table3") {
-            emit(&provisioning::render_table3(&runs));
+    if let Some(path) = trace_path {
+        let runs = trace::take();
+        let tasks: usize = runs.iter().map(Vec::len).sum();
+        if let Err(e) = std::fs::write(&path, trace::render_tsv(&runs)) {
+            eprintln!("cannot write trace to {path}: {e}");
+            std::process::exit(1);
         }
-        if run("table4") {
-            emit(&provisioning::render_table4(&runs));
-        }
-        if run("fig12") {
-            if let Some(r) = runs.iter().find(|r| r.label == "Falkon-15") {
-                emit(&provisioning::render_trace(r));
-            }
-        }
-        if run("fig13") {
-            if let Some(r) = runs.iter().find(|r| r.label == "Falkon-180") {
-                emit(&provisioning::render_trace(r));
-            }
-        }
-    }
-    if run("fig14") {
-        emit(&applications::render_fig14(&applications::fig14(scale)));
-    }
-    if run("fig15") {
-        emit(&applications::render_fig15(&applications::fig15(scale)));
-    }
-    if run("table5") {
-        emit(&tables::render_table5());
-    }
-    if run("ablations") {
-        emit(&ablation::render_data_diffusion(&ablation::data_diffusion(
-            scale,
-        )));
-        emit(&ablation::render_acquisition(&ablation::acquisition_policies(
-            scale,
-        )));
-        emit(&ablation::render_prefetch(&ablation::prefetch(scale)));
-        emit(&threetier::render(&threetier::run(scale)));
-    }
-    if run("measured") {
-        measured(scale);
+        eprintln!("trace: {tasks} tasks over {} runs -> {path}", runs.len());
     }
 }
 
-/// Locally *measured* dispatch rates using the real threaded runtime —
-/// the honest counterpart to the calibrated simulation (a 2026 machine and
-/// a binary protocol are far faster than a 2007 Xeon running SOAP).
-fn measured(scale: Scale) {
-    emit("== Measured on this machine (real threads, in-process channels) ==");
-    let n = scale.pick(5_000, 50_000);
-    for (label, wire) in [
-        ("plain (no serialization)", WireMode::Plain),
-        ("encoded (WS-serialization analog)", WireMode::Encoded),
-        ("secure (GSISecureConversation analog)", WireMode::Secure),
-    ] {
-        let cfg = InprocConfig {
-            executors: 8,
-            wire,
-            bundle: BundleConfig::of(300),
-            dispatcher: falkon_core::DispatcherConfig {
-                client_notify_batch: 1_000,
-                ..falkon_core::DispatcherConfig::default()
-            },
-            ..InprocConfig::default()
-        };
-        let out = run_sleep_workload(&cfg, n, 0);
-        emit(&format!(
-            "falkon inproc {label:<38} {:>10.0} tasks/s  ({} tasks)",
-            out.throughput, out.tasks
-        ));
+/// Run every registry entry in order. Entries with a common
+/// `shared_run_key` reuse one run; when two of them also render
+/// identically (fig9/fig10 are the same plot), the block prints once.
+fn run_all(scale: Scale) {
+    let mut reports: HashMap<&'static str, registry::Report> = HashMap::new();
+    let mut printed: HashMap<&'static str, Vec<String>> = HashMap::new();
+    for exp in registry::REGISTRY {
+        let key = exp.shared_run_key();
+        let report = reports.entry(key).or_insert_with(|| exp.run(scale));
+        let text = exp.render(report);
+        if text.is_empty() {
+            continue;
+        }
+        let seen = printed.entry(key).or_default();
+        if seen.contains(&text) {
+            continue;
+        }
+        emit(&text);
+        seen.push(text);
     }
-    // The GT4-counter-service analog: raw request/response bound over TCP.
-    let server = CounterServer::start().expect("bind counter service");
-    let rate = measure_call_rate(server.addr, 8, Duration::from_secs(scale.pick(1, 5)));
-    server.shutdown();
-    emit(&format!(
-        "counter-service TCP bound (8 clients)      {rate:>10.0} calls/s"
-    ));
 }

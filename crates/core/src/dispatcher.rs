@@ -17,6 +17,7 @@
 use crate::config::DispatcherConfig;
 use crate::ids::{ExecutorId, InstanceId, NotifyKey, TaskId};
 use crate::Micros;
+use falkon_obs::{Counters, NoopProbe, ObsEvent, ObsEventKind, Probe};
 use falkon_proto::message::{DispatcherStatus, Message};
 use falkon_proto::task::{TaskResult, TaskSpec};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -213,7 +214,12 @@ pub struct DispatcherStats {
 }
 
 /// The Falkon dispatcher state machine. See module docs.
-pub struct Dispatcher {
+///
+/// Generic over a [`Probe`] that observes the lifecycle event stream; the
+/// default [`NoopProbe`] costs nothing, and [`Dispatcher::stats`] is always
+/// available because the machine keeps internal [`Counters`] regardless of
+/// the mounted probe.
+pub struct Dispatcher<P: Probe = NoopProbe> {
     config: DispatcherConfig,
     next_instance: u64,
     next_notify_key: u64,
@@ -225,7 +231,8 @@ pub struct Dispatcher {
     running: HashMap<TaskId, Running>,
     /// Min-heap of (deadline, task, attempts) with lazy deletion.
     deadlines: BinaryHeap<std::cmp::Reverse<(Micros, TaskId, u32)>>,
-    stats: DispatcherStats,
+    counters: Counters,
+    probe: P,
     busy_count: u64,
     notified_count: u64,
     /// Which executors have staged which data objects (data-aware dispatch;
@@ -246,8 +253,15 @@ struct Instance {
 }
 
 impl Dispatcher {
-    /// Create a dispatcher with the given configuration.
+    /// Create a dispatcher with the given configuration and no probe.
     pub fn new(config: DispatcherConfig) -> Self {
+        Dispatcher::with_probe(config, NoopProbe)
+    }
+}
+
+impl<P: Probe> Dispatcher<P> {
+    /// Create a dispatcher that reports lifecycle events to `probe`.
+    pub fn with_probe(config: DispatcherConfig, probe: P) -> Self {
         Dispatcher {
             config,
             next_instance: 1,
@@ -258,16 +272,23 @@ impl Dispatcher {
             queue: VecDeque::new(),
             running: HashMap::new(),
             deadlines: BinaryHeap::new(),
-            stats: DispatcherStats::default(),
+            counters: Counters::new(),
+            probe,
             busy_count: 0,
             notified_count: 0,
             object_cache: HashMap::new(),
         }
     }
 
+    #[inline]
+    fn emit(&mut self, now: Micros, event: ObsEvent) {
+        self.counters.observe(&event);
+        self.probe.on_event(now, &event);
+    }
+
     /// Change an executor's status, maintaining the busy/notified counters
     /// and the idle queue. Returns false if the executor is unknown.
-    fn set_status(&mut self, executor: ExecutorId, new: ExecStatus) -> bool {
+    fn set_status(&mut self, now: Micros, executor: ExecutorId, new: ExecStatus) -> bool {
         let Some(st) = self.executors.get_mut(&executor) else {
             return false;
         };
@@ -282,16 +303,44 @@ impl Dispatcher {
             ExecStatus::Idle => {}
         }
         match new {
-            ExecStatus::Busy => self.busy_count += 1,
+            ExecStatus::Busy => {
+                self.busy_count += 1;
+                self.emit(now, ObsEvent::ExecutorBusy);
+            }
             ExecStatus::Notified => self.notified_count += 1,
-            ExecStatus::Idle => self.idle.push_back(executor),
+            ExecStatus::Idle => {
+                self.idle.push_back(executor);
+                self.emit(now, ObsEvent::ExecutorIdle);
+            }
         }
         true
     }
 
-    /// Monotonic counters.
+    /// Monotonic counters — a derived view of the internal event
+    /// [`Counters`]; every field maps to one [`ObsEventKind`].
     pub fn stats(&self) -> DispatcherStats {
-        self.stats
+        let c = &self.counters;
+        DispatcherStats {
+            submitted: c.value(ObsEventKind::TaskSubmitted),
+            dispatched: c.count(ObsEventKind::TaskDispatched),
+            completed: c.count(ObsEventKind::TaskCompleted),
+            failed: c.count(ObsEventKind::TaskFailed),
+            retries: c.count(ObsEventKind::TaskRetried),
+            duplicate_results: c.count(ObsEventKind::DuplicateResult),
+            notifies: c.count(ObsEventKind::NotifySent),
+            piggybacked: c.value(ObsEventKind::TaskPiggybacked),
+            data_locality_hits: c.count(ObsEventKind::DataLocalityHit),
+        }
+    }
+
+    /// The internal per-kind event counters (always on, probe or not).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The mounted probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
     }
 
     /// Current state snapshot (what `{POLL}` returns).
@@ -351,7 +400,7 @@ impl Dispatcher {
                     if let Some(inst) = self.instances.get_mut(&instance) {
                         inst.pending += n;
                     }
-                    self.stats.submitted += n;
+                    self.emit(now, ObsEvent::TaskSubmitted { count: n });
                     n
                 } else {
                     0
@@ -360,7 +409,13 @@ impl Dispatcher {
                     instance,
                     msg: Message::SubmitAck { instance, accepted },
                 });
-                self.pump(out);
+                self.pump(now, out);
+                self.emit(
+                    now,
+                    ObsEvent::QueueDepth {
+                        depth: self.queue.len() as u64,
+                    },
+                );
             }
             DispatcherEvent::Register { executor, host } => {
                 // Re-registration of a live id (e.g. an executor restarting
@@ -379,11 +434,12 @@ impl Dispatcher {
                     },
                 );
                 self.idle.push_back(executor);
+                self.emit(now, ObsEvent::ExecutorRegistered);
                 out.push(DispatcherAction::ToExecutor {
                     executor,
                     msg: Message::RegisterAck { executor },
                 });
-                self.pump(out);
+                self.pump(now, out);
             }
             DispatcherEvent::GetWork { executor, key: _ } => {
                 if !self.executors.contains_key(&executor) {
@@ -399,16 +455,22 @@ impl Dispatcher {
                     // Only transition to idle if nothing is still outstanding
                     // (an executor with in-flight work stays busy).
                     if self.executors[&executor].outstanding == 0 {
-                        self.set_idle(executor);
+                        self.set_idle(now, executor);
                     }
                 } else {
-                    self.set_busy(executor, tasks.len());
+                    self.set_busy(now, executor, tasks.len());
                 }
                 out.push(DispatcherAction::ToExecutor {
                     executor,
                     msg: Message::Work { tasks },
                 });
-                self.pump(out);
+                self.pump(now, out);
+                self.emit(
+                    now,
+                    ObsEvent::QueueDepth {
+                        depth: self.queue.len() as u64,
+                    },
+                );
             }
             DispatcherEvent::Result { executor, results } => {
                 for result in results {
@@ -419,8 +481,13 @@ impl Dispatcher {
                 {
                     let tasks = self.take_work(now, executor);
                     if !tasks.is_empty() {
-                        self.set_busy(executor, tasks.len());
-                        self.stats.piggybacked += tasks.len() as u64;
+                        self.set_busy(now, executor, tasks.len());
+                        self.emit(
+                            now,
+                            ObsEvent::TaskPiggybacked {
+                                count: tasks.len() as u64,
+                            },
+                        );
                     }
                     tasks
                 } else {
@@ -429,7 +496,7 @@ impl Dispatcher {
                 if piggybacked.is_empty() {
                     if let Some(st) = self.executors.get(&executor) {
                         if st.outstanding == 0 {
-                            self.set_idle(executor);
+                            self.set_idle(now, executor);
                         }
                     }
                 }
@@ -437,11 +504,17 @@ impl Dispatcher {
                     executor,
                     msg: Message::ResultAck { piggybacked },
                 });
-                self.pump(out);
+                self.pump(now, out);
+                self.emit(
+                    now,
+                    ObsEvent::QueueDepth {
+                        depth: self.queue.len() as u64,
+                    },
+                );
             }
             DispatcherEvent::Deregister { executor } | DispatcherEvent::ExecutorLost { executor } => {
                 self.remove_executor(now, executor, out);
-                self.pump(out);
+                self.pump(now, out);
             }
             DispatcherEvent::GetResults { instance } => {
                 let results = self
@@ -464,7 +537,7 @@ impl Dispatcher {
             }
             DispatcherEvent::CheckDeadlines => {
                 self.check_deadlines(now, out);
-                self.pump(out);
+                self.pump(now, out);
             }
             DispatcherEvent::DestroyInstance { instance } => {
                 self.instances.remove(&instance);
@@ -481,9 +554,9 @@ impl Dispatcher {
                     .collect();
                 for id in orphaned {
                     let r = self.running.remove(&id).expect("collected above");
-                    self.release_executor_slot(r.executor);
+                    self.release_executor_slot(now, r.executor);
                 }
-                self.pump(out);
+                self.pump(now, out);
             }
         }
     }
@@ -492,7 +565,7 @@ impl Dispatcher {
     /// next-available policy), or — with data-aware dispatch — the first
     /// task within the scan window whose data object this executor has
     /// already staged.
-    fn pick_task(&mut self, executor: ExecutorId) -> QueuedTask {
+    fn pick_task(&mut self, now: Micros, executor: ExecutorId) -> QueuedTask {
         if self.config.data_aware {
             let window = self.config.data_aware_window.min(self.queue.len());
             for i in 0..window {
@@ -504,7 +577,7 @@ impl Dispatcher {
                     .get(&data.object)
                     .is_some_and(|s| s.contains(&executor));
                 if hit {
-                    self.stats.data_locality_hits += 1;
+                    self.emit(now, ObsEvent::DataLocalityHit);
                     return self.queue.remove(i).expect("index in window");
                 }
             }
@@ -517,7 +590,7 @@ impl Dispatcher {
         let n = self.config.work_bundle.max(1).min(self.queue.len());
         let mut tasks = Vec::with_capacity(n);
         for _ in 0..n {
-            let q = self.pick_task(executor);
+            let q = self.pick_task(now, executor);
             let deadline_us = now.saturating_add(self.config.replay.deadline_for(&q.spec));
             let attempts = q.attempts + 1;
             self.deadlines
@@ -534,18 +607,23 @@ impl Dispatcher {
                     deadline_us,
                 },
             );
-            self.stats.dispatched += 1;
+            self.emit(
+                now,
+                ObsEvent::TaskDispatched {
+                    queue_us: now.saturating_sub(q.enqueued_us),
+                },
+            );
             tasks.push(q.spec);
         }
         tasks
     }
 
-    fn set_idle(&mut self, executor: ExecutorId) {
-        self.set_status(executor, ExecStatus::Idle);
+    fn set_idle(&mut self, now: Micros, executor: ExecutorId) {
+        self.set_status(now, executor, ExecStatus::Idle);
     }
 
-    fn set_busy(&mut self, executor: ExecutorId, added: usize) {
-        if self.set_status(executor, ExecStatus::Busy) {
+    fn set_busy(&mut self, now: Micros, executor: ExecutorId, added: usize) {
+        if self.set_status(now, executor, ExecStatus::Busy) {
             if let Some(st) = self.executors.get_mut(&executor) {
                 st.outstanding += added;
             }
@@ -554,7 +632,7 @@ impl Dispatcher {
 
     /// One of `executor`'s in-flight tasks is no longer its responsibility:
     /// decrement `outstanding` and return it to the idle pool at zero.
-    fn release_executor_slot(&mut self, executor: ExecutorId) {
+    fn release_executor_slot(&mut self, now: Micros, executor: ExecutorId) {
         let freed = if let Some(st) = self.executors.get_mut(&executor) {
             st.outstanding = st.outstanding.saturating_sub(1);
             st.outstanding == 0 && st.status == ExecStatus::Busy
@@ -562,7 +640,7 @@ impl Dispatcher {
             false
         };
         if freed {
-            self.set_idle(executor);
+            self.set_idle(now, executor);
         }
     }
 
@@ -581,6 +659,7 @@ impl Dispatcher {
                 ExecStatus::Notified => self.notified_count -= 1,
                 ExecStatus::Idle => {}
             }
+            self.emit(now, ObsEvent::ExecutorReleased);
         }
         // Replay any tasks that were outstanding on this executor, in task-id
         // order so replays are deterministic.
@@ -606,14 +685,14 @@ impl Dispatcher {
         out: &mut Vec<DispatcherAction>,
     ) {
         let Some(r) = self.running.get(&result.id) else {
-            self.stats.duplicate_results += 1;
+            self.emit(now, ObsEvent::DuplicateResult);
             return;
         };
         // A result from a different executor than the one we dispatched to
         // means the task was replayed; the original owner's late result is a
         // duplicate.
         if r.executor != executor {
-            self.stats.duplicate_results += 1;
+            self.emit(now, ObsEvent::DuplicateResult);
             return;
         }
         let r = self.running.remove(&result.id).expect("checked above");
@@ -629,7 +708,7 @@ impl Dispatcher {
         let failed = !result.is_success();
         if failed && self.config.replay.retry_on_failure && r.attempts <= self.config.replay.max_retries
         {
-            self.stats.retries += 1;
+            self.emit(now, ObsEvent::TaskRetried);
             self.queue.push_back(QueuedTask {
                 instance: r.instance,
                 spec: r.spec,
@@ -638,7 +717,16 @@ impl Dispatcher {
             });
             return;
         }
-        self.stats.completed += 1;
+        self.emit(
+            now,
+            ObsEvent::TaskCompleted {
+                queue_us: r.dispatched_us.saturating_sub(r.enqueued_us),
+                exec_us: result.executor_time_us,
+                overhead_us: now
+                    .saturating_sub(r.enqueued_us)
+                    .saturating_sub(result.executor_time_us),
+            },
+        );
         let record = TaskRecord {
             result: result.clone(),
             enqueued_us: r.enqueued_us,
@@ -651,6 +739,7 @@ impl Dispatcher {
             instance: r.instance,
             record,
         });
+        let mut delivered = 0u64;
         if let Some(inst) = self.instances.get_mut(&r.instance) {
             inst.pending = inst.pending.saturating_sub(1);
             inst.ready.push(result);
@@ -659,6 +748,7 @@ impl Dispatcher {
                 || (inst.pending == 0 && inst.unnotified > 0);
             if flush {
                 let ready = inst.ready.len() as u64;
+                delivered = inst.unnotified;
                 inst.unnotified = 0;
                 out.push(DispatcherAction::ToClient {
                     instance: r.instance,
@@ -669,18 +759,22 @@ impl Dispatcher {
                 });
             }
         }
+        if delivered > 0 {
+            self.emit(now, ObsEvent::TaskDelivered { count: delivered });
+        }
     }
 
     /// Re-dispatch or abandon a task per the replay policy.
-    fn replay(&mut self, _now: Micros, r: Running, out: &mut Vec<DispatcherAction>) {
+    fn replay(&mut self, now: Micros, r: Running, out: &mut Vec<DispatcherAction>) {
         if r.attempts > self.config.replay.max_retries {
-            self.stats.failed += 1;
+            self.emit(now, ObsEvent::TaskFailed);
             out.push(DispatcherAction::TaskFailed {
                 instance: r.instance,
                 task: r.spec.id,
                 attempts: r.attempts,
             });
             // Also surface a synthesized failure so clients can complete.
+            let mut delivered = 0u64;
             if let Some(inst) = self.instances.get_mut(&r.instance) {
                 inst.pending = inst.pending.saturating_sub(1);
                 let mut res = TaskResult::failure(r.spec.id, -1);
@@ -689,6 +783,7 @@ impl Dispatcher {
                 inst.unnotified += 1;
                 let ready = inst.ready.len() as u64;
                 if inst.unnotified >= self.config.client_notify_batch || inst.pending == 0 {
+                    delivered = inst.unnotified;
                     inst.unnotified = 0;
                     out.push(DispatcherAction::ToClient {
                         instance: r.instance,
@@ -699,8 +794,11 @@ impl Dispatcher {
                     });
                 }
             }
+            if delivered > 0 {
+                self.emit(now, ObsEvent::TaskDelivered { count: delivered });
+            }
         } else {
-            self.stats.retries += 1;
+            self.emit(now, ObsEvent::TaskRetried);
             self.queue.push_back(QueuedTask {
                 instance: r.instance,
                 spec: r.spec,
@@ -732,14 +830,14 @@ impl Dispatcher {
             }
             let r = self.running.remove(&task).expect("checked above");
             // The executor that lost the task has one fewer outstanding.
-            self.release_executor_slot(r.executor);
+            self.release_executor_slot(now, r.executor);
             self.replay(now, r, out);
         }
     }
 
     /// Notify idle executors while work is queued (the push half of the
     /// hybrid model).
-    fn pump(&mut self, out: &mut Vec<DispatcherAction>) {
+    fn pump(&mut self, now: Micros, out: &mut Vec<DispatcherAction>) {
         let bundle = self.config.work_bundle.max(1) as u64;
         // Notify idle executors until every queued task is covered by an
         // outstanding notification (each notified executor will claim up to
@@ -760,8 +858,8 @@ impl Dispatcher {
             };
             let key = NotifyKey(self.next_notify_key);
             self.next_notify_key += 1;
-            self.set_status(executor, ExecStatus::Notified);
-            self.stats.notifies += 1;
+            self.set_status(now, executor, ExecStatus::Notified);
+            self.emit(now, ObsEvent::NotifySent);
             out.push(DispatcherAction::ToExecutor {
                 executor,
                 msg: Message::Notify { key },

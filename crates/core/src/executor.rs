@@ -12,6 +12,7 @@
 
 use crate::ids::{ExecutorId, NotifyKey};
 use crate::Micros;
+use falkon_obs::{Counters, NoopProbe, ObsEvent, ObsEventKind, Probe};
 use falkon_proto::message::Message;
 use falkon_proto::task::{TaskResult, TaskSpec};
 use serde::{Deserialize, Serialize};
@@ -99,8 +100,25 @@ enum Phase {
     Done,
 }
 
+/// Aggregate executor counters (monotonic), derived from the event stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// Tasks executed to completion.
+    pub tasks_run: u64,
+    /// Tasks started (equals `tasks_run` unless one is in flight).
+    pub tasks_started: u64,
+    /// `GetWork` requests sent (notifications answered + pre-fetches).
+    pub work_requests: u64,
+    /// Results delivered to the dispatcher.
+    pub results_reported: u64,
+}
+
 /// The Falkon executor state machine. See module docs.
-pub struct Executor {
+///
+/// Generic over a [`Probe`] like [`crate::Dispatcher`]; the machine keeps
+/// internal [`Counters`] so [`Executor::stats`] works with the default
+/// [`NoopProbe`].
+pub struct Executor<P: Probe = NoopProbe> {
     id: ExecutorId,
     host: String,
     config: ExecutorConfig,
@@ -117,11 +135,25 @@ pub struct Executor {
     prefetch_inflight: bool,
     /// Tasks executed in total.
     pub tasks_run: u64,
+    counters: Counters,
+    probe: P,
 }
 
 impl Executor {
     /// Create an executor with the given identity and configuration.
     pub fn new(id: ExecutorId, host: impl Into<String>, config: ExecutorConfig) -> Self {
+        Executor::with_probe(id, host, config, NoopProbe)
+    }
+}
+
+impl<P: Probe> Executor<P> {
+    /// Create an executor that reports lifecycle events to `probe`.
+    pub fn with_probe(
+        id: ExecutorId,
+        host: impl Into<String>,
+        config: ExecutorConfig,
+        probe: P,
+    ) -> Self {
         Executor {
             id,
             host: host.into(),
@@ -133,12 +165,42 @@ impl Executor {
             idle_since_us: None,
             prefetch_inflight: false,
             tasks_run: 0,
+            counters: Counters::new(),
+            probe,
         }
+    }
+
+    #[inline]
+    fn emit(&mut self, now: Micros, event: ObsEvent) {
+        self.counters.observe(&event);
+        self.probe.on_event(now, &event);
     }
 
     /// This executor's id.
     pub fn id(&self) -> ExecutorId {
         self.id
+    }
+
+    /// Monotonic counters — a derived view of the internal event
+    /// [`Counters`].
+    pub fn stats(&self) -> ExecutorStats {
+        let c = &self.counters;
+        ExecutorStats {
+            tasks_run: c.count(ObsEventKind::TaskFinished),
+            tasks_started: c.count(ObsEventKind::TaskStarted),
+            work_requests: c.count(ObsEventKind::WorkRequested),
+            results_reported: c.value(ObsEventKind::ResultsReported),
+        }
+    }
+
+    /// The internal per-kind event counters (always on, probe or not).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The mounted probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
     }
 
     /// Whether the executor has shut down.
@@ -183,6 +245,7 @@ impl Executor {
                 if self.phase == Phase::Idle {
                     self.phase = Phase::Pulling;
                     self.idle_since_us = None;
+                    self.emit(now, ObsEvent::WorkRequested);
                     out.push(ExecutorAction::Send(Message::GetWork {
                         executor: self.id,
                         key,
@@ -198,7 +261,7 @@ impl Executor {
                             self.idle_since_us = Some(now);
                         } else {
                             self.backlog.extend(tasks);
-                            self.start_next(out);
+                            self.start_next(now, out);
                         }
                     }
                     // Pre-fetch answer while running: queue the work locally
@@ -219,7 +282,7 @@ impl Executor {
                             self.backlog.extend(tasks);
                             if self.phase == Phase::Idle {
                                 self.idle_since_us = None;
-                                self.start_next(out);
+                                self.start_next(now, out);
                             }
                         }
                     }
@@ -230,24 +293,37 @@ impl Executor {
                 self.running = self.running.saturating_sub(1);
                 self.tasks_run += 1;
                 self.finished.push(result);
+                self.emit(now, ObsEvent::TaskFinished);
                 if self.config.prefetch {
                     // Pre-fetch mode reports each result immediately and
                     // keeps computing from the local backlog — communication
                     // overlaps execution.
+                    self.emit(
+                        now,
+                        ObsEvent::ResultsReported {
+                            count: self.finished.len() as u64,
+                        },
+                    );
                     out.push(ExecutorAction::Send(Message::Result {
                         executor: self.id,
                         results: std::mem::take(&mut self.finished),
                     }));
                     if !self.backlog.is_empty() {
-                        self.start_next(out);
+                        self.start_next(now, out);
                     } else {
                         self.phase = Phase::Reporting;
                     }
                 } else if !self.backlog.is_empty() {
                     // More local work before reporting (work_bundle > 1).
-                    self.start_next(out);
+                    self.start_next(now, out);
                 } else if self.running == 0 {
                     self.phase = Phase::Reporting;
+                    self.emit(
+                        now,
+                        ObsEvent::ResultsReported {
+                            count: self.finished.len() as u64,
+                        },
+                    );
                     out.push(ExecutorAction::Send(Message::Result {
                         executor: self.id,
                         results: std::mem::take(&mut self.finished),
@@ -262,7 +338,7 @@ impl Executor {
                             self.idle_since_us = Some(now);
                         } else {
                             self.backlog.extend(piggybacked);
-                            self.start_next(out);
+                            self.start_next(now, out);
                         }
                     }
                     // Pre-fetch mode: acks (possibly piggy-backing work)
@@ -290,12 +366,13 @@ impl Executor {
         }
     }
 
-    fn start_next(&mut self, out: &mut Vec<ExecutorAction>) {
+    fn start_next(&mut self, now: Micros, out: &mut Vec<ExecutorAction>) {
         self.phase = Phase::Running;
         // One task at a time per executor (1:1 executor-to-CPU mapping).
         if self.running == 0 {
             if let Some(task) = self.backlog.pop_front() {
                 self.running = 1;
+                self.emit(now, ObsEvent::TaskStarted);
                 out.push(ExecutorAction::Run(task));
             }
         }
@@ -303,6 +380,7 @@ impl Executor {
         // completes, overlapping communication and execution.
         if self.config.prefetch && self.backlog.is_empty() && !self.prefetch_inflight {
             self.prefetch_inflight = true;
+            self.emit(now, ObsEvent::WorkRequested);
             out.push(ExecutorAction::Send(Message::GetWork {
                 executor: self.id,
                 key: NotifyKey(0),

@@ -15,6 +15,7 @@
 
 use crate::ids::{InstanceId, TaskId};
 use crate::Micros;
+use falkon_obs::{Counters, NoopProbe, ObsEvent, ObsEventKind, Probe};
 use falkon_proto::task::{TaskResult, TaskSpec};
 use std::collections::HashMap;
 
@@ -78,26 +79,45 @@ pub struct ForwarderStats {
 }
 
 /// The forwarder state machine. See module docs.
-pub struct Forwarder {
+///
+/// Generic over a [`Probe`] like [`crate::Dispatcher`]; internal
+/// [`Counters`] keep [`Forwarder::stats`] working with the default
+/// [`NoopProbe`].
+pub struct Forwarder<P: Probe = NoopProbe> {
     /// Tasks outstanding at each downstream dispatcher.
     outstanding: Vec<u64>,
     /// Which instance owns each in-flight task, and where it went.
     in_flight: HashMap<TaskId, (InstanceId, DispatcherIndex)>,
     /// Copies of in-flight specs for re-routing after dispatcher loss.
     specs: HashMap<TaskId, TaskSpec>,
-    stats: ForwarderStats,
+    counters: Counters,
+    probe: P,
 }
 
 impl Forwarder {
     /// Create a forwarder over `dispatchers` downstream dispatchers.
     pub fn new(dispatchers: usize) -> Forwarder {
+        Forwarder::with_probe(dispatchers, NoopProbe)
+    }
+}
+
+impl<P: Probe> Forwarder<P> {
+    /// Create a forwarder that reports lifecycle events to `probe`.
+    pub fn with_probe(dispatchers: usize, probe: P) -> Self {
         assert!(dispatchers > 0, "need at least one dispatcher");
         Forwarder {
             outstanding: vec![0; dispatchers],
             in_flight: HashMap::new(),
             specs: HashMap::new(),
-            stats: ForwarderStats::default(),
+            counters: Counters::new(),
+            probe,
         }
+    }
+
+    #[inline]
+    fn emit(&mut self, now: Micros, event: ObsEvent) {
+        self.counters.observe(&event);
+        self.probe.on_event(now, &event);
     }
 
     /// Downstream dispatcher count.
@@ -105,9 +125,21 @@ impl Forwarder {
         self.outstanding.len()
     }
 
-    /// Monotonic counters.
+    /// Monotonic counters — a derived view of the internal event
+    /// [`Counters`].
     pub fn stats(&self) -> ForwarderStats {
-        self.stats
+        let c = &self.counters;
+        ForwarderStats {
+            bundles_routed: c.count(ObsEventKind::BundleRouted),
+            tasks_routed: c.value(ObsEventKind::BundleRouted),
+            results_delivered: c.value(ObsEventKind::ResultsRouted),
+            rerouted: c.value(ObsEventKind::TaskRerouted),
+        }
+    }
+
+    /// The internal per-kind event counters (always on, probe or not).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
     }
 
     /// Tasks currently in flight downstream.
@@ -127,6 +159,7 @@ impl Forwarder {
 
     fn route(
         &mut self,
+        now: Micros,
         instance: InstanceId,
         tasks: Vec<TaskSpec>,
         out: &mut Vec<ForwarderAction>,
@@ -136,8 +169,12 @@ impl Forwarder {
         }
         let target = self.least_loaded();
         self.outstanding[target] += tasks.len() as u64;
-        self.stats.bundles_routed += 1;
-        self.stats.tasks_routed += tasks.len() as u64;
+        self.emit(
+            now,
+            ObsEvent::BundleRouted {
+                tasks: tasks.len() as u64,
+            },
+        );
         for t in &tasks {
             self.in_flight.insert(t.id, (instance, target));
             self.specs.insert(t.id, t.clone());
@@ -149,10 +186,10 @@ impl Forwarder {
     }
 
     /// Feed one event; actions are appended to `out`.
-    pub fn on_event(&mut self, _now: Micros, ev: ForwarderEvent, out: &mut Vec<ForwarderAction>) {
+    pub fn on_event(&mut self, now: Micros, ev: ForwarderEvent, out: &mut Vec<ForwarderAction>) {
         match ev {
             ForwarderEvent::ClientSubmit { instance, tasks } => {
-                self.route(instance, tasks, out);
+                self.route(now, instance, tasks, out);
             }
             ForwarderEvent::DispatcherResults {
                 dispatcher,
@@ -167,10 +204,15 @@ impl Forwarder {
                     debug_assert_eq!(routed_to, dispatcher);
                     self.specs.remove(&r.id);
                     self.outstanding[dispatcher] = self.outstanding[dispatcher].saturating_sub(1);
-                    self.stats.results_delivered += 1;
                     by_instance.entry(instance).or_default().push(r);
                 }
                 for (instance, results) in by_instance {
+                    self.emit(
+                        now,
+                        ObsEvent::ResultsRouted {
+                            count: results.len() as u64,
+                        },
+                    );
                     out.push(ForwarderAction::DeliverResults { instance, results });
                 }
             }
@@ -192,11 +234,16 @@ impl Forwarder {
                 for id in orphaned {
                     let (instance, _) = self.in_flight.remove(&id).expect("collected");
                     let spec = self.specs.remove(&id).expect("paired");
-                    self.stats.rerouted += 1;
                     by_instance.entry(instance).or_default().push(spec);
                 }
                 for (instance, tasks) in by_instance {
-                    self.route(instance, tasks, out);
+                    self.emit(
+                        now,
+                        ObsEvent::TaskRerouted {
+                            count: tasks.len() as u64,
+                        },
+                    );
+                    self.route(now, instance, tasks, out);
                 }
             }
         }

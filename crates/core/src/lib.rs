@@ -32,16 +32,16 @@ pub mod provisioner;
 
 pub use client::{Client, ClientEvent};
 pub use config::DispatcherConfig;
-pub use dispatcher::{Dispatcher, DispatcherAction, DispatcherEvent};
-pub use executor::{Executor, ExecutorAction, ExecutorConfig, ExecutorEvent};
-pub use forwarder::{Forwarder, ForwarderAction, ForwarderEvent};
+pub use dispatcher::{Dispatcher, DispatcherAction, DispatcherEvent, DispatcherStats};
+pub use executor::{Executor, ExecutorAction, ExecutorConfig, ExecutorEvent, ExecutorStats};
+pub use forwarder::{Forwarder, ForwarderAction, ForwarderEvent, ForwarderStats};
 pub use ids::AllocationId;
 pub use policy::{AcquisitionPolicy, ProvisionerPolicy, ReleasePolicy, ReplayPolicy};
-pub use provisioner::{Provisioner, ProvisionerAction, ProvisionerEvent};
+pub use provisioner::{Provisioner, ProvisionerAction, ProvisionerEvent, ProvisionerStats};
 
 /// Microsecond-resolution timestamp passed explicitly into every state
 /// machine. The real-time driver derives it from a monotonic clock; the
-/// simulator passes virtual time. Semantically identical to
-/// `falkon_sim::SimTime`, re-declared here so `falkon-core` stays free of
-/// simulator dependencies.
+/// simulator passes virtual time. Identical to `falkon_obs::Micros` (and
+/// semantically to `falkon_sim::SimTime`), re-declared here so downstream
+/// code can use it without importing the observability crate.
 pub type Micros = u64;

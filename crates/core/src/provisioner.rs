@@ -10,6 +10,7 @@
 use crate::ids::AllocationId;
 use crate::policy::{ProvisionerPolicy, ReleasePolicy};
 use crate::Micros;
+use falkon_obs::{Counters, NoopProbe, ObsEvent, ObsEventKind, Probe};
 use falkon_proto::message::DispatcherStatus;
 use std::collections::HashMap;
 
@@ -85,22 +86,41 @@ pub struct ProvisionerStats {
 }
 
 /// The Falkon provisioner state machine. See module docs.
-pub struct Provisioner {
+///
+/// Generic over a [`Probe`] like [`crate::Dispatcher`]; internal
+/// [`Counters`] keep [`Provisioner::stats`] working with the default
+/// [`NoopProbe`].
+pub struct Provisioner<P: Probe = NoopProbe> {
     policy: ProvisionerPolicy,
     next_allocation: u64,
     allocations: HashMap<AllocationId, AllocState>,
-    stats: ProvisionerStats,
+    counters: Counters,
+    probe: P,
 }
 
 impl Provisioner {
     /// Create a provisioner with the given policy.
     pub fn new(policy: ProvisionerPolicy) -> Self {
+        Provisioner::with_probe(policy, NoopProbe)
+    }
+}
+
+impl<P: Probe> Provisioner<P> {
+    /// Create a provisioner that reports lifecycle events to `probe`.
+    pub fn with_probe(policy: ProvisionerPolicy, probe: P) -> Self {
         Provisioner {
             policy,
             next_allocation: 1,
             allocations: HashMap::new(),
-            stats: ProvisionerStats::default(),
+            counters: Counters::new(),
+            probe,
         }
+    }
+
+    #[inline]
+    fn emit(&mut self, now: Micros, event: ObsEvent) {
+        self.counters.observe(&event);
+        self.probe.on_event(now, &event);
     }
 
     /// The configured policy.
@@ -108,9 +128,21 @@ impl Provisioner {
         self.policy
     }
 
-    /// Monotonic counters.
+    /// Monotonic counters — a derived view of the internal event
+    /// [`Counters`].
     pub fn stats(&self) -> ProvisionerStats {
-        self.stats
+        let c = &self.counters;
+        ProvisionerStats {
+            allocations_requested: c.count(ObsEventKind::AllocationRequested),
+            allocations_granted: c.count(ObsEventKind::AllocationGranted),
+            allocations_released: c.count(ObsEventKind::AllocationReleased),
+            executors_requested: c.value(ObsEventKind::AllocationRequested),
+        }
+    }
+
+    /// The internal per-kind event counters (always on, probe or not).
+    pub fn counters(&self) -> &Counters {
+        &self.counters
     }
 
     /// Executors in pending (not yet granted) allocations.
@@ -141,21 +173,27 @@ impl Provisioner {
     }
 
     /// Feed one event; actions are appended to `out`.
-    pub fn on_event(&mut self, _now: Micros, ev: ProvisionerEvent, out: &mut Vec<ProvisionerAction>) {
+    pub fn on_event(&mut self, now: Micros, ev: ProvisionerEvent, out: &mut Vec<ProvisionerAction>) {
         match ev {
             ProvisionerEvent::Status {
                 status,
                 lrm_available,
             } => {
-                self.evaluate(status, lrm_available, out);
+                self.evaluate(now, status, lrm_available, out);
             }
             ProvisionerEvent::AllocationGranted {
                 allocation,
                 executors,
             } => {
-                if let Some(st) = self.allocations.get_mut(&allocation) {
-                    *st = AllocState::Active { executors };
-                    self.stats.allocations_granted += 1;
+                if self.allocations.contains_key(&allocation) {
+                    self.allocations
+                        .insert(allocation, AllocState::Active { executors });
+                    self.emit(
+                        now,
+                        ObsEvent::AllocationGranted {
+                            executors: executors as u64,
+                        },
+                    );
                 }
             }
             ProvisionerEvent::AllocationEnded { allocation } => {
@@ -178,6 +216,7 @@ impl Provisioner {
     /// Core acquisition/release decision, run on every status poll.
     fn evaluate(
         &mut self,
+        now: Micros,
         status: DispatcherStatus,
         lrm_available: Option<u32>,
         out: &mut Vec<ProvisionerAction>,
@@ -202,8 +241,12 @@ impl Provisioner {
                 self.next_allocation += 1;
                 self.allocations
                     .insert(id, AllocState::Pending { executors: size });
-                self.stats.allocations_requested += 1;
-                self.stats.executors_requested += size as u64;
+                self.emit(
+                    now,
+                    ObsEvent::AllocationRequested {
+                        executors: size as u64,
+                    },
+                );
                 out.push(ProvisionerAction::RequestAllocation {
                     allocation: id,
                     executors: size,
@@ -235,7 +278,7 @@ impl Provisioner {
                         .min_by_key(|&(id, _)| id);
                     if let Some((id, _)) = candidate {
                         self.allocations.remove(&id);
-                        self.stats.allocations_released += 1;
+                        self.emit(now, ObsEvent::AllocationReleased);
                         out.push(ProvisionerAction::ReleaseAllocation { allocation: id });
                     }
                 }

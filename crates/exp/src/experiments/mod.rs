@@ -5,7 +5,8 @@
 //! binary prints. [`Scale::Full`] reproduces the paper's parameters
 //! (2,000,000 tasks, 54,000 executors, …); [`Scale::Quick`] shrinks the
 //! workloads for tests and smoke runs while preserving every qualitative
-//! feature.
+//! feature. The [`registry`] module wraps every runner in the uniform
+//! [`registry::Experiment`] trait that the `repro` binary dispatches over.
 
 pub mod ablation;
 pub mod applications;
@@ -13,11 +14,15 @@ pub mod bundling;
 pub mod data;
 pub mod efficiency;
 pub mod endurance;
+pub mod measured;
 pub mod provisioning;
+pub mod registry;
 pub mod scale54k;
 pub mod tables;
 pub mod threetier;
 pub mod throughput;
+
+pub use registry::{lookup, Experiment, Report, REGISTRY};
 
 /// Experiment scale.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

@@ -1,0 +1,553 @@
+//! The experiment registry: one [`Experiment`] entry per `repro` target.
+//!
+//! The `repro` binary dispatches over [`REGISTRY`] instead of an if-chain:
+//! `repro list` walks it, `repro <id>` looks an entry up, and `repro all`
+//! iterates it in order. Entries that present different views of the same
+//! expensive run (fig9/fig10 share the 54K-executor emulation; table3,
+//! table4, fig12 and fig13 share the provisioning sweep) declare a common
+//! [`Experiment::shared_run_key`], so the run happens once per `repro all`.
+
+use super::{
+    ablation, applications, bundling, data, efficiency, endurance, measured, provisioning,
+    scale54k, tables, threetier, throughput, Scale,
+};
+
+/// The structured result of one experiment run, wrapping each module's
+/// result type. Render-only entries (hardware tables, the static Figure 11
+/// workload description) carry no data.
+pub enum Report {
+    /// No computed data; the entry renders a static table.
+    Static,
+    /// Figure 3 throughput sweep.
+    Fig3(throughput::Fig3),
+    /// Table 2 cross-system comparison.
+    Table2(Vec<throughput::Table2Row>),
+    /// Figure 4 data-staging throughput.
+    Fig4(Vec<data::Fig4Point>),
+    /// Figure 5 bundling sweep.
+    Fig5(Vec<bundling::Fig5Point>),
+    /// Figure 6 efficiency vs task length.
+    Fig6(Vec<efficiency::Fig6Point>),
+    /// Figure 7 speedup vs processors.
+    Fig7(Vec<efficiency::Fig7Point>),
+    /// Figure 8 endurance run.
+    Fig8(endurance::Fig8),
+    /// Figures 9/10: the 54K-executor emulation (shared run).
+    Scale54k(scale54k::Scale54k),
+    /// Tables 3/4 and Figures 12/13: the provisioning sweep (shared run).
+    Provisioning(Vec<provisioning::ProvisioningRun>),
+    /// Figure 14 application throughput.
+    Fig14(Vec<applications::Fig14Point>),
+    /// Figure 15 application comparison.
+    Fig15(applications::Fig15),
+    /// Design-choice ablations and Section 6 extensions.
+    Ablations(Ablations),
+    /// Locally measured throughput + dispatch-overhead quantiles.
+    Measured(measured::Measured),
+}
+
+/// The four ablation studies bundled under `repro ablations`.
+pub struct Ablations {
+    /// Data-diffusion arms.
+    pub data_diffusion: Vec<ablation::DataDiffusionArm>,
+    /// Acquisition-policy arms.
+    pub acquisition: Vec<ablation::AcquisitionRun>,
+    /// Work pre-fetching arms.
+    pub prefetch: Vec<ablation::PrefetchArm>,
+    /// Three-tier architecture runs.
+    pub threetier: Vec<threetier::ThreeTierRun>,
+}
+
+/// One `repro` target.
+///
+/// `run` and `render` are separate so `repro all` can execute a shared run
+/// once and render every view of it; implementations must accept exactly
+/// the `Report` variant their own `run` produces and panic on any other
+/// (the registry never crosses them between `shared_run_key` groups).
+pub trait Experiment: Sync {
+    /// Stable command-line id (`repro <id>`).
+    fn id(&self) -> &'static str;
+    /// One-line human description for `repro list`.
+    fn title(&self) -> &'static str;
+    /// Entries returning the same key render views of one shared run.
+    fn shared_run_key(&self) -> &'static str {
+        self.id()
+    }
+    /// Execute the experiment.
+    fn run(&self, scale: Scale) -> Report;
+    /// Render the result as the text block `repro` prints.
+    fn render(&self, report: &Report) -> String;
+}
+
+macro_rules! mismatch {
+    ($id:expr) => {
+        panic!("report/experiment mismatch for `{}`", $id)
+    };
+}
+
+struct Table1;
+impl Experiment for Table1 {
+    fn id(&self) -> &'static str {
+        "table1"
+    }
+    fn title(&self) -> &'static str {
+        "Feature comparison across resource-management systems"
+    }
+    fn run(&self, _scale: Scale) -> Report {
+        Report::Static
+    }
+    fn render(&self, _report: &Report) -> String {
+        tables::render_table1()
+    }
+}
+
+struct Fig3;
+impl Experiment for Fig3 {
+    fn id(&self) -> &'static str {
+        "fig3"
+    }
+    fn title(&self) -> &'static str {
+        "Throughput as function of executor count"
+    }
+    fn run(&self, scale: Scale) -> Report {
+        Report::Fig3(throughput::fig3(scale))
+    }
+    fn render(&self, report: &Report) -> String {
+        match report {
+            Report::Fig3(f) => throughput::render_fig3(f),
+            _ => mismatch!(self.id()),
+        }
+    }
+}
+
+struct Table2;
+impl Experiment for Table2 {
+    fn id(&self) -> &'static str {
+        "table2"
+    }
+    fn title(&self) -> &'static str {
+        "Measured and cited throughput across systems"
+    }
+    fn run(&self, scale: Scale) -> Report {
+        Report::Table2(throughput::table2(scale))
+    }
+    fn render(&self, report: &Report) -> String {
+        match report {
+            Report::Table2(rows) => throughput::render_table2(rows),
+            _ => mismatch!(self.id()),
+        }
+    }
+}
+
+struct Fig4;
+impl Experiment for Fig4 {
+    fn id(&self) -> &'static str {
+        "fig4"
+    }
+    fn title(&self) -> &'static str {
+        "Throughput with data staging (GPFS vs local disk)"
+    }
+    fn run(&self, scale: Scale) -> Report {
+        Report::Fig4(data::fig4(scale))
+    }
+    fn render(&self, report: &Report) -> String {
+        match report {
+            Report::Fig4(points) => data::render_fig4(points),
+            _ => mismatch!(self.id()),
+        }
+    }
+}
+
+struct Fig5;
+impl Experiment for Fig5 {
+    fn id(&self) -> &'static str {
+        "fig5"
+    }
+    fn title(&self) -> &'static str {
+        "Task-bundling throughput sweep"
+    }
+    fn run(&self, scale: Scale) -> Report {
+        Report::Fig5(bundling::fig5(scale))
+    }
+    fn render(&self, report: &Report) -> String {
+        match report {
+            Report::Fig5(points) => bundling::render_fig5(points),
+            _ => mismatch!(self.id()),
+        }
+    }
+}
+
+struct Fig6;
+impl Experiment for Fig6 {
+    fn id(&self) -> &'static str {
+        "fig6"
+    }
+    fn title(&self) -> &'static str {
+        "Efficiency vs task length (32/64 executors)"
+    }
+    fn run(&self, scale: Scale) -> Report {
+        Report::Fig6(efficiency::fig6(scale))
+    }
+    fn render(&self, report: &Report) -> String {
+        match report {
+            Report::Fig6(points) => efficiency::render_fig6(points),
+            _ => mismatch!(self.id()),
+        }
+    }
+}
+
+struct Fig7;
+impl Experiment for Fig7 {
+    fn id(&self) -> &'static str {
+        "fig7"
+    }
+    fn title(&self) -> &'static str {
+        "Speedup vs number of processors"
+    }
+    fn run(&self, scale: Scale) -> Report {
+        Report::Fig7(efficiency::fig7(scale))
+    }
+    fn render(&self, report: &Report) -> String {
+        match report {
+            Report::Fig7(points) => efficiency::render_fig7(points),
+            _ => mismatch!(self.id()),
+        }
+    }
+}
+
+struct Fig8;
+impl Experiment for Fig8 {
+    fn id(&self) -> &'static str {
+        "fig8"
+    }
+    fn title(&self) -> &'static str {
+        "Endurance run (2M tasks, JVM GC model)"
+    }
+    fn run(&self, scale: Scale) -> Report {
+        Report::Fig8(endurance::fig8(scale))
+    }
+    fn render(&self, report: &Report) -> String {
+        match report {
+            Report::Fig8(f) => endurance::render_fig8(f),
+            _ => mismatch!(self.id()),
+        }
+    }
+}
+
+struct Fig9;
+impl Experiment for Fig9 {
+    fn id(&self) -> &'static str {
+        "fig9"
+    }
+    fn title(&self) -> &'static str {
+        "54K-executor emulation: throughput"
+    }
+    fn shared_run_key(&self) -> &'static str {
+        "scale54k"
+    }
+    fn run(&self, scale: Scale) -> Report {
+        Report::Scale54k(scale54k::run(scale))
+    }
+    fn render(&self, report: &Report) -> String {
+        match report {
+            Report::Scale54k(s) => scale54k::render(s),
+            _ => mismatch!(self.id()),
+        }
+    }
+}
+
+struct Fig10;
+impl Experiment for Fig10 {
+    fn id(&self) -> &'static str {
+        "fig10"
+    }
+    fn title(&self) -> &'static str {
+        "54K-executor emulation: efficiency (same run as fig9)"
+    }
+    fn shared_run_key(&self) -> &'static str {
+        "scale54k"
+    }
+    fn run(&self, scale: Scale) -> Report {
+        Report::Scale54k(scale54k::run(scale))
+    }
+    fn render(&self, report: &Report) -> String {
+        match report {
+            Report::Scale54k(s) => scale54k::render(s),
+            _ => mismatch!(self.id()),
+        }
+    }
+}
+
+struct Fig11;
+impl Experiment for Fig11 {
+    fn id(&self) -> &'static str {
+        "fig11"
+    }
+    fn title(&self) -> &'static str {
+        "The 18-stage synthetic provisioning workload"
+    }
+    fn run(&self, _scale: Scale) -> Report {
+        Report::Static
+    }
+    fn render(&self, _report: &Report) -> String {
+        provisioning::render_fig11()
+    }
+}
+
+struct Table3;
+impl Experiment for Table3 {
+    fn id(&self) -> &'static str {
+        "table3"
+    }
+    fn title(&self) -> &'static str {
+        "Per-task queue/exec times across provisioning policies"
+    }
+    fn shared_run_key(&self) -> &'static str {
+        "provisioning"
+    }
+    fn run(&self, scale: Scale) -> Report {
+        Report::Provisioning(provisioning::run_all(scale))
+    }
+    fn render(&self, report: &Report) -> String {
+        match report {
+            Report::Provisioning(runs) => provisioning::render_table3(runs),
+            _ => mismatch!(self.id()),
+        }
+    }
+}
+
+struct Table4;
+impl Experiment for Table4 {
+    fn id(&self) -> &'static str {
+        "table4"
+    }
+    fn title(&self) -> &'static str {
+        "Resource utilization and execution efficiency (same run as table3)"
+    }
+    fn shared_run_key(&self) -> &'static str {
+        "provisioning"
+    }
+    fn run(&self, scale: Scale) -> Report {
+        Report::Provisioning(provisioning::run_all(scale))
+    }
+    fn render(&self, report: &Report) -> String {
+        match report {
+            Report::Provisioning(runs) => provisioning::render_table4(runs),
+            _ => mismatch!(self.id()),
+        }
+    }
+}
+
+/// Figures 12/13 each plot one labelled arm of the provisioning sweep.
+struct ProvisioningTrace {
+    id: &'static str,
+    title: &'static str,
+    label: &'static str,
+}
+
+impl Experiment for ProvisioningTrace {
+    fn id(&self) -> &'static str {
+        self.id
+    }
+    fn title(&self) -> &'static str {
+        self.title
+    }
+    fn shared_run_key(&self) -> &'static str {
+        "provisioning"
+    }
+    fn run(&self, scale: Scale) -> Report {
+        Report::Provisioning(provisioning::run_all(scale))
+    }
+    fn render(&self, report: &Report) -> String {
+        match report {
+            Report::Provisioning(runs) => runs
+                .iter()
+                .find(|r| r.label == self.label)
+                .map(provisioning::render_trace)
+                .unwrap_or_default(),
+            _ => mismatch!(self.id()),
+        }
+    }
+}
+
+static FIG12: ProvisioningTrace = ProvisioningTrace {
+    id: "fig12",
+    title: "Executor lifecycle trace, Falkon-15 (same run as table3)",
+    label: "Falkon-15",
+};
+
+static FIG13: ProvisioningTrace = ProvisioningTrace {
+    id: "fig13",
+    title: "Executor lifecycle trace, Falkon-180 (same run as table3)",
+    label: "Falkon-180",
+};
+
+struct Fig14;
+impl Experiment for Fig14 {
+    fn id(&self) -> &'static str {
+        "fig14"
+    }
+    fn title(&self) -> &'static str {
+        "Application throughput (astronomy workload)"
+    }
+    fn run(&self, scale: Scale) -> Report {
+        Report::Fig14(applications::fig14(scale))
+    }
+    fn render(&self, report: &Report) -> String {
+        match report {
+            Report::Fig14(points) => applications::render_fig14(points),
+            _ => mismatch!(self.id()),
+        }
+    }
+}
+
+struct Fig15;
+impl Experiment for Fig15 {
+    fn id(&self) -> &'static str {
+        "fig15"
+    }
+    fn title(&self) -> &'static str {
+        "Application comparison (MolDyn workflow)"
+    }
+    fn run(&self, scale: Scale) -> Report {
+        Report::Fig15(applications::fig15(scale))
+    }
+    fn render(&self, report: &Report) -> String {
+        match report {
+            Report::Fig15(f) => applications::render_fig15(f),
+            _ => mismatch!(self.id()),
+        }
+    }
+}
+
+struct Table5;
+impl Experiment for Table5 {
+    fn id(&self) -> &'static str {
+        "table5"
+    }
+    fn title(&self) -> &'static str {
+        "Reproduction vs paper summary table"
+    }
+    fn run(&self, _scale: Scale) -> Report {
+        Report::Static
+    }
+    fn render(&self, _report: &Report) -> String {
+        tables::render_table5()
+    }
+}
+
+struct AblationsExp;
+impl Experiment for AblationsExp {
+    fn id(&self) -> &'static str {
+        "ablations"
+    }
+    fn title(&self) -> &'static str {
+        "Design-choice ablations and Section 6 extensions"
+    }
+    fn run(&self, scale: Scale) -> Report {
+        Report::Ablations(Ablations {
+            data_diffusion: ablation::data_diffusion(scale),
+            acquisition: ablation::acquisition_policies(scale),
+            prefetch: ablation::prefetch(scale),
+            threetier: threetier::run(scale),
+        })
+    }
+    fn render(&self, report: &Report) -> String {
+        match report {
+            Report::Ablations(a) => [
+                ablation::render_data_diffusion(&a.data_diffusion),
+                ablation::render_acquisition(&a.acquisition),
+                ablation::render_prefetch(&a.prefetch),
+                threetier::render(&a.threetier),
+            ]
+            .join("\n"),
+            _ => mismatch!(self.id()),
+        }
+    }
+}
+
+struct MeasuredExp;
+impl Experiment for MeasuredExp {
+    fn id(&self) -> &'static str {
+        "measured"
+    }
+    fn title(&self) -> &'static str {
+        "Locally measured throughput + dispatch-overhead quantiles"
+    }
+    fn run(&self, scale: Scale) -> Report {
+        Report::Measured(measured::run(scale))
+    }
+    fn render(&self, report: &Report) -> String {
+        match report {
+            Report::Measured(m) => measured::render(m),
+            _ => mismatch!(self.id()),
+        }
+    }
+}
+
+/// Every experiment, in `repro all` emission order.
+pub static REGISTRY: &[&dyn Experiment] = &[
+    &Table1,
+    &Fig3,
+    &Table2,
+    &Fig4,
+    &Fig5,
+    &Fig6,
+    &Fig7,
+    &Fig8,
+    &Fig9,
+    &Fig10,
+    &Fig11,
+    &Table3,
+    &Table4,
+    &FIG12,
+    &FIG13,
+    &Fig14,
+    &Fig15,
+    &Table5,
+    &AblationsExp,
+    &MeasuredExp,
+];
+
+/// Find an experiment by command-line id.
+pub fn lookup(id: &str) -> Option<&'static dyn Experiment> {
+    REGISTRY.iter().copied().find(|e| e.id() == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_lookup_finds_them() {
+        let mut seen = std::collections::HashSet::new();
+        for e in REGISTRY {
+            assert!(seen.insert(e.id()), "duplicate id {}", e.id());
+            assert!(std::ptr::eq(
+                lookup(e.id()).expect("lookup") as *const _ as *const (),
+                *e as *const _ as *const ()
+            ));
+            assert!(!e.title().is_empty());
+        }
+        assert!(lookup("fig99").is_none());
+    }
+
+    #[test]
+    fn shared_run_groups_match_issue() {
+        let key = |id: &str| lookup(id).unwrap().shared_run_key();
+        assert_eq!(key("fig9"), key("fig10"));
+        assert_eq!(key("table3"), key("table4"));
+        assert_eq!(key("table3"), key("fig12"));
+        assert_eq!(key("table3"), key("fig13"));
+        assert_ne!(key("fig3"), key("fig4"));
+    }
+
+    #[test]
+    fn static_entries_render_without_running() {
+        for id in ["table1", "table5", "fig11"] {
+            let e = lookup(id).unwrap();
+            let text = e.render(&Report::Static);
+            assert!(!text.is_empty(), "{id} rendered empty");
+        }
+    }
+}

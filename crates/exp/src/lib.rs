@@ -17,13 +17,16 @@
 //!   (Falkon, GRAM4+PBS, clustered GRAM4+PBS) for the Section 5
 //!   application experiments.
 //! * [`experiments`] — one runner per table/figure, returning structured
-//!   results that the `repro` binary renders.
+//!   results that the `repro` binary renders (see
+//!   [`experiments::registry`] for the dispatch table).
+//! * [`trace`] — opt-in per-task lifecycle capture behind `repro --trace`.
 
 pub mod costs;
 pub mod experiments;
 pub mod lrmdirect;
 pub mod providers;
 pub mod simfalkon;
+pub mod trace;
 
 pub use costs::CostModel;
 pub use simfalkon::{SimFalkon, SimFalkonConfig, SimOutcome};

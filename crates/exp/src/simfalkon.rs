@@ -25,6 +25,7 @@ use falkon_core::policy::ProvisionerPolicy;
 use falkon_core::provisioner::{Provisioner, ProvisionerAction, ProvisionerEvent};
 use falkon_core::DispatcherConfig;
 use falkon_fs::{ClusterFs, FsConfig};
+use falkon_obs::Recorder;
 use falkon_lrm::job::{JobId, JobSpec, JobState};
 use falkon_lrm::profile::LrmProfile;
 use falkon_lrm::scheduler::{BatchScheduler, LrmInput, LrmOutput};
@@ -187,7 +188,7 @@ pub struct SimFalkon {
     queue: EventQueue<Ev>,
     now: Micros,
     rng: SimRng,
-    dispatcher: Dispatcher,
+    dispatcher: Dispatcher<Recorder>,
     disp_free_at: Micros,
     deadline_armed: Option<Micros>,
     executors: Vec<SimExecutor>,
@@ -224,9 +225,10 @@ impl SimFalkon {
     /// executors immediately; a provisioned deployment starts empty and
     /// begins polling.
     pub fn new(config: SimFalkonConfig) -> SimFalkon {
+        crate::trace::begin_run();
         let rng = SimRng::seed_from_u64(config.seed);
         let mut sim = SimFalkon {
-            dispatcher: Dispatcher::new(config.dispatcher),
+            dispatcher: Dispatcher::with_probe(config.dispatcher, Recorder::new()),
             disp_free_at: 0,
             deadline_armed: None,
             executors: Vec::new(),
@@ -351,6 +353,17 @@ impl SimFalkon {
     /// The dispatcher's monotonic counters.
     pub fn dispatcher_stats(&self) -> falkon_core::dispatcher::DispatcherStats {
         self.dispatcher.stats()
+    }
+
+    /// The merged observability recorder: the dispatcher's event stream
+    /// (histograms + time series on virtual time) plus every executor's
+    /// counter shard. All timestamps are virtual-time [`Micros`].
+    pub fn obs(&self) -> Recorder {
+        let mut obs = self.dispatcher.probe().clone();
+        for e in &self.executors {
+            obs.merge_counters(e.machine.counters());
+        }
+        obs
     }
 
     /// Submit tasks at time `at` (must be ≥ the current time). Respects the
@@ -605,6 +618,7 @@ impl SimFalkon {
                 DispatcherAction::TaskDone { record, .. } => {
                     self.fresh_completions
                         .push((record.result.id, record.completed_us));
+                    crate::trace::record(&record);
                     self.records.push(record);
                     self.maybe_gc();
                 }

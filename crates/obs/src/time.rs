@@ -1,0 +1,250 @@
+//! Virtual time: microsecond-resolution instants and durations.
+//!
+//! The simulator never consults the wall clock. All components receive the
+//! current [`SimTime`] explicitly, which keeps the Falkon state machines
+//! sans-io (the real-time runtime passes wall-clock-derived instants through
+//! the same interfaces). The types live here, next to the metrics that
+//! consume them; `falkon-sim` re-exports both.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// An instant in simulated time, measured in microseconds since the start of
+/// the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulated time in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; useful as a sentinel for "no deadline".
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw microseconds since the simulation origin.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Construct from whole seconds since the simulation origin.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Microseconds since the simulation origin.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the simulation origin, as a float (lossy, for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// Maximum representable duration; useful as an "infinite" idle timeout.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Construct from fractional seconds. Negative values clamp to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            return SimDuration(0);
+        }
+        SimDuration((s * 1e6).round() as u64)
+    }
+
+    /// Microseconds in this duration.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds in this duration (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds as a float (lossy, for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Whether this duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiply by an integer factor, saturating on overflow.
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+
+    /// Scale by a float factor (clamped at zero).
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * k)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(SimTime::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(SimDuration::from_millis(5).as_micros(), 5_000);
+        assert_eq!(SimDuration::from_secs(1).as_millis(), 1_000);
+        assert!((SimTime::from_secs(3).as_secs_f64() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10) + SimDuration::from_secs(5);
+        assert_eq!(t, SimTime::from_secs(15));
+        assert_eq!(t - SimTime::from_secs(10), SimDuration::from_secs(5));
+        let mut d = SimDuration::from_secs(1);
+        d += SimDuration::from_millis(500);
+        assert_eq!(d.as_millis(), 1_500);
+        d -= SimDuration::from_millis(1_500);
+        assert!(d.is_zero());
+    }
+
+    #[test]
+    fn since_saturates() {
+        let early = SimTime::from_secs(1);
+        let late = SimTime::from_secs(2);
+        assert_eq!(late.since(early), SimDuration::from_secs(1));
+        assert_eq!(early.since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_and_clamps() {
+        assert_eq!(SimDuration::from_secs_f64(0.0000015).as_micros(), 2);
+        assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn mul_helpers() {
+        assert_eq!(
+            SimDuration::from_secs(2).saturating_mul(3),
+            SimDuration::from_secs(6)
+        );
+        assert_eq!(
+            SimDuration::from_secs(2).mul_f64(0.5),
+            SimDuration::from_secs(1)
+        );
+        assert_eq!(SimDuration::MAX.saturating_mul(2), SimDuration::MAX);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert!(SimTime::MAX > SimTime::from_secs(u32::MAX as u64));
+    }
+}

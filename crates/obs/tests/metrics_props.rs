@@ -1,0 +1,112 @@
+//! Property tests for the aggregation types that back every recorder:
+//! quantiles behave like quantiles, `fraction_le` agrees with the binned
+//! view, moving averages equal the naive window mean, and thinning keeps
+//! the endpoints of a series.
+
+use falkon_obs::metrics::{Histogram, MovingAverage, TimeSeries};
+use falkon_obs::time::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn quantile_is_monotone_and_bounded(
+        samples in prop::collection::vec(0u64..1_000_000, 1..200),
+        qa in 0u32..=100,
+        qb in 0u32..=100,
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let (lo, hi) = (qa.min(qb), qa.max(qb));
+        let (vlo, vhi) = (h.quantile(lo as f64 / 100.0), h.quantile(hi as f64 / 100.0));
+        prop_assert!(vlo <= vhi, "quantile not monotone: q{lo}={vlo} > q{hi}={vhi}");
+        prop_assert!(h.min() <= vlo && vhi <= h.max());
+        prop_assert_eq!(h.quantile(0.0), h.min());
+        prop_assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn fraction_le_is_consistent_with_bins(
+        samples in prop::collection::vec(0u64..10_000, 1..200),
+        threshold in 0u64..12_000,
+        nbins in 1usize..20,
+    ) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        // Definition check: fraction of recorded samples ≤ threshold.
+        let naive = samples.iter().filter(|&&s| s <= threshold).count() as f64
+            / samples.len() as f64;
+        prop_assert!((h.fraction_le(threshold) - naive).abs() < 1e-9);
+        // The binned view partitions the samples: bucket counts add up,
+        // and the cumulative fraction through each bin is sandwiched by
+        // fraction_le at the bin's (exclusive, truncated) upper edge.
+        let bins = h.bins(nbins);
+        let total: usize = bins.iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(total, samples.len());
+        let mut cumulative = 0usize;
+        for (i, &(upper, count)) in bins.iter().enumerate() {
+            cumulative += count;
+            let frac = cumulative as f64 / samples.len() as f64;
+            if i + 1 == bins.len() {
+                // The last bin absorbs the clamped tail: everything.
+                prop_assert!((frac - 1.0).abs() < 1e-9);
+            } else {
+                prop_assert!(
+                    h.fraction_le(upper.saturating_sub(1)) - 1e-9 <= frac
+                        && frac <= h.fraction_le(upper) + 1e-9,
+                    "cumulative {} through bin {} outside fraction_le sandwich [{}, {}] at edge {}",
+                    frac, i, h.fraction_le(upper.saturating_sub(1)), h.fraction_le(upper), upper
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn moving_average_equals_naive_window_mean(
+        values in prop::collection::vec(0u32..1_000_000, 1..100),
+        window in 1usize..12,
+    ) {
+        let mut ma = MovingAverage::new(window);
+        for (i, &v) in values.iter().enumerate() {
+            let got = ma.push(v as f64);
+            let start = (i + 1).saturating_sub(window);
+            let tail = &values[start..=i];
+            let naive = tail.iter().map(|&x| x as f64).sum::<f64>() / tail.len() as f64;
+            prop_assert!(
+                (got - naive).abs() < 1e-6,
+                "window mean at {i}: got {got}, naive {naive}"
+            );
+            prop_assert!((ma.value() - naive).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn thin_preserves_endpoints_and_bound(
+        values in prop::collection::vec(0u32..1_000, 1..400),
+        n in 2usize..50,
+    ) {
+        let mut ts = TimeSeries::new();
+        for (i, &v) in values.iter().enumerate() {
+            ts.push(SimTime::from_micros(i as u64), v as f64);
+        }
+        let thinned = ts.thin(n);
+        prop_assert!(!thinned.is_empty());
+        prop_assert!(thinned.len() <= n.max(ts.len().min(n)));
+        let first = ts.points().first().copied().unwrap();
+        let last = ts.points().last().copied().unwrap();
+        prop_assert_eq!(thinned.first().copied().unwrap(), first);
+        prop_assert_eq!(thinned.last().copied().unwrap(), last);
+        // Thinning never invents points and keeps time order.
+        for w in thinned.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+        for p in &thinned {
+            prop_assert!(ts.points().contains(p));
+        }
+    }
+}

@@ -13,6 +13,7 @@ use falkon_core::client::{Client, ClientAction, ClientEvent};
 use falkon_core::dispatcher::{Dispatcher, DispatcherAction, DispatcherEvent, TaskRecord};
 use falkon_core::executor::{Executor, ExecutorAction, ExecutorConfig, ExecutorEvent};
 use falkon_core::DispatcherConfig;
+use falkon_obs::{Counters, ObsEvent, Probe, Recorder};
 use falkon_proto::bundle::BundleConfig;
 use falkon_proto::message::ExecutorId;
 use falkon_proto::task::{TaskResult, TaskSpec};
@@ -65,6 +66,19 @@ pub struct RunOutcome {
     pub records: Vec<TaskRecord>,
     /// Dispatcher counters.
     pub stats: falkon_core::dispatcher::DispatcherStats,
+    /// Merged observability stream: the dispatcher thread's [`Recorder`]
+    /// shard plus every executor thread's [`Counters`] and the client's wire
+    /// accounting, combined at join.
+    pub obs: Recorder,
+}
+
+/// Wire size of a packet, when it was actually encoded ([`WireMode::Plain`]
+/// passes messages by value and has no wire size).
+fn packet_bytes(pkt: &Packet) -> Option<u64> {
+    match pkt {
+        Packet::Bytes(b) => Some(b.len() as u64),
+        Packet::Value(_) => None,
+    }
 }
 
 enum DispIn {
@@ -107,7 +121,7 @@ pub fn run_workload(config: &InprocConfig, tasks: Vec<TaskSpec>) -> RunOutcome {
         let disp_tx = disp_tx.clone();
         let cfg = config.clone();
         handles.push(thread::spawn(move || {
-            executor_thread(id, cfg, clock, exec_side, rx, disp_tx);
+            executor_thread(id, cfg, clock, exec_side, rx, disp_tx)
         }));
     }
 
@@ -128,15 +142,19 @@ pub fn run_workload(config: &InprocConfig, tasks: Vec<TaskSpec>) -> RunOutcome {
     // The calling thread is the client.
     let mut client = Client::new(config.bundle);
     let mut client_ep = client_ep;
+    let mut client_obs = Counters::new();
     let mut actions = Vec::new();
     client.on_event(clock.now_us(), ClientEvent::Start, &mut actions);
     let t_submit = clock.now_us();
     client.enqueue(t_submit, tasks, &mut actions);
-    send_client_actions(&mut actions, &mut client_ep, &disp_tx);
+    send_client_actions(&mut actions, &mut client_ep, &disp_tx, &mut client_obs);
 
     let mut elapsed_us = 0;
     while client.outstanding() > 0 || client.completions().is_empty() && n_tasks > 0 {
         let packet = client_rx.recv().expect("dispatcher alive");
+        if let Some(bytes) = packet_bytes(&packet) {
+            client_obs.observe(&ObsEvent::BundleDecoded { bytes });
+        }
         let msg = client_ep.unpack(packet).expect("valid packet");
         let now = clock.now_us();
         let ev = falkon_core::mapping::message_to_client_event(msg)
@@ -145,19 +163,22 @@ pub fn run_workload(config: &InprocConfig, tasks: Vec<TaskSpec>) -> RunOutcome {
         let complete = actions
             .iter()
             .any(|a| matches!(a, ClientAction::WorkloadComplete));
-        send_client_actions(&mut actions, &mut client_ep, &disp_tx);
+        send_client_actions(&mut actions, &mut client_ep, &disp_tx, &mut client_obs);
         if complete {
             elapsed_us = clock.now_us() - t_submit;
             break;
         }
     }
 
-    // Tear down: stop dispatcher; executor channels drop with it.
+    // Tear down: stop dispatcher; executor channels drop with it. Each
+    // thread hands back its observability shard, merged here.
     disp_tx.send(DispIn::Stop).ok();
-    let (records, stats) = disp_handle.join().expect("dispatcher thread");
+    let (records, stats, mut obs) = disp_handle.join().expect("dispatcher thread");
     for h in handles {
-        h.join().expect("executor thread");
+        let shard = h.join().expect("executor thread");
+        obs.merge_counters(&shard);
     }
+    obs.merge_counters(&client_obs);
 
     RunOutcome {
         tasks: client.completions().len() as u64,
@@ -165,6 +186,7 @@ pub fn run_workload(config: &InprocConfig, tasks: Vec<TaskSpec>) -> RunOutcome {
         throughput: client.completions().len() as f64 / (elapsed_us.max(1) as f64 / 1e6),
         records,
         stats,
+        obs,
     }
 }
 
@@ -172,10 +194,14 @@ fn send_client_actions(
     actions: &mut Vec<ClientAction>,
     ep: &mut Endpoint,
     disp_tx: &Sender<DispIn>,
+    obs: &mut Counters,
 ) {
     for act in actions.drain(..) {
         if let ClientAction::Send(msg) = act {
             let pkt = ep.pack(msg).expect("packable");
+            if let Some(bytes) = packet_bytes(&pkt) {
+                obs.observe(&ObsEvent::BundleEncoded { bytes });
+            }
             disp_tx.send(DispIn::FromClient(pkt)).expect("dispatcher alive");
         }
     }
@@ -190,8 +216,13 @@ fn dispatcher_thread(
     client_tx: Sender<Packet>,
     mut exec_eps: Vec<Endpoint>,
     mut client_ep: Endpoint,
-) -> (Vec<TaskRecord>, falkon_core::dispatcher::DispatcherStats) {
-    let mut d = Dispatcher::new(config);
+) -> (
+    Vec<TaskRecord>,
+    falkon_core::dispatcher::DispatcherStats,
+    Recorder,
+) {
+    let mut d = Dispatcher::with_probe(config, Recorder::new());
+    let mut wire = Recorder::new();
     let mut records = Vec::new();
     let mut out = Vec::new();
     loop {
@@ -206,11 +237,17 @@ fn dispatcher_thread(
         let ev = match recv {
             Ok(DispIn::Stop) | Err(RecvTimeoutError::Disconnected) => break,
             Ok(DispIn::FromExecutor(id, pkt)) => {
+                if let Some(bytes) = packet_bytes(&pkt) {
+                    wire.on_event(now, &ObsEvent::BundleDecoded { bytes });
+                }
                 let msg = exec_eps[id.0 as usize].unpack(pkt).expect("valid packet");
                 falkon_core::mapping::executor_message_to_dispatcher_event(msg)
                     .expect("executor sent a non-executor message")
             }
             Ok(DispIn::FromClient(pkt)) => {
+                if let Some(bytes) = packet_bytes(&pkt) {
+                    wire.on_event(now, &ObsEvent::BundleDecoded { bytes });
+                }
                 let msg = client_ep.unpack(pkt).expect("valid packet");
                 falkon_core::mapping::client_message_to_dispatcher_event(msg)
                     .expect("client sent a non-client message")
@@ -222,6 +259,9 @@ fn dispatcher_thread(
             match act {
                 DispatcherAction::ToExecutor { executor, msg } => {
                     let pkt = exec_eps[executor.0 as usize].pack(msg).expect("packable");
+                    if let Some(bytes) = packet_bytes(&pkt) {
+                        wire.on_event(now, &ObsEvent::BundleEncoded { bytes });
+                    }
                     // A send failure means the executor already exited
                     // (e.g. idle-released); the dispatcher will time the
                     // task out and replay.
@@ -229,6 +269,9 @@ fn dispatcher_thread(
                 }
                 DispatcherAction::ToClient { msg, .. } => {
                     let pkt = client_ep.pack(msg).expect("packable");
+                    if let Some(bytes) = packet_bytes(&pkt) {
+                        wire.on_event(now, &ObsEvent::BundleEncoded { bytes });
+                    }
                     let _ = client_tx.send(pkt);
                 }
                 DispatcherAction::TaskDone { record, .. } => records.push(record),
@@ -236,7 +279,10 @@ fn dispatcher_thread(
             }
         }
     }
-    (records, d.stats())
+    let stats = d.stats();
+    let mut obs = d.probe().clone();
+    obs.merge(&wire);
+    (records, stats, obs)
 }
 
 fn executor_thread(
@@ -246,8 +292,9 @@ fn executor_thread(
     mut ep: Endpoint,
     rx: Receiver<Packet>,
     disp_tx: Sender<DispIn>,
-) {
+) -> Counters {
     let mut machine = Executor::new(id, format!("inproc-{}", id.0), config.executor);
+    let mut wire = Counters::new();
     let mut actions = Vec::new();
     machine.on_event(clock.now_us(), ExecutorEvent::Start, &mut actions);
     let mut pending_events: Vec<ExecutorEvent> = Vec::new();
@@ -258,6 +305,9 @@ fn executor_thread(
                 match act {
                     ExecutorAction::Send(msg) => {
                         let pkt = ep.pack(msg).expect("packable");
+                        if let Some(bytes) = packet_bytes(&pkt) {
+                            wire.observe(&ObsEvent::BundleEncoded { bytes });
+                        }
                         if disp_tx.send(DispIn::FromExecutor(id, pkt)).is_err() {
                             break 'main;
                         }
@@ -294,6 +344,9 @@ fn executor_thread(
         match msg {
             None => machine.on_event(now, ExecutorEvent::IdleTimeout, &mut actions),
             Some(pkt) => {
+                if let Some(bytes) = packet_bytes(&pkt) {
+                    wire.observe(&ObsEvent::BundleDecoded { bytes });
+                }
                 let msg = ep.unpack(pkt).expect("valid packet");
                 let ev = falkon_core::mapping::message_to_executor_event(msg)
                     .expect("dispatcher sent a non-executor message");
@@ -301,6 +354,9 @@ fn executor_thread(
             }
         }
     }
+    let mut shard = machine.counters().clone();
+    shard.merge(&wire);
+    shard
 }
 
 /// Convenience: run `n` sleep tasks of `task_us` microseconds each.

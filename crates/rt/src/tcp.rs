@@ -14,6 +14,7 @@ use falkon_core::client::{Client, ClientAction, ClientEvent};
 use falkon_core::dispatcher::{Dispatcher, DispatcherAction, DispatcherEvent, TaskRecord};
 use falkon_core::executor::{Executor, ExecutorAction, ExecutorConfig, ExecutorEvent};
 use falkon_core::DispatcherConfig;
+use falkon_obs::{Counters, ObsEvent, Recorder};
 use falkon_proto::bundle::BundleConfig;
 use falkon_proto::codec::{Codec, EfficientCodec};
 use falkon_proto::frame::{write_frame, FrameDecoder};
@@ -41,6 +42,7 @@ pub struct Conn {
     secure: Option<SecureChannel>,
     codec: EfficientCodec,
     readbuf: [u8; 64 * 1024],
+    wire: Counters,
 }
 
 impl Conn {
@@ -57,6 +59,7 @@ impl Conn {
             secure: None,
             codec: EfficientCodec,
             readbuf: [0; 64 * 1024],
+            wire: Counters::new(),
         };
         if let Some(psk) = security {
             // Bound the handshake: a peer that connects and never speaks
@@ -107,12 +110,18 @@ impl Conn {
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?,
             None => bytes,
         };
+        self.wire.observe(&ObsEvent::BundleEncoded {
+            bytes: payload.len() as u64,
+        });
         self.write_raw(&payload)
     }
 
     /// Blocking receive of one message.
     pub fn recv(&mut self) -> std::io::Result<Message> {
         let frame = self.read_raw_frame()?;
+        self.wire.observe(&ObsEvent::BundleDecoded {
+            bytes: frame.len() as u64,
+        });
         let plain = match self.secure.as_mut() {
             Some(chan) => chan
                 .open(&frame)
@@ -128,6 +137,12 @@ impl Conn {
     pub fn set_read_timeout(&mut self, d: Option<Duration>) {
         self.stream.set_read_timeout(d).ok();
     }
+
+    /// Wire-level observability shard: one `BundleEncoded`/`BundleDecoded`
+    /// per frame sent/received on this connection, with sealed byte sizes.
+    pub fn wire_counters(&self) -> &Counters {
+        &self.wire
+    }
 }
 
 /// Handle to a running TCP dispatcher.
@@ -136,7 +151,13 @@ pub struct DispatcherServer {
     pub addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_handle: Option<JoinHandle<()>>,
-    core_handle: Option<JoinHandle<(Vec<TaskRecord>, falkon_core::dispatcher::DispatcherStats)>>,
+    core_handle: Option<
+        JoinHandle<(
+            Vec<TaskRecord>,
+            falkon_core::dispatcher::DispatcherStats,
+            Recorder,
+        )>,
+    >,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -144,7 +165,7 @@ struct ConnId(u64);
 
 enum CoreIn {
     Msg(ConnId, Message),
-    ConnClosed(ConnId),
+    ConnClosed(ConnId, Box<Counters>),
     NewConn(ConnId, Sender<Message>),
     Stop,
 }
@@ -194,8 +215,16 @@ impl DispatcherServer {
         Ok(server)
     }
 
-    /// Stop the server, returning dispatcher records and stats.
-    pub fn shutdown(mut self) -> (Vec<TaskRecord>, falkon_core::dispatcher::DispatcherStats) {
+    /// Stop the server, returning dispatcher records, stats, and the
+    /// merged observability recorder (lifecycle events plus wire shards
+    /// from every connection that closed before shutdown).
+    pub fn shutdown(
+        mut self,
+    ) -> (
+        Vec<TaskRecord>,
+        falkon_core::dispatcher::DispatcherStats,
+        Recorder,
+    ) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(tx) = STOP_SENDERS.lock().unwrap().remove(&self.addr) {
             tx.send(CoreIn::Stop).ok();
@@ -227,7 +256,9 @@ fn serve_conn(
     stop: Arc<AtomicBool>,
 ) {
     let Ok(mut conn) = Conn::establish(stream, security) else {
-        core_tx.send(CoreIn::ConnClosed(id)).ok();
+        core_tx
+            .send(CoreIn::ConnClosed(id, Box::new(Counters::new())))
+            .ok();
         return;
     };
     let (out_tx, out_rx) = unbounded::<Message>();
@@ -264,16 +295,23 @@ fn serve_conn(
             Err(_) => break,
         }
     }
-    core_tx.send(CoreIn::ConnClosed(id)).ok();
+    core_tx
+        .send(CoreIn::ConnClosed(id, Box::new(conn.wire_counters().clone())))
+        .ok();
 }
 
 /// The dispatcher state machine driven by connection events.
 fn dispatcher_core(
     config: DispatcherConfig,
     rx: Receiver<CoreIn>,
-) -> (Vec<TaskRecord>, falkon_core::dispatcher::DispatcherStats) {
+) -> (
+    Vec<TaskRecord>,
+    falkon_core::dispatcher::DispatcherStats,
+    Recorder,
+) {
     let clock = Clock::start();
-    let mut d = Dispatcher::new(config);
+    let mut d = Dispatcher::with_probe(config, Recorder::new());
+    let mut wire = Counters::new();
     let mut records = Vec::new();
     let mut conns: HashMap<ConnId, Sender<Message>> = HashMap::new();
     let mut exec_conn: HashMap<ExecutorId, ConnId> = HashMap::new();
@@ -294,7 +332,8 @@ fn dispatcher_core(
                 conns.insert(id, tx);
                 continue;
             }
-            Ok(CoreIn::ConnClosed(id)) => {
+            Ok(CoreIn::ConnClosed(id, shard)) => {
+                wire.merge(&shard);
                 conns.remove(&id);
                 // Any executors on this connection are lost.
                 for exec in conn_execs.remove(&id).unwrap_or_default() {
@@ -322,12 +361,15 @@ fn dispatcher_core(
         d.on_event(now, ev, &mut out);
         route(&mut d, &mut out, &mut records, &conns, &mut exec_conn, &mut inst_conn, from);
     }
-    (records, d.stats())
+    let stats = d.stats();
+    let mut obs = d.probe().clone();
+    obs.merge_counters(&wire);
+    (records, stats, obs)
 }
 
 /// Deliver dispatcher actions to the right connections.
-fn route(
-    _d: &mut Dispatcher,
+fn route<P: falkon_obs::Probe>(
+    _d: &mut Dispatcher<P>,
     out: &mut Vec<DispatcherAction>,
     records: &mut Vec<TaskRecord>,
     conns: &HashMap<ConnId, Sender<Message>>,
@@ -492,12 +534,16 @@ mod tests {
         let tasks: Vec<TaskSpec> = (0..n_tasks).map(|i| TaskSpec::sleep(i, 0)).collect();
         let (done, elapsed) =
             run_client(addr, tasks, BundleConfig::of(50), security).expect("client run");
-        let (records, stats) = server.shutdown();
+        let (records, stats, obs) = server.shutdown();
         for e in execs {
             e.join().expect("executor thread").ok();
         }
         assert_eq!(records.len() as u64, n_tasks);
         assert_eq!(stats.completed, n_tasks);
+        assert_eq!(
+            obs.counters.count(falkon_obs::ObsEventKind::TaskCompleted),
+            n_tasks
+        );
         (done, elapsed)
     }
 

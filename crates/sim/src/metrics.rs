@@ -1,342 +1,9 @@
-//! Measurement primitives used to regenerate the paper's figures:
-//! histograms (Figure 10 per-task overhead), time series with moving
-//! averages (Figure 8 throughput), and scalar summaries (Tables 2–4).
+//! Measurement primitives, re-exported from [`falkon_obs`].
+//!
+//! The histogram/time-series/summary types started life here but are shared
+//! with the real-time runtime's observability layer, so they moved to
+//! `falkon-obs` (which has no simulation dependencies). This module remains
+//! as the compatibility path — `falkon_sim::metrics::Histogram` and
+//! `falkon_obs::Histogram` are the same type.
 
-use crate::time::{SimDuration, SimTime};
-
-/// An exact-sample histogram with percentile queries.
-///
-/// Samples are stored raw (u64, caller-chosen unit, typically microseconds)
-/// and sorted lazily on query. At the scales used here (≤ a few million
-/// samples) this is simpler and more accurate than bucketing.
-#[derive(Clone, Debug, Default)]
-pub struct Histogram {
-    samples: Vec<u64>,
-    sorted: bool,
-}
-
-impl Histogram {
-    /// Create an empty histogram.
-    pub fn new() -> Self {
-        Histogram::default()
-    }
-
-    /// Record one sample.
-    pub fn record(&mut self, value: u64) {
-        self.samples.push(value);
-        self.sorted = false;
-    }
-
-    /// Record a duration in microseconds.
-    pub fn record_duration(&mut self, d: SimDuration) {
-        self.record(d.as_micros());
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> usize {
-        self.samples.len()
-    }
-
-    /// Arithmetic mean, or 0.0 when empty.
-    pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        self.samples.iter().map(|&v| v as f64).sum::<f64>() / self.samples.len() as f64
-    }
-
-    /// Smallest sample, or 0 when empty.
-    pub fn min(&self) -> u64 {
-        self.samples.iter().copied().min().unwrap_or(0)
-    }
-
-    /// Largest sample, or 0 when empty.
-    pub fn max(&self) -> u64 {
-        self.samples.iter().copied().max().unwrap_or(0)
-    }
-
-    fn ensure_sorted(&mut self) {
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
-        }
-    }
-
-    /// The `q`-th quantile (0.0 ..= 1.0) by nearest-rank; 0 when empty.
-    pub fn quantile(&mut self, q: f64) -> u64 {
-        if self.samples.is_empty() {
-            return 0;
-        }
-        self.ensure_sorted();
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
-        self.samples[rank]
-    }
-
-    /// Fraction of samples at or below `threshold`.
-    pub fn fraction_le(&self, threshold: u64) -> f64 {
-        if self.samples.is_empty() {
-            return 0.0;
-        }
-        let n = self.samples.iter().filter(|&&v| v <= threshold).count();
-        n as f64 / self.samples.len() as f64
-    }
-
-    /// Bucket the samples into `n` equal-width bins over `[min, max]`,
-    /// returning `(bucket_upper_bound, count)` pairs. Used to print the
-    /// Figure 10 overhead distribution.
-    pub fn bins(&self, n: usize) -> Vec<(u64, usize)> {
-        if self.samples.is_empty() || n == 0 {
-            return Vec::new();
-        }
-        let lo = self.min();
-        let hi = self.max().max(lo + 1);
-        let width = ((hi - lo) as f64 / n as f64).max(1.0);
-        let mut counts = vec![0usize; n];
-        for &s in &self.samples {
-            let idx = (((s - lo) as f64 / width) as usize).min(n - 1);
-            counts[idx] += 1;
-        }
-        counts
-            .into_iter()
-            .enumerate()
-            .map(|(i, c)| (lo + ((i + 1) as f64 * width) as u64, c))
-            .collect()
-    }
-}
-
-/// A `(time, value)` series, e.g. queue length or instantaneous throughput.
-#[derive(Clone, Debug, Default)]
-pub struct TimeSeries {
-    points: Vec<(SimTime, f64)>,
-}
-
-impl TimeSeries {
-    /// Create an empty series.
-    pub fn new() -> Self {
-        TimeSeries::default()
-    }
-
-    /// Append a point. Times should be non-decreasing (asserted in debug).
-    pub fn push(&mut self, t: SimTime, v: f64) {
-        debug_assert!(self.points.last().is_none_or(|&(lt, _)| lt <= t));
-        self.points.push((t, v));
-    }
-
-    /// All recorded points.
-    pub fn points(&self) -> &[(SimTime, f64)] {
-        &self.points
-    }
-
-    /// Number of points.
-    pub fn len(&self) -> usize {
-        self.points.len()
-    }
-
-    /// Whether the series is empty.
-    pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
-    }
-
-    /// Down-sample to at most `n` points by keeping every k-th point
-    /// (used to keep printed figures readable).
-    pub fn thin(&self, n: usize) -> Vec<(SimTime, f64)> {
-        if self.points.len() <= n || n == 0 {
-            return self.points.clone();
-        }
-        let step = self.points.len().div_ceil(n);
-        self.points.iter().step_by(step).copied().collect()
-    }
-
-    /// Centred moving average over a window of `w` points (as the paper's
-    /// Figure 8 uses a 60-sample moving average over 1 Hz samples).
-    pub fn moving_average(&self, w: usize) -> Vec<(SimTime, f64)> {
-        if self.points.is_empty() || w == 0 {
-            return Vec::new();
-        }
-        let mut out = Vec::with_capacity(self.points.len());
-        let mut sum = 0.0;
-        let mut window = std::collections::VecDeque::with_capacity(w);
-        for &(t, v) in &self.points {
-            window.push_back(v);
-            sum += v;
-            if window.len() > w {
-                sum -= window.pop_front().unwrap();
-            }
-            out.push((t, sum / window.len() as f64));
-        }
-        out
-    }
-
-    /// Maximum value in the series (0.0 when empty).
-    pub fn max_value(&self) -> f64 {
-        self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
-    }
-}
-
-/// Incremental moving average over the last `window` samples.
-#[derive(Clone, Debug)]
-pub struct MovingAverage {
-    window: usize,
-    buf: std::collections::VecDeque<f64>,
-    sum: f64,
-}
-
-impl MovingAverage {
-    /// Create with a window of `window` samples (must be > 0).
-    pub fn new(window: usize) -> Self {
-        assert!(window > 0, "window must be positive");
-        MovingAverage {
-            window,
-            buf: std::collections::VecDeque::with_capacity(window),
-            sum: 0.0,
-        }
-    }
-
-    /// Push a sample and return the current average.
-    pub fn push(&mut self, v: f64) -> f64 {
-        self.buf.push_back(v);
-        self.sum += v;
-        if self.buf.len() > self.window {
-            self.sum -= self.buf.pop_front().unwrap();
-        }
-        self.value()
-    }
-
-    /// Current average (0.0 before any sample).
-    pub fn value(&self) -> f64 {
-        if self.buf.is_empty() {
-            0.0
-        } else {
-            self.sum / self.buf.len() as f64
-        }
-    }
-}
-
-/// Scalar run summary shared by the experiment harnesses.
-#[derive(Clone, Debug, Default, PartialEq)]
-pub struct Summary {
-    /// Tasks completed.
-    pub tasks: u64,
-    /// Wall (virtual) time from first submission to last completion.
-    pub makespan: SimDuration,
-    /// Mean per-task queue time.
-    pub avg_queue_time: SimDuration,
-    /// Mean per-task execution time (as observed, including dispatch cost).
-    pub avg_exec_time: SimDuration,
-    /// Aggregate throughput over the run, tasks per second.
-    pub throughput: f64,
-}
-
-impl Summary {
-    /// `exec / (exec + queue)` — the "execution time %" of Table 3.
-    pub fn exec_time_fraction(&self) -> f64 {
-        let q = self.avg_queue_time.as_secs_f64();
-        let e = self.avg_exec_time.as_secs_f64();
-        if q + e == 0.0 {
-            0.0
-        } else {
-            e / (q + e)
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn histogram_basic_stats() {
-        let mut h = Histogram::new();
-        for v in [10u64, 20, 30, 40, 50] {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 5);
-        assert_eq!(h.min(), 10);
-        assert_eq!(h.max(), 50);
-        assert!((h.mean() - 30.0).abs() < 1e-12);
-        assert_eq!(h.quantile(0.0), 10);
-        assert_eq!(h.quantile(0.5), 30);
-        assert_eq!(h.quantile(1.0), 50);
-    }
-
-    #[test]
-    fn histogram_fraction_le() {
-        let mut h = Histogram::new();
-        for v in 1..=100u64 {
-            h.record(v);
-        }
-        assert!((h.fraction_le(50) - 0.5).abs() < 1e-12);
-        assert_eq!(h.fraction_le(0), 0.0);
-        assert_eq!(h.fraction_le(1000), 1.0);
-    }
-
-    #[test]
-    fn histogram_bins_cover_all_samples() {
-        let mut h = Histogram::new();
-        for v in 0..1000u64 {
-            h.record(v);
-        }
-        let bins = h.bins(10);
-        assert_eq!(bins.len(), 10);
-        assert_eq!(bins.iter().map(|&(_, c)| c).sum::<usize>(), 1000);
-    }
-
-    #[test]
-    fn empty_histogram_is_safe() {
-        let mut h = Histogram::new();
-        assert_eq!(h.quantile(0.5), 0);
-        assert_eq!(h.mean(), 0.0);
-        assert!(h.bins(4).is_empty());
-    }
-
-    #[test]
-    fn timeseries_moving_average() {
-        let mut ts = TimeSeries::new();
-        for i in 0..10 {
-            ts.push(SimTime::from_secs(i), if i % 2 == 0 { 0.0 } else { 10.0 });
-        }
-        let ma = ts.moving_average(2);
-        assert_eq!(ma.len(), 10);
-        // After the first sample every 2-window average is 5.0.
-        for &(_, v) in &ma[1..] {
-            assert!((v - 5.0).abs() < 1e-12);
-        }
-    }
-
-    #[test]
-    fn timeseries_thin_bounds_output() {
-        let mut ts = TimeSeries::new();
-        for i in 0..1000 {
-            ts.push(SimTime::from_secs(i), i as f64);
-        }
-        let thinned = ts.thin(100);
-        assert!(thinned.len() <= 100);
-        assert_eq!(thinned[0].1, 0.0);
-    }
-
-    #[test]
-    fn moving_average_incremental() {
-        let mut ma = MovingAverage::new(3);
-        assert_eq!(ma.value(), 0.0);
-        ma.push(3.0);
-        ma.push(6.0);
-        assert!((ma.value() - 4.5).abs() < 1e-12);
-        ma.push(9.0);
-        ma.push(12.0); // 3.0 falls out of the window
-        assert!((ma.value() - 9.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn summary_exec_fraction() {
-        let s = Summary {
-            tasks: 10,
-            makespan: SimDuration::from_secs(100),
-            avg_queue_time: SimDuration::from_secs(30),
-            avg_exec_time: SimDuration::from_secs(10),
-            throughput: 0.1,
-        };
-        assert!((s.exec_time_fraction() - 0.25).abs() < 1e-12);
-        assert_eq!(Summary::default().exec_time_fraction(), 0.0);
-    }
-}
+pub use falkon_obs::metrics::{Histogram, MovingAverage, Summary, TimeSeries};

@@ -58,7 +58,7 @@ fn main() -> std::io::Result<()> {
     }
     println!("executors self-released after idling; tasks run per pool: {total_run}");
 
-    let (records, stats) = server.shutdown();
+    let (records, stats, _obs) = server.shutdown();
     println!(
         "dispatcher: {} records, {} piggy-backed, {} retries, {} duplicates",
         records.len(),

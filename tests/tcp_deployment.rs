@@ -34,7 +34,7 @@ fn tcp_plain_end_to_end() {
         .collect();
     let (done, _) = run_client(addr, tasks(300), BundleConfig::of(50), None).expect("client");
     assert_eq!(done, 300);
-    let (records, stats) = server.shutdown();
+    let (records, stats, _obs) = server.shutdown();
     assert_eq!(records.len(), 300);
     assert_eq!(stats.completed, 300);
     for e in execs {

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace only ever *derives* `Serialize`/`Deserialize` (for the
+//! benefit of downstream users); no in-tree code path serializes through
+//! serde. The stand-in defines the two trait names so imports resolve, and
+//! re-exports the no-op derive macros so the attributes are accepted. If a
+//! future change starts using serde bounds at runtime, replace this vendored
+//! stub with the real crate.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace annotates wire/config types with
+//! `#[derive(Serialize, Deserialize)]` for downstream consumers, but nothing
+//! in-tree calls serde at runtime (the wire codec is hand-rolled in
+//! `falkon-proto::wire`). These derives therefore only need to be *accepted*;
+//! they expand to nothing, which keeps the build free of network-fetched
+//! dependencies (syn/quote/proc-macro2).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
