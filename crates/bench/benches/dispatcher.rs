@@ -103,9 +103,11 @@ fn bench_scale_executors(c: &mut Criterion) {
     let mut g = c.benchmark_group("dispatcher_executor_scale");
     g.sample_size(10);
     for &execs in &[100u64, 1_000, 10_000] {
-        g.bench_with_input(BenchmarkId::new("register_and_run", execs), &execs, |b, &e| {
-            b.iter(|| black_box(pump_tasks(DispatcherConfig::default(), e, e)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("register_and_run", execs),
+            &execs,
+            |b, &e| b.iter(|| black_box(pump_tasks(DispatcherConfig::default(), e, e))),
+        );
     }
     g.finish();
 }

@@ -62,7 +62,7 @@ fn main() {
     let what = args
         .iter()
         .enumerate()
-        .filter(|&(i, a)| !a.starts_with("--") && !(i > 0 && args[i - 1] == "--trace"))
+        .filter(|&(i, a)| !a.starts_with("--") && (i == 0 || args[i - 1] != "--trace"))
         .map(|(_, a)| a.as_str())
         .next()
         .unwrap_or("all");

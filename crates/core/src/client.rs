@@ -179,7 +179,10 @@ mod tests {
     fn start_requests_instance() {
         let mut c = Client::new(BundleConfig::default());
         let acts = step(&mut c, 0, ClientEvent::Start);
-        assert!(matches!(&acts[0], ClientAction::Send(Message::CreateInstance)));
+        assert!(matches!(
+            &acts[0],
+            ClientAction::Send(Message::CreateInstance)
+        ));
     }
 
     #[test]
@@ -265,7 +268,11 @@ mod tests {
             },
         );
         let mut out = Vec::new();
-        c.enqueue(0, vec![TaskSpec::sleep(1, 0), TaskSpec::sleep(2, 0)], &mut out);
+        c.enqueue(
+            0,
+            vec![TaskSpec::sleep(1, 0), TaskSpec::sleep(2, 0)],
+            &mut out,
+        );
         let acts = step(
             &mut c,
             1,

@@ -512,7 +512,8 @@ impl<P: Probe> Dispatcher<P> {
                     },
                 );
             }
-            DispatcherEvent::Deregister { executor } | DispatcherEvent::ExecutorLost { executor } => {
+            DispatcherEvent::Deregister { executor }
+            | DispatcherEvent::ExecutorLost { executor } => {
                 self.remove_executor(now, executor, out);
                 self.pump(now, out);
             }
@@ -702,11 +703,16 @@ impl<P: Probe> Dispatcher<P> {
         // Data-aware dispatch: this executor now has the task's data staged.
         if self.config.data_aware {
             if let Some(data) = r.spec.data {
-                self.object_cache.entry(data.object).or_default().insert(executor);
+                self.object_cache
+                    .entry(data.object)
+                    .or_default()
+                    .insert(executor);
             }
         }
         let failed = !result.is_success();
-        if failed && self.config.replay.retry_on_failure && r.attempts <= self.config.replay.max_retries
+        if failed
+            && self.config.replay.retry_on_failure
+            && r.attempts <= self.config.replay.max_retries
         {
             self.emit(now, ObsEvent::TaskRetried);
             self.queue.push_back(QueuedTask {
@@ -810,11 +816,7 @@ impl<P: Probe> Dispatcher<P> {
 
     /// Expire overdue tasks (lost responses) and replay them.
     fn check_deadlines(&mut self, now: Micros, out: &mut Vec<DispatcherAction>) {
-        loop {
-            let Some(std::cmp::Reverse((dl, task, attempts))) = self.deadlines.peek().copied()
-            else {
-                break;
-            };
+        while let Some(std::cmp::Reverse((dl, task, attempts))) = self.deadlines.peek().copied() {
             if dl > now {
                 break;
             }
@@ -1331,7 +1333,11 @@ mod tests {
         assert_eq!(d.stats().failed, 1);
         assert!(d.is_drained());
         // The client still receives a (synthesized) result.
-        let acts = step(&mut d, now + 1, DispatcherEvent::GetResults { instance: inst });
+        let acts = step(
+            &mut d,
+            now + 1,
+            DispatcherEvent::GetResults { instance: inst },
+        );
         let results = acts
             .iter()
             .find_map(|a| match a {
@@ -1481,7 +1487,11 @@ mod tests {
             },
         );
         assert_eq!(d.status().queued_tasks, 10);
-        step(&mut d, 2, DispatcherEvent::DestroyInstance { instance: inst });
+        step(
+            &mut d,
+            2,
+            DispatcherEvent::DestroyInstance { instance: inst },
+        );
         assert_eq!(d.status().queued_tasks, 0);
     }
 

@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Executor configuration.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize, Default)]
 pub struct ExecutorConfig {
     /// Self-release after this much idle time (distributed release policy);
     /// `None` means never self-release.
@@ -28,15 +28,6 @@ pub struct ExecutorConfig {
     /// (listed as future work in the paper, implemented here as an
     /// extension; off by default to match the paper's experiments).
     pub prefetch: bool,
-}
-
-impl Default for ExecutorConfig {
-    fn default() -> Self {
-        ExecutorConfig {
-            idle_release_us: None,
-            prefetch: false,
-        }
-    }
 }
 
 /// Inputs to the executor state machine.
@@ -423,7 +414,10 @@ mod tests {
         let acts = step(&mut e, 10, ExecutorEvent::Notified { key: NotifyKey(5) });
         assert!(matches!(
             &acts[0],
-            ExecutorAction::Send(Message::GetWork { key: NotifyKey(5), .. })
+            ExecutorAction::Send(Message::GetWork {
+                key: NotifyKey(5),
+                ..
+            })
         ));
         let acts = step(
             &mut e,
@@ -447,7 +441,13 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // Ack without piggyback: idle again.
-        step(&mut e, 40, ExecutorEvent::ResultAcked { piggybacked: vec![] });
+        step(
+            &mut e,
+            40,
+            ExecutorEvent::ResultAcked {
+                piggybacked: vec![],
+            },
+        );
         assert!(e.is_idle());
         assert_eq!(e.tasks_run, 1);
     }
@@ -696,7 +696,13 @@ mod prefetch_tests {
             &acts[0],
             ExecutorAction::Send(Message::Result { .. })
         ));
-        step(&mut e, 35, ExecutorEvent::ResultAcked { piggybacked: vec![] });
+        step(
+            &mut e,
+            35,
+            ExecutorEvent::ResultAcked {
+                piggybacked: vec![],
+            },
+        );
         assert!(e.is_idle());
     }
 

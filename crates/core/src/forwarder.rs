@@ -423,7 +423,11 @@ mod loss_regressions {
         let mut f = Forwarder::new(2);
         let mut out = Vec::new();
         // Dispatcher 0 never had work; it dies.
-        f.on_event(0, ForwarderEvent::DispatcherLost { dispatcher: 0 }, &mut out);
+        f.on_event(
+            0,
+            ForwarderEvent::DispatcherLost { dispatcher: 0 },
+            &mut out,
+        );
         assert!(out.is_empty());
         // New work must go to the live dispatcher 1, not the dead 0.
         f.on_event(

@@ -75,7 +75,9 @@ mod tests {
             Some(DispatcherEvent::Register { .. })
         ));
         // A dispatcher-to-executor message must not be accepted from one.
-        assert!(executor_message_to_dispatcher_event(Message::Notify { key: NotifyKey(1) }).is_none());
+        assert!(
+            executor_message_to_dispatcher_event(Message::Notify { key: NotifyKey(1) }).is_none()
+        );
     }
 
     #[test]

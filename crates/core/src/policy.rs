@@ -218,8 +218,8 @@ mod tests {
             timeout_slack_us: 10,
             runtime_factor: 2.0,
             retry_on_failure: false,
-                io_slack_us_per_mib: 10_000_000,
-            };
+            io_slack_us_per_mib: 10_000_000,
+        };
         assert_eq!(p.deadline_us(100), 210);
         assert_eq!(p.deadline_us(0), 10);
     }
@@ -236,8 +236,13 @@ mod tests {
 
     #[test]
     fn all_at_once_single_request() {
-        assert_eq!(AcquisitionPolicy::AllAtOnce.request_sizes(32, None), vec![32]);
-        assert!(AcquisitionPolicy::AllAtOnce.request_sizes(0, None).is_empty());
+        assert_eq!(
+            AcquisitionPolicy::AllAtOnce.request_sizes(32, None),
+            vec![32]
+        );
+        assert!(AcquisitionPolicy::AllAtOnce
+            .request_sizes(0, None)
+            .is_empty());
     }
 
     #[test]
@@ -286,7 +291,10 @@ mod tests {
     #[test]
     fn release_policy_idle_accessor() {
         assert_eq!(
-            ReleasePolicy::DistributedIdle { idle_us: 15_000_000 }.executor_idle_us(),
+            ReleasePolicy::DistributedIdle {
+                idle_us: 15_000_000
+            }
+            .executor_idle_us(),
             Some(15_000_000)
         );
         assert_eq!(ReleasePolicy::Never.executor_idle_us(), None);

@@ -173,7 +173,12 @@ impl<P: Probe> Provisioner<P> {
     }
 
     /// Feed one event; actions are appended to `out`.
-    pub fn on_event(&mut self, now: Micros, ev: ProvisionerEvent, out: &mut Vec<ProvisionerAction>) {
+    pub fn on_event(
+        &mut self,
+        now: Micros,
+        ev: ProvisionerEvent,
+        out: &mut Vec<ProvisionerAction>,
+    ) {
         match ev {
             ProvisionerEvent::Status {
                 status,
@@ -185,9 +190,10 @@ impl<P: Probe> Provisioner<P> {
                 allocation,
                 executors,
             } => {
-                if self.allocations.contains_key(&allocation) {
-                    self.allocations
-                        .insert(allocation, AllocState::Active { executors });
+                if let std::collections::hash_map::Entry::Occupied(mut e) =
+                    self.allocations.entry(allocation)
+                {
+                    e.insert(AllocState::Active { executors });
                     self.emit(
                         now,
                         ObsEvent::AllocationGranted {
@@ -201,7 +207,8 @@ impl<P: Probe> Provisioner<P> {
             }
             ProvisionerEvent::ExecutorTerminated { allocation } => {
                 let mut drop_alloc = false;
-                if let Some(AllocState::Active { executors }) = self.allocations.get_mut(&allocation)
+                if let Some(AllocState::Active { executors }) =
+                    self.allocations.get_mut(&allocation)
                 {
                     *executors = executors.saturating_sub(1);
                     drop_alloc = *executors == 0;
@@ -413,7 +420,10 @@ mod tests {
         assert_eq!(p.active_executors(), 10);
         // Executors terminate one by one; allocation drops at zero.
         for _ in 0..10 {
-            step(&mut p, ProvisionerEvent::ExecutorTerminated { allocation: id });
+            step(
+                &mut p,
+                ProvisionerEvent::ExecutorTerminated { allocation: id },
+            );
         }
         assert_eq!(p.active_executors(), 0);
     }

@@ -97,7 +97,10 @@ impl World {
                     *self.done_tasks.entry(record.result.id).or_insert(0) += 1;
                 }
                 DispatcherAction::TaskFailed { task, .. } => {
-                    assert!(self.failed_tasks.insert(task), "task failed twice: {task:?}");
+                    assert!(
+                        self.failed_tasks.insert(task),
+                        "task failed twice: {task:?}"
+                    );
                 }
                 _ => {}
             }
@@ -121,7 +124,7 @@ impl World {
             return;
         }
         // Deliver a buffered executor-side completion sometimes.
-        if pick % 3 == 0 {
+        if pick.is_multiple_of(3) {
             if let Some((&e, _)) = self.exec_done.iter().find(|(_, v)| !v.is_empty()) {
                 let results = self.exec_done.get_mut(&e).unwrap().drain(..).collect();
                 self.feed(DispatcherEvent::Result {

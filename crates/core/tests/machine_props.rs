@@ -56,7 +56,7 @@ proptest! {
         let mut next_task = 0u64;
         let mut running: Vec<TaskId> = Vec::new();
         let mut ran: Vec<TaskId> = Vec::new();
-        let mut drain = |out: &mut Vec<ExecutorAction>, running: &mut Vec<TaskId>, ran: &mut Vec<TaskId>| {
+        let drain = |out: &mut Vec<ExecutorAction>, running: &mut Vec<TaskId>, ran: &mut Vec<TaskId>| {
             for act in out.drain(..) {
                 if let ExecutorAction::Run(spec) = act {
                     prop_assert!(!ran.contains(&spec.id), "task ran twice");
@@ -244,8 +244,8 @@ proptest! {
             }
         }
         // Flush: every dispatcher completes its remaining work.
-        for d in 0..k {
-            let done: Vec<TaskResult> = held[d].drain(..).map(TaskResult::success).collect();
+        for (d, h) in held.iter_mut().enumerate() {
+            let done: Vec<TaskResult> = h.drain(..).map(TaskResult::success).collect();
             if !done.is_empty() {
                 f.on_event(0, ForwarderEvent::DispatcherResults { dispatcher: d, results: done }, &mut out);
             }

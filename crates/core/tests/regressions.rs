@@ -55,7 +55,11 @@ fn destroy_instance_releases_executor_slots() {
         },
     );
     assert_eq!(d.status().busy_executors, 1);
-    step(&mut d, 3, DispatcherEvent::DestroyInstance { instance: inst });
+    step(
+        &mut d,
+        3,
+        DispatcherEvent::DestroyInstance { instance: inst },
+    );
     // The executor must be idle again…
     assert_eq!(d.status().busy_executors, 0);
     // …and must receive fresh work from a *new* instance.
@@ -203,7 +207,13 @@ fn late_prefetch_answer_is_not_dropped() {
         &mut out,
     );
     // Once the result is acked, the queued pre-fetched task must run.
-    e.on_event(40, ExecutorEvent::ResultAcked { piggybacked: vec![] }, &mut out);
+    e.on_event(
+        40,
+        ExecutorEvent::ResultAcked {
+            piggybacked: vec![],
+        },
+        &mut out,
+    );
     assert!(
         out.iter()
             .any(|a| matches!(a, ExecutorAction::Run(t) if t.id == TaskId(2))),
@@ -220,10 +230,7 @@ fn gram_cancel_before_forward_prevents_the_job() {
     use falkon_lrm::profile::PBS_V2_1_8;
     use falkon_lrm::scheduler::BatchScheduler;
 
-    let mut g = Gram::new(
-        GramConfig::default(),
-        BatchScheduler::new(PBS_V2_1_8, 4),
-    );
+    let mut g = Gram::new(GramConfig::default(), BatchScheduler::new(PBS_V2_1_8, 4));
     let mut out = Vec::new();
     g.handle(0, GramInput::Submit(JobSpec::task(1, 60_000_000)), &mut out);
     // Cancel immediately, long before the 2 s gateway forward fires.

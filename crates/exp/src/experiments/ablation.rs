@@ -101,7 +101,12 @@ pub fn data_diffusion(scale: Scale) -> Vec<DataDiffusionArm> {
 pub fn render_data_diffusion(arms: &[DataDiffusionArm]) -> String {
     let mut t = Table::new(
         "Ablation: data diffusion (Section 6 extension) — shared 10 MB objects on GPFS",
-        &["Configuration", "Makespan (s)", "Throughput (tasks/s)", "Locality hits"],
+        &[
+            "Configuration",
+            "Makespan (s)",
+            "Throughput (tasks/s)",
+            "Locality hits",
+        ],
     );
     for a in arms {
         t.row(vec![
@@ -136,7 +141,10 @@ pub fn acquisition_policies(_scale: Scale) -> Vec<AcquisitionRun> {
     let policies: [(&str, AcquisitionPolicy); 5] = [
         ("all-at-once", AcquisitionPolicy::AllAtOnce),
         ("one-at-a-time", AcquisitionPolicy::OneAtATime),
-        ("additive (+4)", AcquisitionPolicy::Additive { base: 4, step: 4 }),
+        (
+            "additive (+4)",
+            AcquisitionPolicy::Additive { base: 4, step: 4 },
+        ),
         ("exponential", AcquisitionPolicy::Exponential { base: 1 }),
         ("available-aware", AcquisitionPolicy::AvailableAware),
     ];
@@ -180,7 +188,12 @@ pub fn acquisition_policies(_scale: Scale) -> Vec<AcquisitionRun> {
 pub fn render_acquisition(runs: &[AcquisitionRun]) -> String {
     let mut t = Table::new(
         "Ablation: resource acquisition policies (synthetic workload, idle release 60 s)",
-        &["Policy", "Time to complete (s)", "Allocations", "Utilization"],
+        &[
+            "Policy",
+            "Time to complete (s)",
+            "Allocations",
+            "Utilization",
+        ],
     );
     for r in runs {
         t.row(vec![
@@ -270,11 +283,7 @@ mod tests {
             aware.makespan_s,
             base.makespan_s
         );
-        assert!(
-            aware.locality_hits > 50,
-            "hits = {}",
-            aware.locality_hits
-        );
+        assert!(aware.locality_hits > 50, "hits = {}", aware.locality_hits);
         assert_eq!(base.locality_hits, 0);
     }
 

@@ -62,7 +62,14 @@ pub fn fig14(scale: Scale) -> Vec<Fig14Point> {
 pub fn render_fig14(points: &[Fig14Point]) -> String {
     let mut t = Table::new(
         "Figure 14: fMRI workflow end-to-end time (s)",
-        &["Volumes", "Tasks", "GRAM4+PBS", "GRAM4+PBS clustered", "Falkon (8 exec)", "Falkon speedup vs GRAM"],
+        &[
+            "Volumes",
+            "Tasks",
+            "GRAM4+PBS",
+            "GRAM4+PBS clustered",
+            "Falkon (8 exec)",
+            "Falkon speedup vs GRAM",
+        ],
     );
     for p in points {
         t.row(vec![
@@ -71,7 +78,11 @@ pub fn render_fig14(points: &[Fig14Point]) -> String {
             format!("{:.0}", p.gram_s),
             format!("{:.0}", p.clustered_s),
             format!("{:.0}", p.falkon_s),
-            format!("{:.1}x ({:.0}% reduction)", p.gram_s / p.falkon_s, (1.0 - p.falkon_s / p.gram_s) * 100.0),
+            format!(
+                "{:.1}x ({:.0}% reduction)",
+                p.gram_s / p.falkon_s,
+                (1.0 - p.falkon_s / p.gram_s) * 100.0
+            ),
         ]);
     }
     t.render()

@@ -60,7 +60,9 @@ fn bundle_message(k: u64) -> Message {
 pub fn fig5(scale: Scale) -> Vec<Fig5Point> {
     let sizes: &[u64] = scale.pick(
         &[1, 10, 100, 300, 1_000][..],
-        &[1, 2, 5, 10, 20, 50, 100, 200, 300, 400, 500, 700, 1_000, 1_500, 2_000][..],
+        &[
+            1, 2, 5, 10, 20, 50, 100, 200, 300, 400, 500, 700, 1_000, 1_500, 2_000,
+        ][..],
     );
     sizes
         .iter()
@@ -122,7 +124,11 @@ mod tests {
         let pts = fig5(Scale::Full);
         let at = |k: u64| pts.iter().find(|p| p.bundle == k).unwrap();
         // Unbundled ≈ 20 tasks/sec.
-        assert!((18.0..23.0).contains(&at(1).axis_tps), "k=1: {}", at(1).axis_tps);
+        assert!(
+            (18.0..23.0).contains(&at(1).axis_tps),
+            "k=1: {}",
+            at(1).axis_tps
+        );
         // Peak in the hundreds-to-1500 range somewhere near k≈300.
         let peak = pts
             .iter()

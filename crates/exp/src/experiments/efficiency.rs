@@ -22,7 +22,10 @@ fn falkon_efficiency(executors: u32, task_secs: u64, tasks_per_executor: u64) ->
     // Warm-up: the paper's executors are registered before measurements
     // begin; submit after the registration flood has drained.
     let submit_at: u64 = 10_000_000;
-    sim.submit(submit_at, (0..n).map(|i| TaskSpec::sleep(i, task_secs)).collect());
+    sim.submit(
+        submit_at,
+        (0..n).map(|i| TaskSpec::sleep(i, task_secs)).collect(),
+    );
     let out = sim.run_until_drained();
     let ideal_us = n.div_ceil(executors as u64) * task_secs * 1_000_000;
     let measured = out
@@ -105,7 +108,9 @@ pub struct Fig7Point {
 pub fn fig7(scale: Scale) -> Vec<Fig7Point> {
     let lengths: &[u64] = scale.pick(
         &[1, 64, 1_200, 16_384][..],
-        &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1_024, 2_048, 4_096, 8_192, 16_384][..],
+        &[
+            1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1_024, 2_048, 4_096, 8_192, 16_384,
+        ][..],
     );
     let n: u64 = 64;
     let procs: u32 = 64;
@@ -208,7 +213,11 @@ mod tests {
         assert!(p1.condor672 < 0.05, "condor@1s = {:.3}", p1.condor672);
         // ≈1,200 s tasks: PBS around 90%.
         let p1200 = at(1_200);
-        assert!((0.80..1.0).contains(&p1200.pbs), "pbs@1200s = {:.3}", p1200.pbs);
+        assert!(
+            (0.80..1.0).contains(&p1200.pbs),
+            "pbs@1200s = {:.3}",
+            p1200.pbs
+        );
         // 16,384 s tasks: everyone ≈99%.
         let p16k = at(16_384);
         assert!(p16k.pbs > 0.97 && p16k.condor672 > 0.97 && p16k.falkon > 0.99);

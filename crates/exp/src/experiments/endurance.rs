@@ -110,7 +110,12 @@ pub fn render_fig8(f: &Fig8) -> String {
         f.peak_queue,
         f.gc_pauses
     ));
-    out.push_str(&series_tsv("queue length", "t (s)", "tasks", &f.queue_series));
+    out.push_str(&series_tsv(
+        "queue length",
+        "t (s)",
+        "tasks",
+        &f.queue_series,
+    ));
     out.push_str(&series_tsv(
         "raw throughput (1 s samples)",
         "t (s)",
@@ -147,11 +152,7 @@ mod tests {
         );
         assert!(f.gc_pauses > 10);
         // Raw samples must include bursts above the average.
-        let max_raw = f
-            .raw_throughput
-            .iter()
-            .map(|&(_, v)| v)
-            .fold(0.0, f64::max);
+        let max_raw = f.raw_throughput.iter().map(|&(_, v)| v).fold(0.0, f64::max);
         assert!(max_raw > f.avg_throughput * 1.2, "max raw = {max_raw:.0}");
     }
 }

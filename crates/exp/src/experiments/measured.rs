@@ -98,7 +98,8 @@ pub fn run(scale: Scale) -> Measured {
 
 /// Render the measured report.
 pub fn render(m: &Measured) -> String {
-    let mut out = String::from("== Measured on this machine (real threads, in-process channels) ==");
+    let mut out =
+        String::from("== Measured on this machine (real threads, in-process channels) ==");
     for r in &m.rows {
         out.push_str(&format!(
             "\nfalkon inproc {:<38} {:>10.0} tasks/s  ({} tasks)  \

@@ -104,14 +104,7 @@ fn build_trace(out: &crate::simfalkon::SimOutcome) -> Vec<(f64, f64, f64, f64)> 
     let busy = out.busy_series.points();
     let alloc = out.allocated_series.points();
     (0..reg.len().min(busy.len()).min(alloc.len()))
-        .map(|i| {
-            (
-                reg[i].0.as_secs_f64(),
-                alloc[i].1,
-                reg[i].1,
-                busy[i].1,
-            )
-        })
+        .map(|i| (reg[i].0.as_secs_f64(), alloc[i].1, reg[i].1, busy[i].1))
         .collect()
 }
 
@@ -155,12 +148,7 @@ fn gram_per_task_times(
     // Ready time of each node = max finish of its predecessors.
     let finish: std::collections::HashMap<_, _> = report.finish_us.iter().copied().collect();
     for node in dag.nodes() {
-        let ready_us = dag
-            .preds(node)
-            .iter()
-            .map(|p| finish[p])
-            .max()
-            .unwrap_or(0);
+        let ready_us = dag.preds(node).iter().map(|p| finish[p]).max().unwrap_or(0);
         let done_us = finish[&node];
         let runtime_s = dag.task(node).runtime_us as f64 / 1e6;
         let exec_visible = runtime_s + visible_overhead_s;
@@ -217,7 +205,10 @@ pub fn render_fig11() -> String {
         synthetic::total_cpu_secs(),
         synthetic::ideal_makespan_secs(32)
     ));
-    let mut t = Table::new("", &["stage", "tasks", "task length (s)", "machines (cap 32)"]);
+    let mut t = Table::new(
+        "",
+        &["stage", "tasks", "task length (s)", "machines (cap 32)"],
+    );
     let machines = synthetic::machines_per_stage(32);
     for (i, &(n, r)) in synthetic::STAGES.iter().enumerate() {
         t.row(vec![
@@ -283,19 +274,28 @@ pub fn render_trace(run: &ProvisioningRun) -> String {
         "allocated (starting)",
         "t (s)",
         "executors",
-        &run.trace.iter().map(|&(t, a, _, _)| (t, a)).collect::<Vec<_>>(),
+        &run.trace
+            .iter()
+            .map(|&(t, a, _, _)| (t, a))
+            .collect::<Vec<_>>(),
     ));
     out.push_str(&series_tsv(
         "registered",
         "t (s)",
         "executors",
-        &run.trace.iter().map(|&(t, _, r, _)| (t, r)).collect::<Vec<_>>(),
+        &run.trace
+            .iter()
+            .map(|&(t, _, r, _)| (t, r))
+            .collect::<Vec<_>>(),
     ));
     out.push_str(&series_tsv(
         "active",
         "t (s)",
         "executors",
-        &run.trace.iter().map(|&(t, _, _, b)| (t, b)).collect::<Vec<_>>(),
+        &run.trace
+            .iter()
+            .map(|&(t, _, _, b)| (t, b))
+            .collect::<Vec<_>>(),
     ));
     out
 }
@@ -341,7 +341,11 @@ mod tests {
 
         // Allocation counts: 1000 for GRAM, ≤ a dozen for Falkon-15, 0 for ∞.
         assert_eq!(gram.allocations, 1_000);
-        assert!(f15.allocations >= 1 && f15.allocations <= 30, "allocs = {}", f15.allocations);
+        assert!(
+            f15.allocations >= 1 && f15.allocations <= 30,
+            "allocs = {}",
+            f15.allocations
+        );
         assert_eq!(finf.allocations, 0);
 
         // Figure 12/13 traces exist for provisioned runs.

@@ -144,9 +144,17 @@ mod tests {
         let s = run(Scale::Quick);
         assert_eq!(s.executors, 5_400);
         // Ramp-up must be visible and shorter than the task length.
-        assert!(s.ramp_up_s > 1.0 && s.ramp_up_s < 48.0, "ramp = {}", s.ramp_up_s);
+        assert!(
+            s.ramp_up_s > 1.0 && s.ramp_up_s < 48.0,
+            "ramp = {}",
+            s.ramp_up_s
+        );
         // Majority of overheads below 200 ms, cap respected.
-        assert!(s.frac_under_200ms > 0.6, "under200 = {}", s.frac_under_200ms);
+        assert!(
+            s.frac_under_200ms > 0.6,
+            "under200 = {}",
+            s.frac_under_200ms
+        );
         assert!(s.max_overhead_ms <= 1_300);
         // Overall throughput includes ramp and drain phases.
         assert!(s.overall_tps > 10.0);

@@ -37,7 +37,10 @@ fn run_throughput(executors: u32, costs: CostModel, tasks: u64) -> f64 {
     });
     // Warm pool: the paper's executors are registered before measurements.
     let submit_at: u64 = 10_000_000;
-    sim.submit(submit_at, (0..tasks).map(|i| TaskSpec::sleep(i, 0)).collect());
+    sim.submit(
+        submit_at,
+        (0..tasks).map(|i| TaskSpec::sleep(i, 0)).collect(),
+    );
     let out = sim.run_until_drained();
     let end = out
         .records
@@ -50,7 +53,10 @@ fn run_throughput(executors: u32, costs: CostModel, tasks: u64) -> f64 {
 
 /// Run the Figure 3 sweep.
 pub fn fig3(scale: Scale) -> Fig3 {
-    let counts: &[u32] = scale.pick(&[1, 4, 16, 64, 256][..], &[1, 2, 4, 8, 16, 32, 64, 128, 256][..]);
+    let counts: &[u32] = scale.pick(
+        &[1, 4, 16, 64, 256][..],
+        &[1, 2, 4, 8, 16, 32, 64, 128, 256][..],
+    );
     let per_exec_tasks = scale.pick(100, 400);
     let points = counts
         .iter()
@@ -193,7 +199,12 @@ pub fn render_table2(rows: &[Table2Row]) -> String {
             r.system.to_string(),
             r.comments.to_string(),
             format!("{:.2}", r.throughput),
-            if r.measured_here { "this repro" } else { "cited" }.to_string(),
+            if r.measured_here {
+                "this repro"
+            } else {
+                "cited"
+            }
+            .to_string(),
         ]);
     }
     t.render()
@@ -208,7 +219,11 @@ mod tests {
         let f = fig3(Scale::Quick);
         let last = f.points.last().unwrap();
         // Saturation near the 487/s bound, security ≈2.4× lower.
-        assert!((400.0..520.0).contains(&last.falkon_tps), "tps = {}", last.falkon_tps);
+        assert!(
+            (400.0..520.0).contains(&last.falkon_tps),
+            "tps = {}",
+            last.falkon_tps
+        );
         assert!(
             (150.0..230.0).contains(&last.falkon_secure_tps),
             "secure tps = {}",

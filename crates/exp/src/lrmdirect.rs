@@ -39,11 +39,27 @@ pub fn run_direct(profile: LrmProfile, nodes: u32, n: u64, runtime_us: Micros) -
     let mut done = 0u64;
     let mut makespan = 0u64;
     let mut guard = 0u64;
-    drain(&mut out, 0, &mut active, &mut queue_sum, &mut exec_sum, &mut done, &mut makespan);
+    drain(
+        &mut out,
+        0,
+        &mut active,
+        &mut queue_sum,
+        &mut exec_sum,
+        &mut done,
+        &mut makespan,
+    );
     while done < n {
         let Some(t) = lrm.next_wakeup() else { break };
         lrm.handle(t, LrmInput::Tick, &mut out);
-        drain(&mut out, t, &mut active, &mut queue_sum, &mut exec_sum, &mut done, &mut makespan);
+        drain(
+            &mut out,
+            t,
+            &mut active,
+            &mut queue_sum,
+            &mut exec_sum,
+            &mut done,
+            &mut makespan,
+        );
         guard += 1;
         assert!(guard < 50_000_000, "LRM run stuck at {done}/{n}");
     }

@@ -26,7 +26,6 @@ pub struct FalkonProvider {
     next_task: u64,
 }
 
-
 /// Reconstruct per-task finish times for a cluster that ran serially on one
 /// resource finishing at `finished_us`: the k-th task from the end finished
 /// `sum(runtimes after it)` earlier.
@@ -201,8 +200,11 @@ impl Provider for GramProvider {
         );
         self.pending += 1;
         let mut out = Vec::new();
-        self.gram
-            .handle(now, GramInput::Submit(JobSpec::task(job.0, total)), &mut out);
+        self.gram.handle(
+            now,
+            GramInput::Submit(JobSpec::task(job.0, total)),
+            &mut out,
+        );
         for o in out {
             self.stashed.push((now, o));
         }
@@ -270,7 +272,11 @@ mod tests {
         let report = WorkflowEngine::new().run(&dag, &mut provider);
         assert_eq!(report.finish_us.len(), 4);
         // PBS poll + GRAM overheads put the makespan far above 10 s.
-        assert!(report.makespan_s() > 60.0, "makespan = {}", report.makespan_s());
+        assert!(
+            report.makespan_s() > 60.0,
+            "makespan = {}",
+            report.makespan_s()
+        );
     }
 
     #[test]

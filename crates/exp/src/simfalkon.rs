@@ -25,10 +25,10 @@ use falkon_core::policy::ProvisionerPolicy;
 use falkon_core::provisioner::{Provisioner, ProvisionerAction, ProvisionerEvent};
 use falkon_core::DispatcherConfig;
 use falkon_fs::{ClusterFs, FsConfig};
-use falkon_obs::Recorder;
 use falkon_lrm::job::{JobId, JobSpec, JobState};
 use falkon_lrm::profile::LrmProfile;
 use falkon_lrm::scheduler::{BatchScheduler, LrmInput, LrmOutput};
+use falkon_obs::Recorder;
 use falkon_proto::bundle::bundles;
 use falkon_proto::message::{ExecutorId, InstanceId, Message};
 use falkon_proto::task::{TaskId, TaskResult, TaskSpec};
@@ -282,21 +282,18 @@ impl SimFalkon {
                 sim.instance = Some(instance);
             }
         }
-        if sim.provisioner.is_none() {
+        if let Some(p) = &sim.provisioner {
+            let poll = p.poll_interval_us();
+            sim.queue
+                .push(falkon_sim::SimTime::from_micros(poll), Ev::ProvisionerPoll);
+        } else {
             // Static pool: all executors start at t=0 (registration costs
             // still apply through the dispatcher CPU model).
             for e in 0..sim.config.executors {
                 sim.spawn_executor(e, None);
-                sim.queue.push(falkon_sim::SimTime::from_micros(0), Ev::ExecStart(e));
+                sim.queue
+                    .push(falkon_sim::SimTime::from_micros(0), Ev::ExecStart(e));
             }
-        } else {
-            let poll = sim
-                .provisioner
-                .as_ref()
-                .expect("just checked")
-                .poll_interval_us();
-            sim.queue
-                .push(falkon_sim::SimTime::from_micros(poll), Ev::ProvisionerPoll);
         }
         if sim.config.sample_interval_us > 0 {
             sim.queue.push(
@@ -374,12 +371,12 @@ impl SimFalkon {
         let chunks = bundles(tasks, self.config.bundle_size.max(1));
         match self.config.client_submit_rate {
             None => {
-                let mut t = at;
-                for chunk in chunks {
-                    self.queue
-                        .push(falkon_sim::SimTime::from_micros(t), Ev::ClientSubmit(chunk));
-                    // Preserve FIFO between bundles.
-                    t += 1;
+                for (i, chunk) in chunks.into_iter().enumerate() {
+                    // The +i offset preserves FIFO between bundles.
+                    self.queue.push(
+                        falkon_sim::SimTime::from_micros(at + i as Micros),
+                        Ev::ClientSubmit(chunk),
+                    );
                 }
             }
             Some(rate) => {
@@ -455,8 +452,18 @@ impl SimFalkon {
             .max()
             .unwrap_or(self.now);
         let n = self.records.len().max(1) as f64;
-        let avg_queue_us = self.records.iter().map(|r| r.queue_time_us() as f64).sum::<f64>() / n;
-        let avg_exec_us = self.records.iter().map(|r| r.exec_time_us() as f64).sum::<f64>() / n;
+        let avg_queue_us = self
+            .records
+            .iter()
+            .map(|r| r.queue_time_us() as f64)
+            .sum::<f64>()
+            / n;
+        let avg_exec_us = self
+            .records
+            .iter()
+            .map(|r| r.exec_time_us() as f64)
+            .sum::<f64>()
+            / n;
         let used_cpu_us: u64 = self.executors.iter().map(|e| e.busy_us).sum();
         let wasted_cpu_us: u64 = self
             .executors
@@ -492,7 +499,7 @@ impl SimFalkon {
         match ev {
             Ev::ClientSubmit(tasks) => {
                 let instance = self.instance();
-                self.to_dispatcher(DispatcherEvent::Submit { instance, tasks });
+                self.send_to_dispatcher(DispatcherEvent::Submit { instance, tasks });
             }
             Ev::DispArrive(ev) => {
                 // Enter the dispatcher's serial CPU queue.
@@ -577,7 +584,8 @@ impl SimFalkon {
                 self.busy_series.push(t, st.busy_executors as f64);
                 self.registered_series
                     .push(t, st.registered_executors as f64);
-                self.allocated_series.push(t, self.starting_executors as f64);
+                self.allocated_series
+                    .push(t, self.starting_executors as f64);
                 // Keep sampling while anything remains outstanding.
                 if (self.records.len() as u64) < self.submitted || st.registered_executors > 0 {
                     let next = self.now + self.config.sample_interval_us;
@@ -589,7 +597,7 @@ impl SimFalkon {
     }
 
     /// Send an event into the dispatcher CPU queue after network latency.
-    fn to_dispatcher(&mut self, ev: DispatcherEvent) {
+    fn send_to_dispatcher(&mut self, ev: DispatcherEvent) {
         let at = self.now + self.config.costs.network_latency_us;
         self.queue
             .push(falkon_sim::SimTime::from_micros(at), Ev::DispArrive(ev));
@@ -660,8 +668,10 @@ impl SimFalkon {
             let fire = dl.max(self.now + 1);
             if self.deadline_armed.is_none_or(|armed| fire < armed) {
                 self.deadline_armed = Some(fire);
-                self.queue
-                    .push(falkon_sim::SimTime::from_micros(fire), Ev::DispDeadlineCheck);
+                self.queue.push(
+                    falkon_sim::SimTime::from_micros(fire),
+                    Ev::DispDeadlineCheck,
+                );
             }
         }
     }
@@ -683,7 +693,9 @@ impl SimFalkon {
             return;
         }
         if matches!(msg, Message::RegisterAck { .. }) {
-            self.executors[e as usize].registered_at.get_or_insert(self.now);
+            self.executors[e as usize]
+                .registered_at
+                .get_or_insert(self.now);
         }
         let Some(ev) = falkon_core::mapping::message_to_executor_event(msg) else {
             return;
@@ -703,12 +715,11 @@ impl SimFalkon {
         for act in out {
             match act {
                 ExecutorAction::Send(msg) => {
-                    let Some(ev) =
-                        falkon_core::mapping::executor_message_to_dispatcher_event(msg)
+                    let Some(ev) = falkon_core::mapping::executor_message_to_dispatcher_event(msg)
                     else {
                         continue;
                     };
-                    self.to_dispatcher(ev);
+                    self.send_to_dispatcher(ev);
                 }
                 ExecutorAction::Run(spec) => self.run_task(e, spec),
                 ExecutorAction::Shutdown => self.shutdown_executor(e),
@@ -829,8 +840,10 @@ impl SimFalkon {
                 // handling overhead; delivering it as a timed event keeps
                 // the scheduler's clock causal.
                 let submit_at = self.now + self.config.alloc_request_overhead_us;
-                self.queue
-                    .push(falkon_sim::SimTime::from_micros(submit_at), Ev::LrmSubmit(spec));
+                self.queue.push(
+                    falkon_sim::SimTime::from_micros(submit_at),
+                    Ev::LrmSubmit(spec),
+                );
                 self.alloc_live.insert(allocation, 0);
                 self.alloc_executors.insert(allocation, Vec::new());
                 // Remember how many executors to start on grant.
@@ -891,7 +904,7 @@ impl SimFalkon {
                             self.executors[v as usize].alive = false;
                             self.executors[v as usize].dead_at = Some(self.now);
                             let id = ExecutorId(v as u64);
-                            self.to_dispatcher(DispatcherEvent::ExecutorLost { executor: id });
+                            self.send_to_dispatcher(DispatcherEvent::ExecutorLost { executor: id });
                         }
                     }
                     if let Some(p) = self.provisioner.as_mut() {

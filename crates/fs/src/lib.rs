@@ -59,12 +59,12 @@ impl Default for FsConfig {
         // Calibrated to the Figure 4 plateaus (Mb/s → bytes/s is ×125,000).
         FsConfig {
             gpfs_io_nodes: 8,
-            gpfs_read_bps: 3_067.0 * 125_000.0,  // ≈383 MB/s aggregate
-            gpfs_write_bps: 165.0 * 125_000.0,   // writes starve: ≈21 MB/s
-            gpfs_read_op_us: 5_000,              // 5 ms per read op
-            gpfs_write_op_us: 50_000,            // 50 ms → ≈160 writes/s on 8 nodes
-            local_read_bps: 813.0 * 125_000.0,   // ≈102 MB/s per node
-            local_write_bps: 420.0 * 125_000.0,  // ≈53 MB/s per node
+            gpfs_read_bps: 3_067.0 * 125_000.0, // ≈383 MB/s aggregate
+            gpfs_write_bps: 165.0 * 125_000.0,  // writes starve: ≈21 MB/s
+            gpfs_read_op_us: 5_000,             // 5 ms per read op
+            gpfs_write_op_us: 50_000,           // 50 ms → ≈160 writes/s on 8 nodes
+            local_read_bps: 813.0 * 125_000.0,  // ≈102 MB/s per node
+            local_write_bps: 420.0 * 125_000.0, // ≈53 MB/s per node
             local_read_op_us: 100,
             local_write_op_us: 1_000,
         }
@@ -89,7 +89,11 @@ impl ClusterFs {
         let per_io_node_write = config.gpfs_write_bps / config.gpfs_io_nodes as f64;
         ClusterFs {
             config,
-            gpfs_read: IoResource::new(config.gpfs_io_nodes, per_io_node_read, config.gpfs_read_op_us),
+            gpfs_read: IoResource::new(
+                config.gpfs_io_nodes,
+                per_io_node_read,
+                config.gpfs_read_op_us,
+            ),
             gpfs_write: IoResource::new(
                 config.gpfs_io_nodes,
                 per_io_node_write,
@@ -188,11 +192,7 @@ mod tests {
         let mut fs = ClusterFs::new(FsConfig::default(), 64);
         let mut done_times = Vec::new();
         for _ in 0..80 {
-            done_times.push(fs.stage(
-                0,
-                0,
-                spec(1, DataLocation::SharedFs, DataAccess::ReadWrite),
-            ));
+            done_times.push(fs.stage(0, 0, spec(1, DataLocation::SharedFs, DataAccess::ReadWrite)));
         }
         let span_s = (*done_times.iter().max().unwrap()) as f64 / 1e6;
         let rate = 80.0 / span_s;
@@ -210,8 +210,11 @@ mod tests {
         }
         let span_s = last as f64 / 1e6;
         let mbps = (8.0 * gb as f64 * 8.0 / 1e6) / span_s; // megabits/s
-        // Paper plateau: ≈3,067 Mb/s.
-        assert!((2_500.0..3_600.0).contains(&mbps), "GPFS read = {mbps} Mb/s");
+                                                           // Paper plateau: ≈3,067 Mb/s.
+        assert!(
+            (2_500.0..3_600.0).contains(&mbps),
+            "GPFS read = {mbps} Mb/s"
+        );
     }
 
     #[test]
@@ -221,12 +224,19 @@ mod tests {
         let mut last = 0;
         // One 100 MB read per node, all concurrent.
         for node in 0..64 {
-            last = last.max(fs.stage(0, node, spec(mb100, DataLocation::LocalDisk, DataAccess::Read)));
+            last = last.max(fs.stage(
+                0,
+                node,
+                spec(mb100, DataLocation::LocalDisk, DataAccess::Read),
+            ));
         }
         let span_s = last as f64 / 1e6;
         let mbps = (64.0 * mb100 as f64 * 8.0 / 1e6) / span_s;
         // Paper plateau: ≈52,015 Mb/s across 64 nodes.
-        assert!((40_000.0..62_000.0).contains(&mbps), "local read = {mbps} Mb/s");
+        assert!(
+            (40_000.0..62_000.0).contains(&mbps),
+            "local read = {mbps} Mb/s"
+        );
     }
 
     #[test]
@@ -235,7 +245,11 @@ mod tests {
         let mb = 1u64 << 20;
         let r = fs.stage(0, 0, spec(mb, DataLocation::LocalDisk, DataAccess::Read));
         let mut fs2 = ClusterFs::new(FsConfig::default(), 4);
-        let rw = fs2.stage(0, 0, spec(mb, DataLocation::LocalDisk, DataAccess::ReadWrite));
+        let rw = fs2.stage(
+            0,
+            0,
+            spec(mb, DataLocation::LocalDisk, DataAccess::ReadWrite),
+        );
         assert!(rw > r);
     }
 
@@ -253,7 +267,11 @@ mod tests {
     #[test]
     fn bytes_accounting() {
         let mut fs = ClusterFs::new(FsConfig::default(), 1);
-        fs.stage(0, 0, spec(100, DataLocation::SharedFs, DataAccess::ReadWrite));
+        fs.stage(
+            0,
+            0,
+            spec(100, DataLocation::SharedFs, DataAccess::ReadWrite),
+        );
         assert_eq!(fs.bytes_transferred, 200);
         fs.stage(0, 0, spec(50, DataLocation::LocalDisk, DataAccess::Read));
         assert_eq!(fs.bytes_transferred, 250);

@@ -1,0 +1,237 @@
+//! Per-rule allowlists with mandatory justifications.
+//!
+//! Each rule has an allowlist file `crates/lint/allow/<rule>.allow` (absent
+//! = empty). The format is line-oriented and diff-friendly:
+//!
+//! ```text
+//! # comment
+//! [crates/proto/src/wire.rs]
+//! line: assert!(n as u64 <= MAX_LEN
+//! why: encode-side length invariant; decode paths never call Sink
+//! ```
+//!
+//! A `[path]` header scopes the entries below it; each `line:` is a literal
+//! needle that must appear in the flagged source line; the following `why:`
+//! is its mandatory justification. A diagnostic is suppressed when an entry
+//! for its rule matches both path and line text. Every entry must suppress
+//! at least one diagnostic per run — stale entries are themselves errors,
+//! so the allowlist can only shrink when the code it excuses goes away.
+
+use crate::diag::{Diagnostic, Rule};
+
+/// One allowlist entry.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// Repo-relative path the entry applies to.
+    pub path: String,
+    /// Literal substring that must appear in the flagged source line.
+    pub needle: String,
+    /// Mandatory human justification.
+    pub why: String,
+    /// Line in the allowlist file (for stale-entry diagnostics).
+    pub file_line: usize,
+}
+
+/// A parsed allowlist for one rule.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+/// A malformed allowlist file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowParseError {
+    /// 1-based line in the allowlist file.
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl Allowlist {
+    /// Parse the allowlist format described in the module docs.
+    pub fn parse(text: &str) -> Result<Allowlist, AllowParseError> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut current_path: Option<String> = None;
+        let mut pending: Option<AllowEntry> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let n = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(p) = line.strip_prefix('[') {
+                let Some(p) = p.strip_suffix(']') else {
+                    return Err(AllowParseError {
+                        line: n,
+                        message: "unterminated [path] header".into(),
+                    });
+                };
+                if let Some(e) = pending.take() {
+                    return Err(incomplete(e));
+                }
+                current_path = Some(p.trim().to_string());
+                continue;
+            }
+            if let Some(needle) = line.strip_prefix("line:") {
+                if let Some(e) = pending.take() {
+                    return Err(incomplete(e));
+                }
+                let Some(path) = current_path.clone() else {
+                    return Err(AllowParseError {
+                        line: n,
+                        message: "`line:` before any [path] header".into(),
+                    });
+                };
+                pending = Some(AllowEntry {
+                    path,
+                    needle: needle.trim().to_string(),
+                    why: String::new(),
+                    file_line: n,
+                });
+                continue;
+            }
+            if let Some(why) = line.strip_prefix("why:") {
+                let Some(mut e) = pending.take() else {
+                    return Err(AllowParseError {
+                        line: n,
+                        message: "`why:` without a preceding `line:`".into(),
+                    });
+                };
+                let why = why.trim();
+                if why.is_empty() {
+                    return Err(AllowParseError {
+                        line: n,
+                        message: "empty justification".into(),
+                    });
+                }
+                e.why = why.to_string();
+                entries.push(e);
+                continue;
+            }
+            return Err(AllowParseError {
+                line: n,
+                message: format!("unrecognized allowlist line: `{line}`"),
+            });
+        }
+        if let Some(e) = pending {
+            return Err(incomplete(e));
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Partition diagnostics into `(surviving, suppressed)`, plus a flag
+    /// per entry recording whether it matched at least once.
+    pub fn apply(&self, diags: Vec<Diagnostic>) -> (Vec<Diagnostic>, Vec<Diagnostic>, Vec<bool>) {
+        let mut used = vec![false; self.entries.len()];
+        let mut kept = Vec::new();
+        let mut suppressed = Vec::new();
+        for d in diags {
+            let mut hit = false;
+            for (i, e) in self.entries.iter().enumerate() {
+                if e.path == d.path && d.snippet.contains(&e.needle) {
+                    used[i] = true;
+                    hit = true;
+                }
+            }
+            if hit {
+                suppressed.push(d);
+            } else {
+                kept.push(d);
+            }
+        }
+        (kept, suppressed, used)
+    }
+
+    /// Stale-entry diagnostics for entries that matched nothing.
+    pub fn stale(&self, rule: Rule, used: &[bool], allow_path: &str) -> Vec<Diagnostic> {
+        self.entries
+            .iter()
+            .zip(used)
+            .filter(|(_, &u)| !u)
+            .map(|(e, _)| Diagnostic {
+                rule: Rule::StaleAllow,
+                path: allow_path.to_string(),
+                line: e.file_line,
+                col: 1,
+                message: format!(
+                    "stale {} allowlist entry: `{}` no longer matches anything in {}",
+                    rule.id(),
+                    e.needle,
+                    e.path
+                ),
+                snippet: format!("line: {}", e.needle),
+            })
+            .collect()
+    }
+}
+
+fn incomplete(e: AllowEntry) -> AllowParseError {
+    AllowParseError {
+        line: e.file_line,
+        message: format!("entry `{}` is missing its `why:` justification", e.needle),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "# header\n[crates/proto/src/wire.rs]\nline: assert!(n as u64\nwhy: encode-side invariant\n";
+
+    fn diag(path: &str, snippet: &str) -> Diagnostic {
+        Diagnostic {
+            rule: Rule::DecodePanic,
+            path: path.into(),
+            line: 1,
+            col: 1,
+            message: "m".into(),
+            snippet: snippet.into(),
+        }
+    }
+
+    #[test]
+    fn parses_and_suppresses() {
+        let a = Allowlist::parse(SAMPLE).unwrap();
+        assert_eq!(a.entries.len(), 1);
+        assert_eq!(a.entries[0].why, "encode-side invariant");
+        let (left, suppressed, used) = a.apply(vec![
+            diag("crates/proto/src/wire.rs", "  assert!(n as u64 <= MAX)"),
+            diag("crates/proto/src/wire.rs", "  panic!()"),
+            diag("crates/proto/src/frame.rs", "  assert!(n as u64 <= MAX)"),
+        ]);
+        assert_eq!(left.len(), 2, "only the exact path+needle is suppressed");
+        assert_eq!(suppressed.len(), 1);
+        assert!(used[0]);
+    }
+
+    #[test]
+    fn stale_entries_reported() {
+        let a = Allowlist::parse(SAMPLE).unwrap();
+        let (_, _, used) = a.apply(vec![]);
+        let stale = a.stale(
+            Rule::DecodePanic,
+            &used,
+            "crates/lint/allow/decode_panic.allow",
+        );
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].rule, Rule::StaleAllow);
+        assert!(stale[0].message.contains("assert!(n as u64"));
+    }
+
+    #[test]
+    fn missing_why_rejected() {
+        let bad = "[a.rs]\nline: foo\nline: bar\nwhy: x\n";
+        let err = Allowlist::parse(bad).unwrap_err();
+        assert!(err.message.contains("missing its `why:`"), "{err:?}");
+    }
+
+    #[test]
+    fn entry_without_header_rejected() {
+        assert!(Allowlist::parse("line: foo\nwhy: x\n").is_err());
+        assert!(Allowlist::parse("[a.rs]\nwhy: x\n").is_err());
+        assert!(Allowlist::parse("[a.rs\nline: f\nwhy: x\n").is_err());
+        assert!(Allowlist::parse("[a.rs]\nline: f\nwhy:\n").is_err());
+        assert!(Allowlist::parse("[a.rs]\ngarbage\n").is_err());
+    }
+}

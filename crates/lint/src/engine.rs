@@ -1,0 +1,193 @@
+//! Workspace walking and rule orchestration.
+
+use crate::allow::{AllowParseError, Allowlist};
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::SourceFile;
+use crate::rules;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The outcome of linting a workspace.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Unsuppressed violations plus stale-allowlist diagnostics.
+    pub diags: Vec<Diagnostic>,
+    /// Diagnostics suppressed by allowlist entries (for `--verbose`-style
+    /// accounting and the fixture tests).
+    pub suppressed: Vec<Diagnostic>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Whether the run found no violations.
+    pub fn clean(&self) -> bool {
+        self.diags.is_empty()
+    }
+}
+
+/// A fatal engine error (unreadable tree, malformed allowlist).
+#[derive(Debug)]
+pub struct EngineError(pub String);
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Lint the workspace rooted at `root` using the allowlists under
+/// `root/crates/lint/allow/`.
+pub fn lint_workspace(root: &Path) -> Result<LintReport, EngineError> {
+    let files = collect_sources(root)?;
+    let allow_dir = root.join("crates/lint/allow");
+    lint_files(&files, Some(&allow_dir))
+}
+
+/// Lint pre-lexed sources (the fixture tests call this directly).
+/// `allow_dir` of `None` means "no allowlists".
+pub fn lint_files(
+    files: &[SourceFile],
+    allow_dir: Option<&Path>,
+) -> Result<LintReport, EngineError> {
+    let mut report = LintReport {
+        files_scanned: files.len(),
+        ..LintReport::default()
+    };
+    for rule in Rule::ALL {
+        let raw: Vec<Diagnostic> = match rule {
+            Rule::SansIo => files.iter().flat_map(rules::check_sans_io).collect(),
+            Rule::DecodePanic => files.iter().flat_map(rules::check_decode_panic).collect(),
+            Rule::ProbeProvenance => files
+                .iter()
+                .flat_map(rules::check_probe_provenance)
+                .collect(),
+            Rule::Calibration => files.iter().flat_map(rules::check_calibration).collect(),
+            Rule::Registry => registry_diags(files),
+            Rule::StaleAllow => Vec::new(),
+        };
+        let (allowlist, allow_path) = load_allowlist(allow_dir, rule)?;
+        let (kept, suppressed, used) = allowlist.apply(raw);
+        report.diags.extend(kept);
+        report.suppressed.extend(suppressed);
+        report
+            .diags
+            .extend(allowlist.stale(rule, &used, &allow_path));
+    }
+    report
+        .diags
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.col).cmp(&(b.path.as_str(), b.line, b.col)));
+    Ok(report)
+}
+
+/// Run rule 5 over whatever experiment modules are present in `files`.
+fn registry_diags(files: &[SourceFile]) -> Vec<Diagnostic> {
+    const EXP_DIR: &str = "crates/exp/src/experiments/";
+    let modules: Vec<String> = files
+        .iter()
+        .filter_map(|f| {
+            let rest = f.path.strip_prefix(EXP_DIR)?;
+            let stem = rest.strip_suffix(".rs")?;
+            if rest.contains('/') {
+                return None;
+            }
+            Some(stem.to_string())
+        })
+        .collect();
+    let Some(registry) = files
+        .iter()
+        .find(|f| f.path == "crates/exp/src/experiments/registry.rs")
+    else {
+        // No registry in this file set (fixture runs): nothing to check.
+        return Vec::new();
+    };
+    rules::check_registry(&modules, registry)
+}
+
+fn load_allowlist(
+    allow_dir: Option<&Path>,
+    rule: Rule,
+) -> Result<(Allowlist, String), EngineError> {
+    let Some(dir) = allow_dir else {
+        return Ok((Allowlist::default(), String::new()));
+    };
+    let path = dir.join(format!("{}.allow", rule.id()));
+    let display = format!("crates/lint/allow/{}.allow", rule.id());
+    match fs::read_to_string(&path) {
+        Ok(text) => {
+            let list = Allowlist::parse(&text).map_err(|e: AllowParseError| {
+                EngineError(format!("{display}:{}: {}", e.line, e.message))
+            })?;
+            Ok((list, display))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok((Allowlist::default(), display)),
+        Err(e) => Err(EngineError(format!("reading {display}: {e}"))),
+    }
+}
+
+/// Collect and lex every non-test `.rs` source under `crates/*/src`
+/// (integration `tests/`, `benches/`, and `examples/` trees are exempt by
+/// construction — the invariants govern shipped library code).
+pub fn collect_sources(root: &Path) -> Result<Vec<SourceFile>, EngineError> {
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    let entries = fs::read_dir(&crates_dir)
+        .map_err(|e| EngineError(format!("reading {}: {e}", crates_dir.display())))?;
+    let mut crate_dirs: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            walk_rs(&src, root, &mut files)?;
+        }
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+fn walk_rs(dir: &Path, root: &Path, out: &mut Vec<SourceFile>) -> Result<(), EngineError> {
+    let entries =
+        fs::read_dir(dir).map_err(|e| EngineError(format!("reading {}: {e}", dir.display())))?;
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            walk_rs(&p, root, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let text = fs::read_to_string(&p)
+                .map_err(|e| EngineError(format!("reading {}: {e}", p.display())))?;
+            out.push(SourceFile::parse(&rel, &text));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_files_runs_all_rules_and_sorts() {
+        let files = vec![
+            SourceFile::parse(
+                "crates/core/src/bad.rs",
+                "fn f() { let t = Instant::now(); }",
+            ),
+            SourceFile::parse("crates/proto/src/wire.rs", "fn g(x: &[u8]) { x[0]; }"),
+        ];
+        let r = lint_files(&files, None).unwrap();
+        assert_eq!(r.files_scanned, 2);
+        assert_eq!(r.diags.len(), 2);
+        assert!(r.diags[0].path < r.diags[1].path);
+    }
+}

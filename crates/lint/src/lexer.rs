@@ -1,0 +1,507 @@
+//! A minimal Rust token scanner.
+//!
+//! The workspace builds fully offline, so `syn` is not available; the lint
+//! rules instead run over this purpose-built scanner. It is not a parser —
+//! it produces a flat token stream with comments and literal *contents*
+//! removed (so a forbidden name inside a string or comment never trips a
+//! rule), tracks line/column positions for diagnostics, and marks the
+//! token regions belonging to `#[cfg(test)]` / `#[test]` items so rules can
+//! exempt test code.
+
+/// Classification of one scanned token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `const`, `fn`, …).
+    Ident,
+    /// Numeric literal, suffix included (`64`, `0xFF`, `1_030u64`).
+    Number,
+    /// A lifetime (`'a`) — distinct from `Ident` so `&'a [u8]` never looks
+    /// like indexing.
+    Lifetime,
+    /// A string/char/byte literal, contents elided.
+    Literal,
+    /// Single punctuation character (`:`, `[`, `!`, …).
+    Punct(char),
+}
+
+/// One token with its source position.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token classification.
+    pub kind: TokKind,
+    /// Source text for `Ident`/`Number`/`Lifetime` tokens; empty otherwise.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column (byte offset within the line).
+    pub col: usize,
+    /// Whether the token sits inside a `#[cfg(test)]` or `#[test]` item.
+    pub in_test: bool,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// One lexed source file: raw lines for diagnostics and allowlist matching,
+/// the sanitized token stream, and the doc-comment text per line (used by
+/// the calibration-traceability rule).
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators (`crates/core/src/lib.rs`).
+    pub path: String,
+    /// Raw source, split into lines (1-based indexing via `line_text`).
+    pub lines: Vec<String>,
+    /// The sanitized token stream.
+    pub toks: Vec<Tok>,
+    /// `(line, text)` for every `///` / `//!` doc-comment line.
+    pub doc_lines: Vec<(usize, String)>,
+}
+
+impl SourceFile {
+    /// Lex `source` under the given repo-relative path.
+    pub fn parse(path: &str, source: &str) -> SourceFile {
+        let lines: Vec<String> = source.lines().map(|l| l.to_string()).collect();
+        let (mut toks, doc_lines) = lex(source);
+        mark_test_regions(&mut toks);
+        SourceFile {
+            path: path.to_string(),
+            lines,
+            toks,
+            doc_lines,
+        }
+    }
+
+    /// The raw text of 1-based `line`, or `""` past EOF.
+    pub fn line_text(&self, line: usize) -> &str {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .map(|s| s.as_str())
+            .unwrap_or("")
+    }
+
+    /// Doc-comment lines (contiguous `///` block) immediately above `line`,
+    /// skipping attribute lines, concatenated into one string.
+    pub fn docs_above(&self, line: usize) -> String {
+        let mut at = line;
+        // Skip attribute lines like `#[allow(...)]` between docs and item.
+        while at > 1 && self.line_text(at - 1).trim_start().starts_with("#[") {
+            at -= 1;
+        }
+        let mut collected: Vec<&str> = Vec::new();
+        while at > 1 {
+            match self.doc_lines.iter().find(|(l, _)| *l == at - 1) {
+                Some((_, text)) => {
+                    collected.push(text);
+                    at -= 1;
+                }
+                None => break,
+            }
+        }
+        collected.reverse();
+        collected.join("\n")
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scan `source` into tokens plus doc-comment lines.
+fn lex(source: &str) -> (Vec<Tok>, Vec<(usize, String)>) {
+    let mut toks = Vec::new();
+    let mut docs = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        // Line comments (incl. doc comments, which are recorded).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            let at_line = line;
+            while i < chars.len() && chars[i] != '\n' {
+                bump!();
+            }
+            let text: String = chars[start..i].iter().collect();
+            if text.starts_with("///") || text.starts_with("//!") {
+                docs.push((at_line, text));
+            }
+            continue;
+        }
+        // Block comments, nested.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 0usize;
+            while i < chars.len() {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    bump!();
+                    bump!();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    bump!();
+                }
+            }
+            continue;
+        }
+        // Raw strings r"..." / r#"..."# / byte-raw br#"..."#.
+        if (c == 'r' || c == 'b') && raw_string_hashes(&chars, i).is_some() {
+            let (hash_count, body_start) = raw_string_hashes(&chars, i).unwrap_or((0, i));
+            let (l0, c0) = (line, col);
+            while i < body_start {
+                bump!();
+            }
+            // Consume until `"` followed by hash_count '#'s.
+            while i < chars.len() {
+                if chars[i] == '"' {
+                    let mut ok = true;
+                    for k in 0..hash_count {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        bump!();
+                        for _ in 0..hash_count {
+                            bump!();
+                        }
+                        break;
+                    }
+                }
+                bump!();
+            }
+            toks.push(Tok {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line: l0,
+                col: c0,
+                in_test: false,
+            });
+            continue;
+        }
+        // Plain and byte strings.
+        if c == '"' || (c == 'b' && chars.get(i + 1) == Some(&'"')) {
+            let (l0, c0) = (line, col);
+            if c == 'b' {
+                bump!();
+            }
+            bump!(); // opening quote
+            while i < chars.len() {
+                if chars[i] == '\\' {
+                    bump!();
+                    if i < chars.len() {
+                        bump!();
+                    }
+                } else if chars[i] == '"' {
+                    bump!();
+                    break;
+                } else {
+                    bump!();
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Literal,
+                text: String::new(),
+                line: l0,
+                col: c0,
+                in_test: false,
+            });
+            continue;
+        }
+        // Lifetimes vs char literals.
+        if c == '\'' {
+            let (l0, c0) = (line, col);
+            // `'a` not followed by a closing quote is a lifetime (or loop
+            // label); `'x'` / `'\n'` are char literals.
+            let next = chars.get(i + 1).copied();
+            let is_lifetime = match next {
+                Some(n) if is_ident_start(n) => {
+                    // Find the end of the ident run; lifetime iff no quote.
+                    let mut j = i + 1;
+                    while j < chars.len() && is_ident_continue(chars[j]) {
+                        j += 1;
+                    }
+                    chars.get(j) != Some(&'\'')
+                }
+                _ => false,
+            };
+            if is_lifetime {
+                bump!();
+                let start = i;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    bump!();
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: chars[start..i].iter().collect(),
+                    line: l0,
+                    col: c0,
+                    in_test: false,
+                });
+            } else {
+                // Char literal: consume up to the closing quote.
+                bump!(); // opening '
+                if chars.get(i) == Some(&'\\') {
+                    bump!();
+                    if i < chars.len() {
+                        bump!();
+                    }
+                } else if i < chars.len() {
+                    bump!();
+                }
+                if chars.get(i) == Some(&'\'') {
+                    bump!();
+                }
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::new(),
+                    line: l0,
+                    col: c0,
+                    in_test: false,
+                });
+            }
+            continue;
+        }
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let (l0, c0) = (line, col);
+            let start = i;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                bump!();
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line: l0,
+                col: c0,
+                in_test: false,
+            });
+            continue;
+        }
+        // Numbers (suffixes included; `1.5` lexes as `1` `.` `5`, which is
+        // fine for every rule here).
+        if c.is_ascii_digit() {
+            let (l0, c0) = (line, col);
+            let start = i;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                bump!();
+            }
+            toks.push(Tok {
+                kind: TokKind::Number,
+                text: chars[start..i].iter().collect(),
+                line: l0,
+                col: c0,
+                in_test: false,
+            });
+            continue;
+        }
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        // Everything else: single punctuation character.
+        toks.push(Tok {
+            kind: TokKind::Punct(c),
+            text: String::new(),
+            line,
+            col,
+            in_test: false,
+        });
+        bump!();
+    }
+    (toks, docs)
+}
+
+/// If position `i` starts a raw-string opener (`r"`, `r#"`, `br##"`, …),
+/// return `(hash_count, index_of_opening_quote + 1)`.
+fn raw_string_hashes(chars: &[char], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((hashes, j + 1))
+    } else {
+        None
+    }
+}
+
+/// Mark tokens inside `#[cfg(test)]` / `#[test]` items as test code.
+///
+/// Heuristic matching this workspace's (conventional) layout: when a `test`
+/// identifier appears inside an outer attribute, the next braced item body
+/// at the same nesting level is exempt, including nested braces. An
+/// attribute that ends in `;` before any `{` (e.g. `#[cfg(test)] mod t;`)
+/// clears the pending exemption.
+fn mark_test_regions(toks: &mut [Tok]) {
+    let mut i = 0;
+    let mut pending = false;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            // Scan the attribute body for the `test` ident.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            while j < toks.len() {
+                if toks[j].is_punct('[') {
+                    depth += 1;
+                } else if toks[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if toks[j].is_ident("test") {
+                    // `#[cfg(not(test))]` guards *non*-test code.
+                    let negated =
+                        j >= 2 && toks[j - 1].is_punct('(') && toks[j - 2].is_ident("not");
+                    if !negated {
+                        pending = true;
+                    }
+                }
+                j += 1;
+            }
+            i = j + 1;
+            continue;
+        }
+        if pending {
+            if toks[i].is_punct(';') {
+                pending = false;
+            } else if toks[i].is_punct('{') {
+                // Mark through the matching close brace.
+                let mut depth = 0usize;
+                while i < toks.len() {
+                    if toks[i].is_punct('{') {
+                        depth += 1;
+                    } else if toks[i].is_punct('}') {
+                        depth -= 1;
+                    }
+                    toks[i].in_test = true;
+                    i += 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                pending = false;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_elided() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let a = \"Instant::now()\"; // Instant::now\n/* SystemTime */ let b = 'x';",
+        );
+        assert!(!f.toks.iter().any(|t| t.is_ident("Instant")));
+        assert!(!f.toks.iter().any(|t| t.is_ident("SystemTime")));
+        assert!(f.toks.iter().any(|t| t.is_ident("let")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let f = SourceFile::parse("x.rs", "fn f<'a>(x: &'a [u8]) -> char { 'b' }");
+        let lifetimes: Vec<_> = f
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+        assert_eq!(
+            f.toks.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn raw_strings_elided() {
+        let f = SourceFile::parse("x.rs", r####"let s = r#"panic!("x")"#; let t = 1;"####);
+        assert!(!f.toks.iter().any(|t| t.is_ident("panic")));
+        assert!(f.toks.iter().any(|t| t.is_ident("t")));
+    }
+
+    #[test]
+    fn test_regions_marked() {
+        let src =
+            "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        let unwraps: Vec<_> = f.toks.iter().filter(|t| t.is_ident("unwrap")).collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!unwraps[0].in_test);
+        assert!(unwraps[1].in_test);
+    }
+
+    #[test]
+    fn attribute_on_use_does_not_leak() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() { x.unwrap(); }\n";
+        let f = SourceFile::parse("x.rs", src);
+        let u = f.toks.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert!(!u.in_test);
+    }
+
+    #[test]
+    fn docs_collected_and_found_above() {
+        let src =
+            "/// Table 2: 0.45 tasks/sec.\n/// More.\n#[allow(dead_code)]\npub const X: u64 = 1;\n";
+        let f = SourceFile::parse("x.rs", src);
+        let docs = f.docs_above(4);
+        assert!(docs.contains("Table 2"));
+        assert!(docs.contains("More"));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let f = SourceFile::parse("x.rs", "ab\n  cd");
+        assert_eq!((f.toks[0].line, f.toks[0].col), (1, 1));
+        assert_eq!((f.toks[1].line, f.toks[1].col), (2, 3));
+    }
+}

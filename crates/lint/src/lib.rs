@@ -1,0 +1,45 @@
+//! `falkon-lint`: architecture-invariant static analysis for the falkon
+//! workspace.
+//!
+//! The SC'07 reproduction rests on one implementation of the protocol and
+//! policy logic being driven identically by the real-time runtime and the
+//! discrete-event simulator. That only holds if a handful of architecture
+//! rules — previously enforced by convention alone — actually hold in the
+//! source. This crate makes them machine-checkable:
+//!
+//! 1. **sans-io purity** ([`rules::check_sans_io`]) — no sockets, threads,
+//!    sleeps, or wall-clock reads in `falkon-core`, `falkon-proto`,
+//!    `falkon-obs`, or `falkon-sim`; time enters as an explicit `Micros`.
+//! 2. **panic-free decode** ([`rules::check_decode_panic`]) — nothing
+//!    panicking (macros, `.unwrap()`/`.expect()`, unchecked indexing) in
+//!    `falkon-proto` decode-path files; untrusted bytes must never crash a
+//!    peer.
+//! 3. **probe provenance** ([`rules::check_probe_provenance`]) — drivers
+//!    mount recorders but never construct `ObsEvent`s, the invariant behind
+//!    `tests/obs_parity.rs`.
+//! 4. **calibration traceability** ([`rules::check_calibration`]) — every
+//!    `const` in `crates/exp/src/costs.rs` and `crates/lrm/src/profile.rs`
+//!    cites the paper number it reproduces.
+//! 5. **registry completeness** ([`rules::check_registry`]) — every module
+//!    under `crates/exp/src/experiments/` is reachable from `REGISTRY`.
+//!
+//! The workspace builds fully offline (no `syn`), so the rules run over a
+//! purpose-built token scanner ([`lexer`]) that elides comments and literal
+//! contents and exempts `#[cfg(test)]` / `#[test]` regions. Exceptions are
+//! explicit: each rule has an allowlist file under `crates/lint/allow/`
+//! whose entries carry mandatory justifications and must keep matching
+//! (stale entries are errors), so every exception is visible in diffs.
+//!
+//! Run as `cargo run -p falkon-lint` or `cargo xtask lint`; pass
+//! `--format json` for machine-readable output. Exits non-zero on any
+//! violation.
+
+pub mod allow;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use diag::{Diagnostic, Rule};
+pub use engine::{lint_files, lint_workspace, LintReport};
+pub use lexer::SourceFile;

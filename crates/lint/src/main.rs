@@ -1,0 +1,68 @@
+//! The `falkon-lint` binary: lint the workspace, print diagnostics, exit
+//! non-zero on any violation.
+
+use falkon_lint::diag::render_json_report;
+use falkon_lint::engine::lint_workspace;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: falkon-lint [lint] [--format text|json] [--root <dir>]";
+
+fn main() -> ExitCode {
+    let mut format = String::from("text");
+    // Default the root to the workspace containing this crate, so the tool
+    // works from any cwd under `cargo run -p falkon-lint`.
+    let mut root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            // `cargo xtask lint` forwards a `lint` subcommand; accept it.
+            "lint" => {}
+            "--format" => match args.next() {
+                Some(f) if f == "text" || f == "json" => format = f,
+                _ => return usage_error("--format takes `text` or `json`"),
+            },
+            "--root" => match args.next() {
+                Some(r) => root = PathBuf::from(r),
+                None => return usage_error("--root takes a directory"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unrecognized argument `{other}`")),
+        }
+    }
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("falkon-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if format == "json" {
+        println!("{}", render_json_report(&report.diags));
+    } else {
+        for d in &report.diags {
+            print!("{}", d.render_text());
+        }
+        eprintln!(
+            "falkon-lint: {} file(s) scanned, {} violation(s), {} allowlisted",
+            report.files_scanned,
+            report.diags.len(),
+            report.suppressed.len()
+        );
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("falkon-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,414 @@
+//! The five architecture-invariant checks.
+//!
+//! Each rule is a pure function over lexed [`SourceFile`]s, so the unit
+//! tests can run them on inline fixture snippets and the engine on the
+//! real workspace. Test regions (`#[cfg(test)]` / `#[test]` items) are
+//! exempt from every token-level rule.
+
+use crate::diag::{Diagnostic, Rule};
+use crate::lexer::{SourceFile, Tok, TokKind};
+
+/// Crate source prefixes that must stay sans-io (state machines only).
+pub const SANS_IO_SCOPES: [&str; 4] = [
+    "crates/core/src/",
+    "crates/proto/src/",
+    "crates/obs/src/",
+    "crates/sim/src/",
+];
+
+/// `falkon-proto` files whose non-test code is reachable from decode paths.
+pub const DECODE_SCOPES: [&str; 5] = [
+    "crates/proto/src/frame.rs",
+    "crates/proto/src/wire.rs",
+    "crates/proto/src/codec.rs",
+    "crates/proto/src/bundle.rs",
+    "crates/proto/src/security.rs",
+];
+
+/// Driver crates that may mount probes but never construct `ObsEvent`s.
+pub const DRIVER_SCOPES: [&str; 3] = ["crates/rt/src/", "crates/exp/src/", "crates/sim/src/"];
+
+/// Files whose `const` items are calibration constants and must cite the
+/// paper.
+pub const CALIBRATION_SCOPES: [&str; 2] = ["crates/exp/src/costs.rs", "crates/lrm/src/profile.rs"];
+
+fn in_scope(path: &str, scopes: &[&str]) -> bool {
+    scopes
+        .iter()
+        .any(|s| path == *s || (s.ends_with('/') && path.starts_with(s)))
+}
+
+fn diag(rule: Rule, file: &SourceFile, tok: &Tok, message: String) -> Diagnostic {
+    Diagnostic {
+        rule,
+        path: file.path.clone(),
+        line: tok.line,
+        col: tok.col,
+        message,
+        snippet: file.line_text(tok.line).to_string(),
+    }
+}
+
+/// Does the token sequence starting at `i` match `pat`? Each pattern element
+/// matches an identifier by text or a single punctuation character.
+fn seq_matches(toks: &[Tok], i: usize, pat: &[&str]) -> bool {
+    pat.iter().enumerate().all(|(k, p)| match toks.get(i + k) {
+        Some(t) => {
+            if p.len() == 1
+                && !p
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                t.is_punct(p.chars().next().unwrap_or(' '))
+            } else {
+                t.is_ident(p)
+            }
+        }
+        None => false,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: sans-io purity
+// ---------------------------------------------------------------------------
+
+/// Forbidden constructs in sans-io crates: `(pattern, what it is)`.
+const SANS_IO_FORBIDDEN: [(&[&str], &str); 7] = [
+    (&["std", ":", ":", "net"], "socket I/O (`std::net`)"),
+    (&["std", ":", ":", "thread"], "threading (`std::thread`)"),
+    (&["thread", ":", ":", "sleep"], "sleeping (`thread::sleep`)"),
+    (&["Instant"], "wall-clock type (`std::time::Instant`)"),
+    (&["SystemTime"], "wall-clock type (`std::time::SystemTime`)"),
+    (&["TcpStream"], "socket type (`TcpStream`)"),
+    (&["TcpListener"], "socket type (`TcpListener`)"),
+];
+
+/// Rule 1: no sockets, threads, sleeps, or wall-clock reads in sans-io
+/// crates — time must enter state machines as an explicit `Micros` argument.
+pub fn check_sans_io(file: &SourceFile) -> Vec<Diagnostic> {
+    if !in_scope(&file.path, &SANS_IO_SCOPES) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, tok) in file.toks.iter().enumerate() {
+        if tok.in_test {
+            continue;
+        }
+        for (pat, what) in SANS_IO_FORBIDDEN {
+            if seq_matches(&file.toks, i, pat) {
+                out.push(diag(
+                    Rule::SansIo,
+                    file,
+                    tok,
+                    format!(
+                        "{what} in sans-io crate; time and I/O must be driven \
+                         externally (pass `Micros`, return actions)"
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: panic-free decode
+// ---------------------------------------------------------------------------
+
+const PANIC_MACROS: [&str; 10] = [
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
+
+/// Keywords that may legitimately precede `[` without it being indexing
+/// (array types and expressions like `&mut [u8; 4]`, `return [a, b]`).
+const NON_INDEX_KEYWORDS: [&str; 14] = [
+    "mut", "dyn", "ref", "box", "move", "return", "break", "in", "as", "if", "else", "match",
+    "where", "const",
+];
+
+/// Rule 2: no `panic!`-family macros, `.unwrap()`/`.expect()`, or unchecked
+/// indexing/slicing in `falkon-proto` decode-path files (test code exempt).
+pub fn check_decode_panic(file: &SourceFile) -> Vec<Diagnostic> {
+    if !in_scope(&file.path, &DECODE_SCOPES) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let toks = &file.toks;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.in_test {
+            continue;
+        }
+        // panic!-family macro invocation.
+        if tok.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&tok.text.as_str())
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+        {
+            out.push(diag(
+                Rule::DecodePanic,
+                file,
+                tok,
+                format!(
+                    "`{}!` reachable from a decode path; return a typed \
+                     `CodecError` instead — decoding untrusted bytes must never panic",
+                    tok.text
+                ),
+            ));
+            continue;
+        }
+        // .unwrap( / .expect( method calls.
+        if tok.kind == TokKind::Ident
+            && (tok.text == "unwrap" || tok.text == "expect")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            out.push(diag(
+                Rule::DecodePanic,
+                file,
+                tok,
+                format!(
+                    "`.{}()` reachable from a decode path; propagate a typed \
+                     `CodecError` instead",
+                    tok.text
+                ),
+            ));
+            continue;
+        }
+        // Unchecked indexing/slicing: `expr[` where expr ends in an
+        // identifier, `)`, or `]`.
+        if tok.is_punct('[') && i > 0 {
+            let prev = &toks[i - 1];
+            let indexable = match prev.kind {
+                TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+                TokKind::Punct(c) => c == ')' || c == ']',
+                _ => false,
+            };
+            if indexable {
+                out.push(diag(
+                    Rule::DecodePanic,
+                    file,
+                    tok,
+                    "unchecked indexing/slicing reachable from a decode path; \
+                     use `get`/`split_first_chunk`-style APIs that return `Option`"
+                        .into(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: probe provenance
+// ---------------------------------------------------------------------------
+
+/// Rule 3: drivers (`falkon-rt`, `falkon-exp`, `falkon-sim`) may mount
+/// recorders but must never construct (or otherwise path-reference)
+/// `ObsEvent` values — lifecycle events are emitted by the sans-io machines
+/// only, or cross-driver parity (`tests/obs_parity.rs`) silently breaks.
+pub fn check_probe_provenance(file: &SourceFile) -> Vec<Diagnostic> {
+    if !in_scope(&file.path, &DRIVER_SCOPES) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, tok) in file.toks.iter().enumerate() {
+        if tok.in_test {
+            continue;
+        }
+        if tok.is_ident("ObsEvent") && seq_matches(&file.toks, i + 1, &[":", ":"]) {
+            out.push(diag(
+                Rule::ProbeProvenance,
+                file,
+                tok,
+                "driver code constructs `ObsEvent` directly; events must be \
+                 emitted by the sans-io machines (e.g. report byte counts \
+                 through `falkon_obs::WireTap`) so both drivers produce \
+                 identical event streams"
+                    .into(),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: calibration traceability
+// ---------------------------------------------------------------------------
+
+/// Does `text` contain a paper reference (`Table N`, `Figure N` / `Fig. N`,
+/// `Section N`, `§N`, or `p. N`)?
+pub fn has_paper_reference(text: &str) -> bool {
+    const KEYWORDS: [&str; 5] = ["Table", "Figure", "Fig", "Section", "§"];
+    for kw in KEYWORDS {
+        let mut from = 0;
+        while let Some(pos) = text[from..].find(kw) {
+            let after = &text[from + pos + kw.len()..];
+            // Allow plural/punctuation between keyword and number:
+            // "Tables 3/4", "Fig. 7", "§4.6".
+            let rest = after.trim_start_matches(['s', '.', ' ', '\u{a0}']);
+            if rest.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                return true;
+            }
+            from += pos + kw.len();
+        }
+    }
+    // `p. N` page references.
+    let mut from = 0;
+    while let Some(pos) = text[from..].find("p.") {
+        let rest = text[from + pos + 2..].trim_start();
+        if rest.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            return true;
+        }
+        from += pos + 2;
+    }
+    false
+}
+
+/// Rule 4: every `const` in the calibration files must carry a doc comment
+/// citing the paper number it reproduces.
+pub fn check_calibration(file: &SourceFile) -> Vec<Diagnostic> {
+    if !in_scope(&file.path, &CALIBRATION_SCOPES) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let toks = &file.toks;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.in_test || !tok.is_ident("const") {
+            continue;
+        }
+        // `const NAME:` — skip `const fn` and `*const T` pointers.
+        let Some(name) = toks.get(i + 1) else {
+            continue;
+        };
+        if name.kind != TokKind::Ident
+            || name.text == "fn"
+            || !toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            continue;
+        }
+        if i > 0 && toks[i - 1].is_punct('*') {
+            continue;
+        }
+        let docs = file.docs_above(tok.line);
+        if docs.is_empty() {
+            out.push(diag(
+                Rule::Calibration,
+                file,
+                tok,
+                format!(
+                    "calibration constant `{}` has no doc comment; every \
+                     constant here must cite the paper number it reproduces \
+                     (`Table N`, `Figure N`, `§N`, or `p. N`)",
+                    name.text
+                ),
+            ));
+        } else if !has_paper_reference(&docs) {
+            out.push(diag(
+                Rule::Calibration,
+                file,
+                tok,
+                format!(
+                    "doc comment on calibration constant `{}` cites no paper \
+                     reference (`Table N`, `Figure N`, `§N`, or `p. N`)",
+                    name.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: registry completeness
+// ---------------------------------------------------------------------------
+
+/// Rule 5: every module under `crates/exp/src/experiments/` must be
+/// referenced from `experiments/registry.rs` — the `repro` binary only
+/// dispatches through `REGISTRY`, so an unregistered experiment is
+/// unreachable.
+pub fn check_registry(modules: &[String], registry: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if !registry.toks.iter().any(|t| t.is_ident("REGISTRY")) {
+        out.push(Diagnostic {
+            rule: Rule::Registry,
+            path: registry.path.clone(),
+            line: 1,
+            col: 1,
+            message: "no `REGISTRY` table found in the experiment registry".into(),
+            snippet: registry.line_text(1).to_string(),
+        });
+        return out;
+    }
+    for m in modules {
+        if m == "mod" || m == "registry" {
+            continue;
+        }
+        if !registry.toks.iter().any(|t| t.is_ident(m)) {
+            out.push(Diagnostic {
+                rule: Rule::Registry,
+                path: registry.path.clone(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "experiment module `{m}` is never referenced from the \
+                     registry; add a `Report` variant and a `REGISTRY` entry \
+                     or the `repro` binary cannot reach it"
+                ),
+                snippet: registry.line_text(1).to_string(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(path: &str, src: &str) -> SourceFile {
+        SourceFile::parse(path, src)
+    }
+
+    #[test]
+    fn scope_matching() {
+        assert!(in_scope("crates/core/src/dispatcher.rs", &SANS_IO_SCOPES));
+        assert!(!in_scope("crates/rt/src/tcp.rs", &SANS_IO_SCOPES));
+        assert!(in_scope("crates/proto/src/wire.rs", &DECODE_SCOPES));
+        assert!(!in_scope("crates/proto/src/task.rs", &DECODE_SCOPES));
+    }
+
+    #[test]
+    fn paper_reference_patterns() {
+        assert!(has_paper_reference("Calibrated to Table 2."));
+        assert!(has_paper_reference("the \"Ideal\" column of Tables 3/4"));
+        assert!(has_paper_reference("see Fig. 7 for the curve"));
+        assert!(has_paper_reference("Figure 10 max"));
+        assert!(has_paper_reference("poll loop (§4.6)"));
+        assert!(has_paper_reference("Section 4.3 / Figure 5"));
+        assert!(has_paper_reference("measured on p. 7"));
+        assert!(!has_paper_reference("a carefully chosen number"));
+        assert!(!has_paper_reference("see the Table below"));
+    }
+
+    #[test]
+    fn indexing_heuristic_spares_types_and_arrays() {
+        let src = "fn f(x: &[u8], b: [u8; 4]) { let _: Vec<[u8; 2]> = vec![]; let a = [0u8; 8]; }";
+        let f = parse("crates/proto/src/wire.rs", src);
+        assert!(
+            check_decode_panic(&f).is_empty(),
+            "{:?}",
+            check_decode_panic(&f)
+        );
+    }
+}

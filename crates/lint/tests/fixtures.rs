@@ -1,0 +1,180 @@
+//! End-to-end fixtures: each of the five rules catches a seeded violation,
+//! `#[cfg(test)]` regions are exempt, allowlist entries suppress with a
+//! justification, and stale allowlist entries are themselves violations.
+
+use falkon_lint::engine::lint_files;
+use falkon_lint::lexer::SourceFile;
+use falkon_lint::Rule;
+use std::path::{Path, PathBuf};
+
+fn fixture_dir(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join(name)
+}
+
+#[test]
+fn sans_io_catches_sockets_threads_and_clocks() {
+    let f = SourceFile::parse(
+        "crates/core/src/dispatcher.rs",
+        r#"
+use std::net::TcpListener;
+fn tick() {
+    let t0 = Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let _ = SystemTime::now();
+    let _ = t0;
+}
+"#,
+    );
+    let report = lint_files(&[f], None).unwrap();
+    assert!(report.diags.len() >= 4, "diags: {:#?}", report.diags);
+    assert!(report.diags.iter().all(|d| d.rule == Rule::SansIo));
+}
+
+#[test]
+fn sans_io_exempts_test_regions() {
+    let f = SourceFile::parse(
+        "crates/core/src/dispatcher.rs",
+        r#"
+fn pure(now: u64) -> u64 { now + 1 }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_ok_in_tests() {
+        let _ = std::time::Instant::now();
+        std::thread::sleep(std::time::Duration::from_micros(1));
+    }
+}
+"#,
+    );
+    let report = lint_files(&[f], None).unwrap();
+    assert!(report.clean(), "diags: {:#?}", report.diags);
+}
+
+#[test]
+fn decode_panic_catches_macros_unwraps_and_indexing() {
+    let f = SourceFile::parse(
+        "crates/proto/src/frame.rs",
+        r#"
+fn decode(buf: &[u8]) -> u32 {
+    assert!(buf.len() >= 4, "short");
+    let head = buf[0];
+    let tail: [u8; 4] = buf[..4].try_into().unwrap();
+    if head == 0 { panic!("zero"); }
+    u32::from_le_bytes(tail)
+}
+"#,
+    );
+    let report = lint_files(&[f], None).unwrap();
+    let n = report
+        .diags
+        .iter()
+        .filter(|d| d.rule == Rule::DecodePanic)
+        .count();
+    // assert! + buf[0] + buf[..4] + .unwrap() + panic! = 5
+    assert_eq!(n, 5, "diags: {:#?}", report.diags);
+}
+
+#[test]
+fn probe_provenance_catches_driver_built_events() {
+    let f = SourceFile::parse(
+        "crates/rt/src/tcp.rs",
+        r#"
+use falkon_obs::{Counters, ObsEvent};
+fn leak(c: &mut Counters, bytes: u64) {
+    c.observe(&ObsEvent::BundleEncoded { bytes });
+}
+"#,
+    );
+    let report = lint_files(&[f], None).unwrap();
+    assert_eq!(report.diags.len(), 1, "diags: {:#?}", report.diags);
+    assert_eq!(report.diags[0].rule, Rule::ProbeProvenance);
+    // The same construction inside the obs crate itself is fine — that is
+    // where events are supposed to come from.
+    let machine = SourceFile::parse(
+        "crates/obs/src/wiretap.rs",
+        "fn emit(bytes: u64) -> ObsEvent { ObsEvent::BundleEncoded { bytes } }",
+    );
+    assert!(lint_files(&[machine], None).unwrap().clean());
+}
+
+#[test]
+fn calibration_requires_a_paper_citation() {
+    let f = SourceFile::parse(
+        "crates/exp/src/costs.rs",
+        r#"
+/// Dispatcher CPU per message (Fig. 3: 487 tasks/sec, two messages/task).
+pub const DOCUMENTED: u64 = 1_030;
+
+/// A lovingly hand-tuned number.
+pub const UNCITED: u64 = 42;
+
+pub const UNDOCUMENTED: u64 = 7;
+"#,
+    );
+    let report = lint_files(&[f], None).unwrap();
+    let names: Vec<&str> = report
+        .diags
+        .iter()
+        .filter(|d| d.rule == Rule::Calibration)
+        .map(|d| {
+            if d.message.contains("UNCITED") {
+                "UNCITED"
+            } else if d.message.contains("UNDOCUMENTED") {
+                "UNDOCUMENTED"
+            } else {
+                "?"
+            }
+        })
+        .collect();
+    assert_eq!(
+        names,
+        ["UNCITED", "UNDOCUMENTED"],
+        "diags: {:#?}",
+        report.diags
+    );
+}
+
+#[test]
+fn registry_catches_unreachable_experiments() {
+    let alpha = SourceFile::parse("crates/exp/src/experiments/alpha.rs", "pub fn run() {}");
+    let beta = SourceFile::parse("crates/exp/src/experiments/beta.rs", "pub fn run() {}");
+    let registry = SourceFile::parse(
+        "crates/exp/src/experiments/registry.rs",
+        "use super::alpha; pub static REGISTRY: &[&str] = &[\"alpha\"];",
+    );
+    let report = lint_files(&[alpha, beta, registry], None).unwrap();
+    assert_eq!(report.diags.len(), 1, "diags: {:#?}", report.diags);
+    assert_eq!(report.diags[0].rule, Rule::Registry);
+    assert!(report.diags[0].message.contains("`beta`"));
+}
+
+#[test]
+fn allowlisted_exception_is_suppressed_with_justification() {
+    let f = SourceFile::parse(
+        "crates/proto/src/codec.rs",
+        "fn f(x: Option<u8>) -> u8 { x.unwrap() }",
+    );
+    let report = lint_files(&[f], Some(&fixture_dir("fixture_allow"))).unwrap();
+    assert!(report.clean(), "diags: {:#?}", report.diags);
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].rule, Rule::DecodePanic);
+}
+
+#[test]
+fn stale_allowlist_entry_is_a_violation() {
+    let f = SourceFile::parse(
+        "crates/core/src/clean.rs",
+        "fn pure(now: u64) -> u64 { now }",
+    );
+    let report = lint_files(&[f], Some(&fixture_dir("fixture_allow_stale"))).unwrap();
+    assert_eq!(report.diags.len(), 1, "diags: {:#?}", report.diags);
+    assert_eq!(report.diags[0].rule, Rule::StaleAllow);
+    assert!(
+        report.diags[0].message.contains("crates/core/src/never.rs"),
+        "message: {}",
+        report.diags[0].message
+    );
+}

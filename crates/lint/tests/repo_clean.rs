@@ -1,0 +1,22 @@
+//! The workspace itself must lint clean — this is the tier-1 form of the
+//! CI gate, so `cargo test --workspace` fails the moment an architecture
+//! invariant regresses, even without running the `falkon-lint` binary.
+
+use falkon_lint::engine::lint_workspace;
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_violations() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_workspace(&root).expect("lint engine runs");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — wrong root?",
+        report.files_scanned
+    );
+    let rendered: String = report.diags.iter().map(|d| d.render_text()).collect();
+    assert!(
+        report.clean(),
+        "architecture invariants violated:\n{rendered}"
+    );
+}

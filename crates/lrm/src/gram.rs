@@ -138,9 +138,7 @@ impl Gram {
                 self.specs.insert(spec.id, spec);
             }
             GramInput::Cancel(job) => {
-                if self.specs.contains_key(&job)
-                    && self.lrm.job_state(job).is_none()
-                {
+                if self.specs.contains_key(&job) && self.lrm.job_state(job).is_none() {
                     // The Submit is still queued in the gateway pipeline:
                     // cancel must not overtake it and silently no-op. Mark
                     // it so the Forward is skipped and report Done.
@@ -208,10 +206,9 @@ impl Gram {
                             let state = match ns {
                                 NotifyState::Queued => JobState::Queued,
                                 NotifyState::Active => JobState::Active,
-                                NotifyState::Done => *self
-                                    .last_state
-                                    .get(&job)
-                                    .expect("state recorded at relay"),
+                                NotifyState::Done => {
+                                    *self.last_state.get(&job).expect("state recorded at relay")
+                                }
                             };
                             out.push(GramOutput::Notification { job, state });
                         }
@@ -318,8 +315,10 @@ mod tests {
         let mut out = Vec::new();
         g.handle(200_000_000, GramInput::Cancel(JobId(1)), &mut out);
         let log = drive(&mut g, true);
-        assert!(log.iter().any(|(_, GramOutput::Notification { state, .. })| {
-            matches!(state, JobState::Done(_))
-        }));
+        assert!(log
+            .iter()
+            .any(|(_, GramOutput::Notification { state, .. })| {
+                matches!(state, JobState::Done(_))
+            }));
     }
 }

@@ -135,7 +135,8 @@ impl VirtualCluster {
     /// Tear the cluster down (release the host allocation).
     pub fn shutdown(&mut self, now: Micros) {
         let mut out = Vec::new();
-        self.host.handle(now, LrmInput::Cancel(self.host_job), &mut out);
+        self.host
+            .handle(now, LrmInput::Cancel(self.host_job), &mut out);
         self.guest = None;
         self.phase = VcPhase::Ended;
     }

@@ -49,11 +49,11 @@ impl LrmProfile {
 /// ≈39 s of per-job node overhead on top of the payload).
 pub const PBS_V2_1_8: LrmProfile = LrmProfile {
     name: "PBS v2.1.8",
-    poll_interval_us: 60_000_000,    // 60 s scheduler polling loop (§4.6)
+    poll_interval_us: 60_000_000, // 60 s scheduler polling loop (§4.6)
     dispatch_overhead_us: 1_900_000, // ≈0.45 jobs/s sustained incl. poll waits
-    startup_us: 500_000,             // prologue
-    cleanup_us: 500_000,             // epilogue
-    node_release_us: 6_000_000,      // node returns to the free pool
+    startup_us: 500_000,          // prologue
+    cleanup_us: 500_000,          // epilogue
+    node_release_us: 6_000_000,   // node returns to the free pool
 };
 
 /// Condor v6.7.2 (Table 2: 0.49 tasks/sec via a MyCluster personal pool).

@@ -242,7 +242,9 @@ impl BatchScheduler {
     fn fire(&mut self, t: Micros, kind: Internal, job: JobId, out: &mut Vec<LrmOutput>) {
         match kind {
             Internal::Activate(_) => {
-                let Some(j) = self.jobs.get_mut(&job) else { return };
+                let Some(j) = self.jobs.get_mut(&job) else {
+                    return;
+                };
                 if j.state != JobState::Queued {
                     return; // cancelled while dispatching
                 }
@@ -278,12 +280,20 @@ impl BatchScheduler {
                 }
             }
             Internal::Complete(_) => {
-                if self.jobs.get(&job).is_some_and(|j| j.state == JobState::Active) {
+                if self
+                    .jobs
+                    .get(&job)
+                    .is_some_and(|j| j.state == JobState::Active)
+                {
                     self.finish(t, job, DoneReason::Completed, out);
                 }
             }
             Internal::WalltimeExpire(_) => {
-                if self.jobs.get(&job).is_some_and(|j| j.state == JobState::Active) {
+                if self
+                    .jobs
+                    .get(&job)
+                    .is_some_and(|j| j.state == JobState::Active)
+                {
                     self.finish(t, job, DoneReason::WalltimeExpired, out);
                 }
             }
@@ -295,7 +305,9 @@ impl BatchScheduler {
     }
 
     fn finish(&mut self, t: Micros, job: JobId, reason: DoneReason, out: &mut Vec<LrmOutput>) {
-        let Some(j) = self.jobs.get_mut(&job) else { return };
+        let Some(j) = self.jobs.get_mut(&job) else {
+            return;
+        };
         let must_free_nodes = j.nodes_reserved;
         j.state = JobState::Done(reason);
         self.stats.finished += 1;
@@ -342,7 +354,10 @@ mod tests {
     use super::*;
     use crate::profile::{IDEAL, PBS_V2_1_8};
 
-    fn run_until_quiet(s: &mut BatchScheduler, mut now: Micros) -> (Vec<(Micros, LrmOutput)>, Micros) {
+    fn run_until_quiet(
+        s: &mut BatchScheduler,
+        mut now: Micros,
+    ) -> (Vec<(Micros, LrmOutput)>, Micros) {
         let mut log = Vec::new();
         let mut out = Vec::new();
         while let Some(t) = s.next_wakeup() {
@@ -371,7 +386,10 @@ mod tests {
             }]
         );
         let (log, _) = run_until_quiet(&mut s, 0);
-        let states: Vec<JobState> = log.iter().map(|(_, LrmOutput::State { state, .. })| *state).collect();
+        let states: Vec<JobState> = log
+            .iter()
+            .map(|(_, LrmOutput::State { state, .. })| *state)
+            .collect();
         assert_eq!(
             states,
             vec![JobState::Active, JobState::Done(DoneReason::Completed)]
@@ -445,10 +463,18 @@ mod tests {
         let mut s = BatchScheduler::new(IDEAL, 4);
         let mut out = Vec::new();
         // Occupy all 4 nodes with a long job.
-        s.handle(0, LrmInput::Submit(JobSpec::service(1, 4, 50_000_000)), &mut out);
+        s.handle(
+            0,
+            LrmInput::Submit(JobSpec::service(1, 4, 50_000_000)),
+            &mut out,
+        );
         s.handle(1_000, LrmInput::Tick, &mut out);
         // A 4-node job queues, then a 1-node job behind it.
-        s.handle(1_001, LrmInput::Submit(JobSpec::service(2, 4, 1_000_000)), &mut out);
+        s.handle(
+            1_001,
+            LrmInput::Submit(JobSpec::service(2, 4, 1_000_000)),
+            &mut out,
+        );
         s.handle(1_002, LrmInput::Submit(JobSpec::task(3, 0)), &mut out);
         s.handle(10_000, LrmInput::Tick, &mut out);
         // Nothing free: both still queued (no backfilling).
@@ -485,12 +511,18 @@ mod tests {
     fn service_job_expires_at_walltime() {
         let mut s = BatchScheduler::new(IDEAL, 1);
         let mut out = Vec::new();
-        s.handle(0, LrmInput::Submit(JobSpec::service(1, 1, 10_000_000)), &mut out);
+        s.handle(
+            0,
+            LrmInput::Submit(JobSpec::service(1, 1, 10_000_000)),
+            &mut out,
+        );
         let (log, _) = run_until_quiet(&mut s, 0);
-        assert!(log.iter().any(|(_, LrmOutput::State { state, .. })| matches!(
-            state,
-            JobState::Done(DoneReason::WalltimeExpired)
-        )));
+        assert!(log
+            .iter()
+            .any(|(_, LrmOutput::State { state, .. })| matches!(
+                state,
+                JobState::Done(DoneReason::WalltimeExpired)
+            )));
         assert_eq!(s.free_nodes(), 1);
     }
 

@@ -33,7 +33,7 @@ proptest! {
         let mut submitted: Vec<JobId> = Vec::new();
         let mut states: HashMap<JobId, JobState> = HashMap::new();
 
-        let mut check_transitions = |out: &mut Vec<LrmOutput>, states: &mut HashMap<JobId, JobState>| {
+        let check_transitions = |out: &mut Vec<LrmOutput>, states: &mut HashMap<JobId, JobState>| {
             for LrmOutput::State { job, state } in out.drain(..) {
                 let prev = states.insert(job, state);
                 // Monotonic lifecycle: Queued → Active → Done; Done is final.

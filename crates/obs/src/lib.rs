@@ -17,6 +17,11 @@
 //!   [`TimeSeries`]; mounted by the drivers (one per thread in `falkon-rt`,
 //!   merged at join) to report p50/p90/p99/max dispatch overhead.
 //!
+//! Wire-level byte accounting goes through [`WireTap`]: drivers report raw
+//! byte counts (with an explicit `now`) and the tap constructs the
+//! `BundleEncoded`/`BundleDecoded` events, so drivers never build
+//! [`ObsEvent`]s themselves.
+//!
 //! The metric primitives ([`Histogram`], [`TimeSeries`], [`MovingAverage`],
 //! [`Summary`]) and the virtual-time types ([`SimTime`], [`SimDuration`])
 //! live here too; `falkon-sim` re-exports them for compatibility.
@@ -25,11 +30,13 @@ pub mod metrics;
 pub mod probe;
 pub mod recorder;
 pub mod time;
+pub mod wiretap;
 
 pub use metrics::{Histogram, MovingAverage, Summary, TimeSeries};
 pub use probe::{Counters, NoopProbe, ObsEvent, ObsEventKind, Probe};
 pub use recorder::Recorder;
 pub use time::{SimDuration, SimTime};
+pub use wiretap::WireTap;
 
 /// Microsecond-resolution timestamp attached to every observed event.
 /// Matches `falkon_core::Micros`: wall-clock-derived in the real-time

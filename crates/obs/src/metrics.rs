@@ -133,7 +133,7 @@ impl TimeSeries {
     /// merge: per-thread series are individually ordered but interleave).
     pub fn merge(&mut self, other: &TimeSeries) {
         self.points.extend_from_slice(&other.points);
-        self.points.sort_by(|a, b| a.0.cmp(&b.0));
+        self.points.sort_by_key(|a| a.0);
     }
 
     /// All recorded points.

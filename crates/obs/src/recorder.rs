@@ -63,7 +63,8 @@ impl Probe for Recorder {
                 self.overhead_us.record(overhead_us);
             }
             ObsEvent::QueueDepth { depth } => {
-                self.queue_depth.push(SimTime::from_micros(now), depth as f64);
+                self.queue_depth
+                    .push(SimTime::from_micros(now), depth as f64);
             }
             _ => {}
         }

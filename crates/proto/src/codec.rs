@@ -545,6 +545,9 @@ mod tests {
         let msg = Message::Work {
             tasks: vec![TaskSpec::sleep(1, 0)],
         };
-        assert_eq!(EfficientCodec.encoded_len(&msg), EfficientCodec.encode(&msg).len());
+        assert_eq!(
+            EfficientCodec.encoded_len(&msg),
+            EfficientCodec.encode(&msg).len()
+        );
     }
 }

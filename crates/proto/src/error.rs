@@ -43,7 +43,9 @@ pub enum CodecError {
 impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CodecError::Truncated { context } => write!(f, "truncated input while decoding {context}"),
+            CodecError::Truncated { context } => {
+                write!(f, "truncated input while decoding {context}")
+            }
             CodecError::UnknownTag { context, tag } => {
                 write!(f, "unknown tag {tag} while decoding {context}")
             }
@@ -68,10 +70,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = CodecError::UnknownTag { context: "Message", tag: 99 };
+        let e = CodecError::UnknownTag {
+            context: "Message",
+            tag: 99,
+        };
         assert!(e.to_string().contains("99"));
         assert!(e.to_string().contains("Message"));
-        let t = CodecError::Truncated { context: "TaskSpec" };
+        let t = CodecError::Truncated {
+            context: "TaskSpec",
+        };
         assert!(t.to_string().contains("TaskSpec"));
     }
 }

@@ -40,20 +40,20 @@ impl FrameDecoder {
     /// Returns `Err` if the stream declares a frame longer than
     /// [`MAX_FRAME_LEN`] (the connection should be dropped).
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, CodecError> {
-        if self.buf.len() < 4 {
+        let Some(header) = self.buf.first_chunk::<4>() else {
             return Ok(None);
-        }
-        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap()) as usize;
+        };
+        let len = u32::from_le_bytes(*header) as usize;
         if len > MAX_FRAME_LEN {
             return Err(CodecError::LengthOverflow {
                 context: "frame",
                 len: len as u64,
             });
         }
-        if self.buf.len() < 4 + len {
+        let Some(frame) = self.buf.get(4..4 + len) else {
             return Ok(None);
-        }
-        let frame = self.buf[4..4 + len].to_vec();
+        };
+        let frame = frame.to_vec();
         self.buf.drain(..4 + len);
         Ok(Some(frame))
     }

@@ -104,17 +104,21 @@ impl SecureChannel {
 
     /// Verify the peer's handshake message and derive the session key.
     pub fn complete_handshake(&mut self, peer_msg: &[u8]) -> Result<(), CodecError> {
-        if peer_msg.len() != 16 {
+        let Some((nonce_bytes, mac_rest)) = peer_msg.split_first_chunk::<8>() else {
             return Err(CodecError::Truncated {
                 context: "handshake",
             });
-        }
-        let nonce_bytes = &peer_msg[..8];
-        let mac = u64::from_le_bytes(peer_msg[8..16].try_into().unwrap());
+        };
+        let Ok(mac_bytes) = <[u8; MAC_LEN]>::try_from(mac_rest) else {
+            return Err(CodecError::Truncated {
+                context: "handshake",
+            });
+        };
+        let mac = u64::from_le_bytes(mac_bytes);
         if fnv1a64(self.psk, nonce_bytes) != mac {
             return Err(CodecError::MacMismatch);
         }
-        let peer_nonce = u64::from_le_bytes(nonce_bytes.try_into().unwrap());
+        let peer_nonce = u64::from_le_bytes(*nonce_bytes);
         // Order-independent key derivation so both sides agree.
         let mixed = self.local_nonce ^ peer_nonce;
         self.session_key = Some(fnv1a64(self.psk, &mixed.to_le_bytes()));
@@ -141,11 +145,10 @@ impl SecureChannel {
     /// Verify-and-decrypt a sealed frame.
     pub fn open(&mut self, sealed: &[u8]) -> Result<Vec<u8>, CodecError> {
         let key = self.session_key.ok_or(CodecError::HandshakeIncomplete)?;
-        if sealed.len() < MAC_LEN {
+        let Some((cipher, mac_bytes)) = sealed.split_last_chunk::<MAC_LEN>() else {
             return Err(CodecError::Truncated { context: "sealed" });
-        }
-        let (cipher, mac_bytes) = sealed.split_at(sealed.len() - MAC_LEN);
-        let mac = u64::from_le_bytes(mac_bytes.try_into().unwrap());
+        };
+        let mac = u64::from_le_bytes(*mac_bytes);
         if fnv1a64(key ^ self.recv_counter, cipher) != mac {
             return Err(CodecError::MacMismatch);
         }

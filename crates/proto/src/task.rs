@@ -210,7 +210,8 @@ mod tests {
 
     #[test]
     fn with_data_builder() {
-        let t = TaskSpec::sleep(1, 0).with_data(1 << 20, DataLocation::SharedFs, DataAccess::ReadWrite);
+        let t =
+            TaskSpec::sleep(1, 0).with_data(1 << 20, DataLocation::SharedFs, DataAccess::ReadWrite);
         let d = t.data.unwrap();
         assert_eq!(d.bytes, 1 << 20);
         assert_eq!(d.location, DataLocation::SharedFs);

@@ -25,31 +25,36 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], CodecError> {
-        if self.remaining() < n {
-            return Err(CodecError::Truncated { context });
+        match self.buf.get(self.pos..self.pos + n) {
+            Some(s) => {
+                self.pos += n;
+                Ok(s)
+            }
+            None => Err(CodecError::Truncated { context }),
         }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(s)
+    }
+
+    /// A fixed-size `take`, for the scalar readers: the length check and the
+    /// array conversion are one fallible step, so no panic is reachable.
+    fn array<const N: usize>(&mut self, context: &'static str) -> Result<[u8; N], CodecError> {
+        let b = self.take(N, context)?;
+        <[u8; N]>::try_from(b).map_err(|_| CodecError::Truncated { context })
     }
 
     pub fn u8(&mut self, context: &'static str) -> Result<u8, CodecError> {
-        Ok(self.take(1, context)?[0])
+        self.array::<1>(context).map(|[b]| b)
     }
 
     pub fn u32(&mut self, context: &'static str) -> Result<u32, CodecError> {
-        let b = self.take(4, context)?;
-        Ok(u32::from_le_bytes(b.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array(context)?))
     }
 
     pub fn u64(&mut self, context: &'static str) -> Result<u64, CodecError> {
-        let b = self.take(8, context)?;
-        Ok(u64::from_le_bytes(b.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array(context)?))
     }
 
     pub fn i32(&mut self, context: &'static str) -> Result<i32, CodecError> {
-        let b = self.take(4, context)?;
-        Ok(i32::from_le_bytes(b.try_into().unwrap()))
+        Ok(i32::from_le_bytes(self.array(context)?))
     }
 
     /// Length-prefixed array count, validated against [`MAX_LEN`].
@@ -250,10 +255,7 @@ mod tests {
         let mut s = VecSink::default();
         s.put_bytes(&[0xFF, 0xFE]);
         let mut r = Reader::new(&s.buf);
-        assert!(matches!(
-            r.string("s"),
-            Err(CodecError::InvalidUtf8 { .. })
-        ));
+        assert!(matches!(r.string("s"), Err(CodecError::InvalidUtf8 { .. })));
     }
 
     #[test]

@@ -15,28 +15,30 @@ fn arb_task() -> BoxedStrategy<TaskSpec> {
         prop::option::of(any::<u64>()),
         prop::option::of((any::<u64>(), any::<u64>(), any::<bool>(), any::<bool>())),
     )
-        .prop_map(|(id, command, args, env, working_dir, est, data)| TaskSpec {
-            id: TaskId(id),
-            command,
-            args,
-            env,
-            working_dir,
-            estimated_runtime_us: est,
-            data: data.map(|(object, bytes, loc, acc)| DataSpec {
-                object,
-                bytes,
-                location: if loc {
-                    DataLocation::SharedFs
-                } else {
-                    DataLocation::LocalDisk
-                },
-                access: if acc {
-                    DataAccess::Read
-                } else {
-                    DataAccess::ReadWrite
-                },
-            }),
-        })
+        .prop_map(
+            |(id, command, args, env, working_dir, est, data)| TaskSpec {
+                id: TaskId(id),
+                command,
+                args,
+                env,
+                working_dir,
+                estimated_runtime_us: est,
+                data: data.map(|(object, bytes, loc, acc)| DataSpec {
+                    object,
+                    bytes,
+                    location: if loc {
+                        DataLocation::SharedFs
+                    } else {
+                        DataLocation::LocalDisk
+                    },
+                    access: if acc {
+                        DataAccess::Read
+                    } else {
+                        DataAccess::ReadWrite
+                    },
+                }),
+            },
+        )
         .boxed()
 }
 
@@ -82,16 +84,16 @@ fn arb_message() -> impl Strategy<Value = Message> {
             host
         }),
         Just(Message::StatusPoll),
-        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
-            |(q, r, reg, busy)| Message::Status {
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(q, r, reg, busy)| {
+            Message::Status {
                 status: DispatcherStatus {
                     queued_tasks: q,
                     running_tasks: r,
                     registered_executors: reg,
                     busy_executors: busy,
-                }
+                },
             }
-        ),
+        }),
     ]
 }
 

@@ -13,7 +13,7 @@ use falkon_core::client::{Client, ClientAction, ClientEvent};
 use falkon_core::dispatcher::{Dispatcher, DispatcherAction, DispatcherEvent, TaskRecord};
 use falkon_core::executor::{Executor, ExecutorAction, ExecutorConfig, ExecutorEvent};
 use falkon_core::DispatcherConfig;
-use falkon_obs::{Counters, ObsEvent, Probe, Recorder};
+use falkon_obs::{Counters, Recorder, WireTap};
 use falkon_proto::bundle::BundleConfig;
 use falkon_proto::message::ExecutorId;
 use falkon_proto::task::{TaskResult, TaskSpec};
@@ -142,28 +142,40 @@ pub fn run_workload(config: &InprocConfig, tasks: Vec<TaskSpec>) -> RunOutcome {
     // The calling thread is the client.
     let mut client = Client::new(config.bundle);
     let mut client_ep = client_ep;
-    let mut client_obs = Counters::new();
+    let mut client_wire = WireTap::new();
     let mut actions = Vec::new();
     client.on_event(clock.now_us(), ClientEvent::Start, &mut actions);
     let t_submit = clock.now_us();
     client.enqueue(t_submit, tasks, &mut actions);
-    send_client_actions(&mut actions, &mut client_ep, &disp_tx, &mut client_obs);
+    send_client_actions(
+        t_submit,
+        &mut actions,
+        &mut client_ep,
+        &disp_tx,
+        &mut client_wire,
+    );
 
     let mut elapsed_us = 0;
     while client.outstanding() > 0 || client.completions().is_empty() && n_tasks > 0 {
         let packet = client_rx.recv().expect("dispatcher alive");
+        let now = clock.now_us();
         if let Some(bytes) = packet_bytes(&packet) {
-            client_obs.observe(&ObsEvent::BundleDecoded { bytes });
+            client_wire.decoded(now, bytes);
         }
         let msg = client_ep.unpack(packet).expect("valid packet");
-        let now = clock.now_us();
         let ev = falkon_core::mapping::message_to_client_event(msg)
             .expect("dispatcher sent a non-client message to the client");
         client.on_event(now, ev, &mut actions);
         let complete = actions
             .iter()
             .any(|a| matches!(a, ClientAction::WorkloadComplete));
-        send_client_actions(&mut actions, &mut client_ep, &disp_tx, &mut client_obs);
+        send_client_actions(
+            now,
+            &mut actions,
+            &mut client_ep,
+            &disp_tx,
+            &mut client_wire,
+        );
         if complete {
             elapsed_us = clock.now_us() - t_submit;
             break;
@@ -178,7 +190,7 @@ pub fn run_workload(config: &InprocConfig, tasks: Vec<TaskSpec>) -> RunOutcome {
         let shard = h.join().expect("executor thread");
         obs.merge_counters(&shard);
     }
-    obs.merge_counters(&client_obs);
+    obs.merge_counters(client_wire.probe());
 
     RunOutcome {
         tasks: client.completions().len() as u64,
@@ -191,18 +203,21 @@ pub fn run_workload(config: &InprocConfig, tasks: Vec<TaskSpec>) -> RunOutcome {
 }
 
 fn send_client_actions(
+    now: u64,
     actions: &mut Vec<ClientAction>,
     ep: &mut Endpoint,
     disp_tx: &Sender<DispIn>,
-    obs: &mut Counters,
+    wire: &mut WireTap,
 ) {
     for act in actions.drain(..) {
         if let ClientAction::Send(msg) = act {
             let pkt = ep.pack(msg).expect("packable");
             if let Some(bytes) = packet_bytes(&pkt) {
-                obs.observe(&ObsEvent::BundleEncoded { bytes });
+                wire.encoded(now, bytes);
             }
-            disp_tx.send(DispIn::FromClient(pkt)).expect("dispatcher alive");
+            disp_tx
+                .send(DispIn::FromClient(pkt))
+                .expect("dispatcher alive");
         }
     }
 }
@@ -222,7 +237,7 @@ fn dispatcher_thread(
     Recorder,
 ) {
     let mut d = Dispatcher::with_probe(config, Recorder::new());
-    let mut wire = Recorder::new();
+    let mut wire = WireTap::with_probe(Recorder::new());
     let mut records = Vec::new();
     let mut out = Vec::new();
     loop {
@@ -238,7 +253,7 @@ fn dispatcher_thread(
             Ok(DispIn::Stop) | Err(RecvTimeoutError::Disconnected) => break,
             Ok(DispIn::FromExecutor(id, pkt)) => {
                 if let Some(bytes) = packet_bytes(&pkt) {
-                    wire.on_event(now, &ObsEvent::BundleDecoded { bytes });
+                    wire.decoded(now, bytes);
                 }
                 let msg = exec_eps[id.0 as usize].unpack(pkt).expect("valid packet");
                 falkon_core::mapping::executor_message_to_dispatcher_event(msg)
@@ -246,7 +261,7 @@ fn dispatcher_thread(
             }
             Ok(DispIn::FromClient(pkt)) => {
                 if let Some(bytes) = packet_bytes(&pkt) {
-                    wire.on_event(now, &ObsEvent::BundleDecoded { bytes });
+                    wire.decoded(now, bytes);
                 }
                 let msg = client_ep.unpack(pkt).expect("valid packet");
                 falkon_core::mapping::client_message_to_dispatcher_event(msg)
@@ -260,7 +275,7 @@ fn dispatcher_thread(
                 DispatcherAction::ToExecutor { executor, msg } => {
                     let pkt = exec_eps[executor.0 as usize].pack(msg).expect("packable");
                     if let Some(bytes) = packet_bytes(&pkt) {
-                        wire.on_event(now, &ObsEvent::BundleEncoded { bytes });
+                        wire.encoded(now, bytes);
                     }
                     // A send failure means the executor already exited
                     // (e.g. idle-released); the dispatcher will time the
@@ -270,7 +285,7 @@ fn dispatcher_thread(
                 DispatcherAction::ToClient { msg, .. } => {
                     let pkt = client_ep.pack(msg).expect("packable");
                     if let Some(bytes) = packet_bytes(&pkt) {
-                        wire.on_event(now, &ObsEvent::BundleEncoded { bytes });
+                        wire.encoded(now, bytes);
                     }
                     let _ = client_tx.send(pkt);
                 }
@@ -281,7 +296,7 @@ fn dispatcher_thread(
     }
     let stats = d.stats();
     let mut obs = d.probe().clone();
-    obs.merge(&wire);
+    obs.merge(wire.probe());
     (records, stats, obs)
 }
 
@@ -294,19 +309,19 @@ fn executor_thread(
     disp_tx: Sender<DispIn>,
 ) -> Counters {
     let mut machine = Executor::new(id, format!("inproc-{}", id.0), config.executor);
-    let mut wire = Counters::new();
+    let mut wire = WireTap::new();
     let mut actions = Vec::new();
     machine.on_event(clock.now_us(), ExecutorEvent::Start, &mut actions);
     let mut pending_events: Vec<ExecutorEvent> = Vec::new();
     'main: loop {
         // Drain actions (possibly generating follow-up events locally).
         while !actions.is_empty() || !pending_events.is_empty() {
-            for act in actions.drain(..).collect::<Vec<_>>() {
+            for act in std::mem::take(&mut actions) {
                 match act {
                     ExecutorAction::Send(msg) => {
                         let pkt = ep.pack(msg).expect("packable");
                         if let Some(bytes) = packet_bytes(&pkt) {
-                            wire.observe(&ObsEvent::BundleEncoded { bytes });
+                            wire.encoded(clock.now_us(), bytes);
                         }
                         if disp_tx.send(DispIn::FromExecutor(id, pkt)).is_err() {
                             break 'main;
@@ -321,7 +336,7 @@ fn executor_thread(
                     ExecutorAction::Shutdown => break 'main,
                 }
             }
-            for ev in pending_events.drain(..).collect::<Vec<_>>() {
+            for ev in std::mem::take(&mut pending_events) {
                 machine.on_event(clock.now_us(), ev, &mut actions);
             }
         }
@@ -345,7 +360,7 @@ fn executor_thread(
             None => machine.on_event(now, ExecutorEvent::IdleTimeout, &mut actions),
             Some(pkt) => {
                 if let Some(bytes) = packet_bytes(&pkt) {
-                    wire.observe(&ObsEvent::BundleDecoded { bytes });
+                    wire.decoded(now, bytes);
                 }
                 let msg = ep.unpack(pkt).expect("valid packet");
                 let ev = falkon_core::mapping::message_to_executor_event(msg)
@@ -355,7 +370,7 @@ fn executor_thread(
         }
     }
     let mut shard = machine.counters().clone();
-    shard.merge(&wire);
+    shard.merge(wire.probe());
     shard
 }
 

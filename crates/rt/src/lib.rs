@@ -17,6 +17,12 @@
 //!   dispatch throughput on the same transport.
 //! * [`clock`] — a monotonic microsecond clock shared by all components.
 
+// This crate is the workspace's designated time/IO authority: it is where
+// wall-clock reads and blocking waits are *supposed* to live (the sans-io
+// machines it drives get time as explicit `Micros`). The workspace-level
+// clippy.toml bans these methods everywhere else.
+#![allow(clippy::disallowed_methods)]
+
 pub mod clock;
 pub mod exec;
 pub mod inproc;

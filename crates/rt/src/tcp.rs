@@ -14,7 +14,7 @@ use falkon_core::client::{Client, ClientAction, ClientEvent};
 use falkon_core::dispatcher::{Dispatcher, DispatcherAction, DispatcherEvent, TaskRecord};
 use falkon_core::executor::{Executor, ExecutorAction, ExecutorConfig, ExecutorEvent};
 use falkon_core::DispatcherConfig;
-use falkon_obs::{Counters, ObsEvent, Recorder};
+use falkon_obs::{Counters, Recorder, WireTap};
 use falkon_proto::bundle::BundleConfig;
 use falkon_proto::codec::{Codec, EfficientCodec};
 use falkon_proto::frame::{write_frame, FrameDecoder};
@@ -42,12 +42,19 @@ pub struct Conn {
     secure: Option<SecureChannel>,
     codec: EfficientCodec,
     readbuf: [u8; 64 * 1024],
-    wire: Counters,
+    clock: Clock,
+    wire: WireTap,
 }
 
 impl Conn {
     /// Wrap a connected stream, performing the security handshake if asked.
-    pub fn establish(stream: TcpStream, security: TcpSecurity) -> std::io::Result<Conn> {
+    /// `clock` supplies the timestamps handed to the wire tap alongside each
+    /// frame's byte count.
+    pub fn establish(
+        stream: TcpStream,
+        security: TcpSecurity,
+        clock: Clock,
+    ) -> std::io::Result<Conn> {
         stream.set_nodelay(true).ok();
         // Bound writes: a peer that stops reading while we flush a large
         // outbound burst must not wedge this thread (write-write deadlock);
@@ -59,7 +66,8 @@ impl Conn {
             secure: None,
             codec: EfficientCodec,
             readbuf: [0; 64 * 1024],
-            wire: Counters::new(),
+            clock,
+            wire: WireTap::new(),
         };
         if let Some(psk) = security {
             // Bound the handshake: a peer that connects and never speaks
@@ -110,18 +118,14 @@ impl Conn {
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?,
             None => bytes,
         };
-        self.wire.observe(&ObsEvent::BundleEncoded {
-            bytes: payload.len() as u64,
-        });
+        self.wire.encoded(self.clock.now_us(), payload.len() as u64);
         self.write_raw(&payload)
     }
 
     /// Blocking receive of one message.
     pub fn recv(&mut self) -> std::io::Result<Message> {
         let frame = self.read_raw_frame()?;
-        self.wire.observe(&ObsEvent::BundleDecoded {
-            bytes: frame.len() as u64,
-        });
+        self.wire.decoded(self.clock.now_us(), frame.len() as u64);
         let plain = match self.secure.as_mut() {
             Some(chan) => chan
                 .open(&frame)
@@ -141,7 +145,7 @@ impl Conn {
     /// Wire-level observability shard: one `BundleEncoded`/`BundleDecoded`
     /// per frame sent/received on this connection, with sealed byte sizes.
     pub fn wire_counters(&self) -> &Counters {
-        &self.wire
+        self.wire.probe()
     }
 }
 
@@ -178,6 +182,9 @@ impl DispatcherServer {
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let (core_tx, core_rx) = unbounded::<CoreIn>();
+        // One clock origin shared by every connection thread, so their wire
+        // tap timestamps are mutually comparable.
+        let clock = Clock::start();
 
         let accept_stop = stop.clone();
         let accept_tx = core_tx.clone();
@@ -191,7 +198,9 @@ impl DispatcherServer {
                         next_conn += 1;
                         let tx = accept_tx.clone();
                         let conn_stop = accept_stop.clone();
-                        thread::spawn(move || serve_conn(id, stream, security, tx, conn_stop));
+                        thread::spawn(move || {
+                            serve_conn(id, stream, security, clock, tx, conn_stop)
+                        });
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         thread::sleep(Duration::from_millis(5));
@@ -242,9 +251,8 @@ impl DispatcherServer {
     }
 }
 
-static STOP_SENDERS: std::sync::LazyLock<
-    std::sync::Mutex<HashMap<SocketAddr, Sender<CoreIn>>>,
-> = std::sync::LazyLock::new(|| std::sync::Mutex::new(HashMap::new()));
+static STOP_SENDERS: std::sync::LazyLock<std::sync::Mutex<HashMap<SocketAddr, Sender<CoreIn>>>> =
+    std::sync::LazyLock::new(|| std::sync::Mutex::new(HashMap::new()));
 
 /// Per-connection: handshake, then pump frames into the core and messages
 /// back out.
@@ -252,10 +260,11 @@ fn serve_conn(
     id: ConnId,
     stream: TcpStream,
     security: TcpSecurity,
+    clock: Clock,
     core_tx: Sender<CoreIn>,
     stop: Arc<AtomicBool>,
 ) {
-    let Ok(mut conn) = Conn::establish(stream, security) else {
+    let Ok(mut conn) = Conn::establish(stream, security, clock) else {
         core_tx
             .send(CoreIn::ConnClosed(id, Box::new(Counters::new())))
             .ok();
@@ -296,7 +305,10 @@ fn serve_conn(
         }
     }
     core_tx
-        .send(CoreIn::ConnClosed(id, Box::new(conn.wire_counters().clone())))
+        .send(CoreIn::ConnClosed(
+            id,
+            Box::new(conn.wire_counters().clone()),
+        ))
         .ok();
 }
 
@@ -338,9 +350,21 @@ fn dispatcher_core(
                 // Any executors on this connection are lost.
                 for exec in conn_execs.remove(&id).unwrap_or_default() {
                     exec_conn.remove(&exec);
-                    d.on_event(now, DispatcherEvent::ExecutorLost { executor: exec }, &mut out);
+                    d.on_event(
+                        now,
+                        DispatcherEvent::ExecutorLost { executor: exec },
+                        &mut out,
+                    );
                 }
-                route(&mut d, &mut out, &mut records, &conns, &mut exec_conn, &mut inst_conn, None);
+                route(
+                    &mut d,
+                    &mut out,
+                    &mut records,
+                    &conns,
+                    &mut exec_conn,
+                    &mut inst_conn,
+                    None,
+                );
                 continue;
             }
             Ok(CoreIn::Msg(id, msg)) => {
@@ -359,7 +383,15 @@ fn dispatcher_core(
             Err(RecvTimeoutError::Timeout) => (None, DispatcherEvent::CheckDeadlines),
         };
         d.on_event(now, ev, &mut out);
-        route(&mut d, &mut out, &mut records, &conns, &mut exec_conn, &mut inst_conn, from);
+        route(
+            &mut d,
+            &mut out,
+            &mut records,
+            &conns,
+            &mut exec_conn,
+            &mut inst_conn,
+            from,
+        );
     }
     let stats = d.stats();
     let mut obs = d.probe().clone();
@@ -415,14 +447,14 @@ pub fn run_executor(
 ) -> std::io::Result<u64> {
     let clock = Clock::start();
     let stream = TcpStream::connect(addr)?;
-    let mut conn = Conn::establish(stream, security)?;
+    let mut conn = Conn::establish(stream, security, clock)?;
     let mut machine = Executor::new(id, "tcp-exec", config);
     let mut actions = Vec::new();
     machine.on_event(clock.now_us(), ExecutorEvent::Start, &mut actions);
     let mut queue: Vec<ExecutorEvent> = Vec::new();
     loop {
         while !actions.is_empty() || !queue.is_empty() {
-            for act in actions.drain(..).collect::<Vec<_>>() {
+            for act in std::mem::take(&mut actions) {
                 match act {
                     ExecutorAction::Send(msg) => conn.send(&msg)?,
                     ExecutorAction::Run(spec) => {
@@ -434,7 +466,7 @@ pub fn run_executor(
                     ExecutorAction::Shutdown => return Ok(machine.tasks_run),
                 }
             }
-            for ev in queue.drain(..).collect::<Vec<_>>() {
+            for ev in std::mem::take(&mut queue) {
                 machine.on_event(clock.now_us(), ev, &mut actions);
             }
         }
@@ -459,9 +491,7 @@ pub fn run_executor(
             {
                 machine.on_event(clock.now_us(), ExecutorEvent::IdleTimeout, &mut actions);
             }
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
-                return Ok(machine.tasks_run)
-            }
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(machine.tasks_run),
             Err(e) => return Err(e),
         }
     }
@@ -477,7 +507,7 @@ pub fn run_client(
 ) -> std::io::Result<(u64, u64)> {
     let clock = Clock::start();
     let stream = TcpStream::connect(addr)?;
-    let mut conn = Conn::establish(stream, security)?;
+    let mut conn = Conn::establish(stream, security, clock)?;
     let mut client = Client::new(bundle);
     let n = tasks.len() as u64;
     let mut actions = Vec::new();

@@ -72,11 +72,7 @@ impl Endpoint {
             WireMode::Encoded => Ok(Packet::Bytes(self.codec.encode(&msg))),
             WireMode::Secure => {
                 let bytes = self.codec.encode(&msg);
-                let sealed = self
-                    .secure
-                    .as_mut()
-                    .expect("checked in new")
-                    .seal(&bytes)?;
+                let sealed = self.secure.as_mut().expect("checked in new").seal(&bytes)?;
                 Ok(Packet::Bytes(sealed))
             }
         }
@@ -89,11 +85,7 @@ impl Endpoint {
             (WireMode::Plain, Packet::Value(m)) => Ok(m),
             (WireMode::Encoded, Packet::Bytes(b)) => self.codec.decode(&b),
             (WireMode::Secure, Packet::Bytes(b)) => {
-                let plain = self
-                    .secure
-                    .as_mut()
-                    .expect("checked in new")
-                    .open(&b)?;
+                let plain = self.secure.as_mut().expect("checked in new").open(&b)?;
                 self.codec.decode(&plain)
             }
             _ => Err(CodecError::Truncated {

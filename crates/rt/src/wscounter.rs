@@ -41,9 +41,7 @@ impl CounterServer {
                     Ok((stream, _)) => {
                         let c = tcounter.clone();
                         let s = tstop.clone();
-                        thread::spawn(move ||
-
- serve(stream, c, s));
+                        thread::spawn(move || serve(stream, c, s));
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         thread::sleep(Duration::from_millis(2));

@@ -117,10 +117,14 @@ pub fn ascii_plot(name: &str, points: &[(f64, f64)], width: usize, height: usize
     }
     let (xmin, xmax) = points
         .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| (lo.min(x), hi.max(x)));
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| {
+            (lo.min(x), hi.max(x))
+        });
     let (ymin, ymax) = points
         .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| (lo.min(y), hi.max(y)));
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| {
+            (lo.min(y), hi.max(y))
+        });
     let xspan = (xmax - xmin).max(f64::MIN_POSITIVE);
     let yspan = (ymax - ymin).max(f64::MIN_POSITIVE);
     let mut grid = vec![vec![b' '; width]; height];
@@ -129,7 +133,10 @@ pub fn ascii_plot(name: &str, points: &[(f64, f64)], width: usize, height: usize
         let row = (((y - ymin) / yspan) * (height - 1) as f64).round() as usize;
         grid[height - 1 - row][col] = b'*';
     }
-    let _ = writeln!(out, "y: [{ymin:.3} .. {ymax:.3}]  x: [{xmin:.3} .. {xmax:.3}]");
+    let _ = writeln!(
+        out,
+        "y: [{ymin:.3} .. {ymax:.3}]  x: [{xmin:.3} .. {xmax:.3}]"
+    );
     for row in grid {
         out.push('|');
         out.push_str(std::str::from_utf8(&row).unwrap());

@@ -134,11 +134,7 @@ pub fn dag() -> Dag {
             ));
             // Each partial co-add consumes its slice of corrected images.
             let per = (N_IMAGES as usize).div_ceil(N_ADD_SUB as usize);
-            for &b in background
-                .iter()
-                .skip(k as usize * per)
-                .take(per)
-            {
+            for &b in background.iter().skip(k as usize * per).take(per) {
                 g.depend(b, n);
             }
             n

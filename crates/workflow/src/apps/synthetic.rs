@@ -18,24 +18,24 @@ use crate::dag::{Dag, WfTask};
 
 /// `(tasks, runtime_seconds)` for each of the 18 stages.
 pub const STAGES: [(u32, u32); 18] = [
-    (1, 60),    // 1  exponential ramp-up…
-    (2, 60),    // 2
-    (4, 60),    // 3
-    (8, 60),    // 4
-    (16, 60),   // 5
-    (32, 60),   // 6
-    (64, 60),   // 7
-    (2, 120),   // 8  sudden drop (long tasks)
-    (650, 6),   // 9  surge of many short tasks
-    (150, 12),  // 10 surge continues
-    (3, 60),    // 11 drop
-    (24, 60),   // 12 modest increase
-    (17, 60),   // 13 linear decrease…
-    (12, 60),   // 14
-    (8, 60),    // 15 exponential decrease…
-    (4, 60),    // 16
-    (2, 60),    // 17
-    (1, 60),    // 18
+    (1, 60),   // 1  exponential ramp-up…
+    (2, 60),   // 2
+    (4, 60),   // 3
+    (8, 60),   // 4
+    (16, 60),  // 5
+    (32, 60),  // 6
+    (64, 60),  // 7
+    (2, 120),  // 8  sudden drop (long tasks)
+    (650, 6),  // 9  surge of many short tasks
+    (150, 12), // 10 surge continues
+    (3, 60),   // 11 drop
+    (24, 60),  // 12 modest increase
+    (17, 60),  // 13 linear decrease…
+    (12, 60),  // 14
+    (8, 60),   // 15 exponential decrease…
+    (4, 60),   // 16
+    (2, 60),   // 17
+    (1, 60),   // 18
 ];
 
 /// Total task count (1,000 in the paper).

@@ -105,7 +105,10 @@ mod tests {
     fn groups_with_remainder() {
         let clusters = cluster_into_groups(tasks(&[("a", 10)]), 3);
         // ceil(10/3) = 4 per cluster → 4+4+2
-        assert_eq!(clusters.iter().map(Vec::len).collect::<Vec<_>>(), vec![4, 4, 2]);
+        assert_eq!(
+            clusters.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![4, 4, 2]
+        );
     }
 
     #[test]

@@ -205,8 +205,7 @@ mod tests {
     fn topo_order_valid() {
         let g = diamond();
         let order = g.topo_order().unwrap();
-        let pos: HashMap<NodeId, usize> =
-            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         for n in g.nodes() {
             for &s in g.succs(n) {
                 assert!(pos[&n] < pos[&s]);

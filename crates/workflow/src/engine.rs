@@ -131,7 +131,11 @@ impl WorkflowEngine {
             }
         }
 
-        let makespan_us = finish.iter().map(|f| f.expect("all finished")).max().unwrap_or(0);
+        let makespan_us = finish
+            .iter()
+            .map(|f| f.expect("all finished"))
+            .max()
+            .unwrap_or(0);
         RunReport {
             makespan_us,
             finish_us: finish

@@ -17,7 +17,10 @@ fn main() {
     let dag = montage::dag();
     println!("Montage M16 mosaic DAG:");
     for (stage, n, cpu_us) in dag.stage_histogram() {
-        println!("  {stage:<12} {n:>5} tasks   {:>7.0} CPU-s", cpu_us as f64 / 1e6);
+        println!(
+            "  {stage:<12} {n:>5} tasks   {:>7.0} CPU-s",
+            cpu_us as f64 / 1e6
+        );
     }
     println!(
         "  total: {} tasks, critical path {:.0} s\n",
@@ -39,8 +42,14 @@ fn main() {
     let mpi_s = montage::mpi_makespan_us(workers, 12_000_000) as f64 / 1e6;
 
     println!("end-to-end on {workers} workers:");
-    println!("  GRAM4+PBS (clustered) {:>8.0} s", gram_report.makespan_s());
-    println!("  Swift+Falkon          {:>8.0} s", falkon_report.makespan_s());
+    println!(
+        "  GRAM4+PBS (clustered) {:>8.0} s",
+        gram_report.makespan_s()
+    );
+    println!(
+        "  Swift+Falkon          {:>8.0} s",
+        falkon_report.makespan_s()
+    );
     println!("  MPI (estimated)       {:>8.0} s", mpi_s);
     println!(
         "\nPaper: Swift+Falkon ran within ~5% of the hand-written MPI version\n\

@@ -82,7 +82,13 @@ fn main() {
         .into_iter()
         .map(|(t, v)| (t.as_secs_f64(), v))
         .collect();
-    println!("\n{}", ascii_plot("registered executors over time", &registered, 100, 12));
-    println!("{}", ascii_plot("active executors over time", &active, 100, 12));
+    println!(
+        "\n{}",
+        ascii_plot("registered executors over time", &registered, 100, 12)
+    );
+    println!(
+        "{}",
+        ascii_plot("active executors over time", &active, 100, 12)
+    );
     println!("Try different idle-release settings (15 / 60 / 120 / 180) to trade\nutilization against completion time, as in Table 4.");
 }

@@ -2,6 +2,10 @@
 //! sequence over real sockets, with and without the security layer, plus
 //! executor churn.
 
+// Deployment test: really waiting on real sockets is the point, so the
+// workspace-wide ban on blocking sleeps does not apply here.
+#![allow(clippy::disallowed_methods)]
+
 use falkon::core::executor::ExecutorConfig;
 use falkon::core::DispatcherConfig;
 use falkon::proto::bundle::BundleConfig;
