@@ -47,27 +47,23 @@ fn pump_tasks(config: DispatcherConfig, n: u64, execs: u64) -> u64 {
                 DispatcherAction::ToExecutor {
                     executor,
                     msg: Message::Work { tasks },
-                } => {
-                    if !tasks.is_empty() {
-                        inbox.push(DispatcherEvent::Result {
-                            executor,
-                            results: tasks.iter().map(|t| TaskResult::success(t.id)).collect(),
-                        });
-                    }
+                } if !tasks.is_empty() => {
+                    inbox.push(DispatcherEvent::Result {
+                        executor,
+                        results: tasks.iter().map(|t| TaskResult::success(t.id)).collect(),
+                    });
                 }
                 DispatcherAction::ToExecutor {
                     executor,
                     msg: Message::ResultAck { piggybacked },
-                } => {
-                    if !piggybacked.is_empty() {
-                        inbox.push(DispatcherEvent::Result {
-                            executor,
-                            results: piggybacked
-                                .iter()
-                                .map(|t| TaskResult::success(t.id))
-                                .collect(),
-                        });
-                    }
+                } if !piggybacked.is_empty() => {
+                    inbox.push(DispatcherEvent::Result {
+                        executor,
+                        results: piggybacked
+                            .iter()
+                            .map(|t| TaskResult::success(t.id))
+                            .collect(),
+                    });
                 }
                 DispatcherAction::TaskDone { .. } => done += 1,
                 _ => {}
@@ -76,7 +72,7 @@ fn pump_tasks(config: DispatcherConfig, n: u64, execs: u64) -> u64 {
         if inbox.is_empty() {
             break;
         }
-        for ev in inbox.drain(..).collect::<Vec<_>>() {
+        for ev in std::mem::take(&mut inbox) {
             now += 1;
             d.on_event(now, ev, &mut out);
         }

@@ -24,6 +24,46 @@ fn bench_event_engine(c: &mut Criterion) {
             black_box(eng.events_processed())
         })
     });
+    // The at-scale shape: tens of thousands of timers outstanding at once
+    // (54K executors each with an idle/deadline timer). Every delivery
+    // reschedules, so the queue stays at depth `TIMERS` for the whole run.
+    const TIMERS: u64 = 50_000;
+    g.bench_function("outstanding_50k_timers", |b| {
+        b.iter(|| {
+            let mut eng: Engine<u64> = Engine::new();
+            for i in 0..TIMERS {
+                eng.schedule(SimDuration::from_micros(1 + (i * 7) % 1000), i);
+            }
+            let mut left = N;
+            eng.run(|eng, n| {
+                if left > 0 {
+                    left -= 1;
+                    eng.schedule(SimDuration::from_micros(1 + (n * 13) % 1000), n);
+                } else {
+                    eng.stop();
+                }
+            });
+            black_box(eng.events_processed())
+        })
+    });
+    // Same-instant bursts: a dispatcher pumping notifies fan-out events at
+    // the current instant (the FIFO-lane hot path).
+    g.bench_function("same_instant_bursts", |b| {
+        b.iter(|| {
+            let mut eng: Engine<u64> = Engine::new();
+            eng.schedule(SimDuration::from_micros(1), 0);
+            eng.run(|eng, n| {
+                if n >= N {
+                    eng.stop();
+                } else if n % 64 == 0 {
+                    for k in 1..=64 {
+                        eng.schedule(SimDuration::ZERO, n + k);
+                    }
+                }
+            });
+            black_box(eng.events_processed())
+        })
+    });
     g.finish();
 }
 

@@ -6,6 +6,7 @@
 //! repro list       enumerate experiments (id + description)
 //! repro all        run everything (the default)
 //! repro <id>       run one experiment (see `repro list`)
+//! repro bench      hot-path performance baseline (see DESIGN.md § perf)
 //!
 //! flags:
 //!   --full         the paper's parameters (2,000,000 tasks, 54,000
@@ -13,6 +14,8 @@
 //!   --trace <path> with a single experiment: also dump every completed
 //!                  task's lifecycle (enqueue/dispatch/complete timestamps)
 //!                  as TSV to <path>
+//!   --json <path>  with `bench`: also write the machine-readable report
+//!                  (the format committed as BENCH_0003.json)
 //! ```
 //!
 //! Experiments sharing one expensive run (fig9/fig10; table3/table4/
@@ -34,16 +37,18 @@ fn emit(block: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let trace_path = match args.iter().position(|a| a == "--trace") {
+    let path_flag = |flag: &str| match args.iter().position(|a| a == flag) {
         Some(i) => match args.get(i + 1) {
             Some(p) if !p.starts_with("--") => Some(p.clone()),
             _ => {
-                eprintln!("--trace needs a file path");
+                eprintln!("{flag} needs a file path");
                 std::process::exit(2);
             }
         },
         None => None,
     };
+    let trace_path = path_flag("--trace");
+    let json_path = path_flag("--json");
     if let Some(bad) = args
         .iter()
         .enumerate()
@@ -51,21 +56,34 @@ fn main() {
             a.starts_with("--")
                 && a != "--full"
                 && a != "--trace"
-                && !(i > 0 && args[i - 1] == "--trace")
+                && a != "--json"
+                && !(i > 0 && (args[i - 1] == "--trace" || args[i - 1] == "--json"))
         })
         .map(|(_, a)| a)
     {
-        eprintln!("unknown flag `{bad}`; flags are --full and --trace <path>");
+        eprintln!("unknown flag `{bad}`; flags are --full, --trace <path>, --json <path>");
         std::process::exit(2);
     }
     let scale = if full { Scale::Full } else { Scale::Quick };
     let what = args
         .iter()
         .enumerate()
-        .filter(|&(i, a)| !a.starts_with("--") && (i == 0 || args[i - 1] != "--trace"))
+        .filter(|&(i, a)| {
+            !a.starts_with("--")
+                && (i == 0 || (args[i - 1] != "--trace" && args[i - 1] != "--json"))
+        })
         .map(|(_, a)| a.as_str())
         .next()
         .unwrap_or("all");
+
+    if what == "bench" {
+        run_bench(json_path);
+        return;
+    }
+    if json_path.is_some() {
+        eprintln!("--json only applies to `repro bench`");
+        std::process::exit(2);
+    }
 
     if what == "list" {
         for e in registry::REGISTRY {
@@ -114,6 +132,10 @@ fn main() {
 /// `shared_run_key` reuse one run; when two of them also render
 /// identically (fig9/fig10 are the same plot), the block prints once.
 fn run_all(scale: Scale) {
+    run_all_with(scale, &mut |text| emit(text));
+}
+
+fn run_all_with(scale: Scale, sink: &mut dyn FnMut(&str)) {
     let mut reports: HashMap<&'static str, registry::Report> = HashMap::new();
     let mut printed: HashMap<&'static str, Vec<String>> = HashMap::new();
     for exp in registry::REGISTRY {
@@ -127,7 +149,34 @@ fn run_all(scale: Scale) {
         if seen.contains(&text) {
             continue;
         }
-        emit(&text);
+        sink(&text);
         seen.push(text);
+    }
+}
+
+/// `repro bench`: the tracked hot-path baseline (DESIGN.md § perf).
+/// Prints a table; with `--json <path>` also writes the committed report.
+fn run_bench(json_path: Option<String>) {
+    use falkon_bench::perfbench;
+
+    eprintln!("repro bench: running hot-path scenarios (~1 min)...");
+    let results = perfbench::run_benches();
+    // Wall-clock of a full quick-scale `repro all`, output discarded so the
+    // measurement is compute, not terminal I/O.
+    let clock = falkon_rt::Clock::start();
+    let t0 = clock.now_us();
+    let mut sink_len = 0usize;
+    run_all_with(Scale::Quick, &mut |text| sink_len += text.len());
+    let wall_s = clock.now_us().saturating_sub(t0) as f64 / 1e6;
+    assert!(sink_len > 0, "repro all produced no output");
+
+    emit(&perfbench::render_table(&results, Some(wall_s)));
+    if let Some(path) = json_path {
+        let json = perfbench::render_json(&results, Some(wall_s));
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("cannot write bench report to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("bench report -> {path}");
     }
 }

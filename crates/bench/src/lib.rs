@@ -1,2 +1,7 @@
 //! Criterion benchmarks and the `repro` harness binary live in this crate.
 //! See `benches/` and `src/bin/repro.rs`.
+//!
+//! [`perfbench`] is the self-contained scenario set behind `repro bench`,
+//! the tracked hot-path baseline committed as `BENCH_0003.json`.
+
+pub mod perfbench;

@@ -1,0 +1,453 @@
+//! `repro bench` — the tracked performance baseline behind `BENCH_0003.json`.
+//!
+//! Runs a fixed set of hot-path scenarios (event engine, simulated
+//! deployment, dispatcher state machine, in-process runtime, codec) with
+//! wall-clock timing and renders them as a text table or a JSON report.
+//! Each scenario carries the pre-optimisation rate measured at the
+//! `BASELINE_COMMIT` of this repository so regressions and speedups stay
+//! visible in review without digging through CI history.
+//!
+//! Methodology: one warm-up iteration, then repeated timed iterations until
+//! [`MIN_SAMPLE_US`] of accumulated runtime (at least [`MIN_ITERS`]); the
+//! reported rate uses the *fastest* iteration, which is the stablest
+//! statistic on a noisy machine.
+
+use falkon_core::dispatcher::{Dispatcher, DispatcherAction, DispatcherEvent};
+use falkon_core::DispatcherConfig;
+use falkon_exp::simfalkon::{SimFalkon, SimFalkonConfig};
+use falkon_proto::bundle::BundleConfig;
+use falkon_proto::codec::{Codec, EfficientCodec};
+use falkon_proto::message::{ExecutorId, InstanceId, Message};
+use falkon_proto::task::{TaskResult, TaskSpec};
+use falkon_rt::inproc::{run_sleep_workload, InprocConfig};
+use falkon_rt::{Clock, WireMode};
+use falkon_sim::{Engine, SimDuration};
+use std::hint::black_box;
+
+/// The commit whose build produced every `baseline` rate below (the state
+/// of the tree immediately before the hot-path overhaul).
+pub const BASELINE_COMMIT: &str = "fd56d4f";
+
+/// Keep sampling until a scenario has accumulated this much measured time.
+const MIN_SAMPLE_US: u64 = 300_000;
+
+/// ... and has run at least this many timed iterations.
+const MIN_ITERS: u32 = 3;
+
+/// One measured scenario.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Stable identifier, `group/scenario`.
+    pub id: &'static str,
+    /// Unit of `rate` and `baseline` (e.g. `events/s`, `MB/s`).
+    pub unit: &'static str,
+    /// Rate measured by this run.
+    pub rate: f64,
+    /// Rate measured at [`BASELINE_COMMIT`] on the reference machine.
+    pub baseline: f64,
+}
+
+impl BenchResult {
+    /// `rate / baseline` — >1 is faster than the tracked baseline.
+    pub fn speedup(&self) -> f64 {
+        if self.baseline > 0.0 {
+            self.rate / self.baseline
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Time one scenario: returns the fastest observed per-iteration time in
+/// microseconds (minimum over enough iterations to cover `MIN_SAMPLE_US`).
+fn time_us<F: FnMut()>(mut iter: F) -> f64 {
+    let clock = Clock::start();
+    iter(); // warm-up (page in, fill caches, intern strings)
+    let mut best = f64::INFINITY;
+    let mut spent = 0u64;
+    let mut runs = 0u32;
+    while spent < MIN_SAMPLE_US || runs < MIN_ITERS {
+        let t0 = clock.now_us();
+        iter();
+        let dt = clock.now_us().saturating_sub(t0);
+        spent += dt;
+        runs += 1;
+        best = best.min(dt.max(1) as f64);
+    }
+    best
+}
+
+fn rate(elems: f64, us: f64) -> f64 {
+    elems / (us / 1e6)
+}
+
+// ---------------------------------------------------------------------------
+// Scenarios (mirroring the criterion benches in `benches/`, so numbers are
+// comparable across both harnesses)
+// ---------------------------------------------------------------------------
+
+fn sim_chained() -> f64 {
+    const N: u64 = 100_000;
+    let us = time_us(|| {
+        let mut eng: Engine<u64> = Engine::new();
+        eng.schedule(SimDuration::from_micros(1), 0);
+        eng.run(|eng, n| {
+            if n < N {
+                eng.schedule(SimDuration::from_micros(1), n + 1);
+            }
+        });
+        black_box(eng.events_processed());
+    });
+    rate(N as f64, us)
+}
+
+fn sim_outstanding() -> f64 {
+    const N: u64 = 100_000;
+    const TIMERS: u64 = 50_000;
+    let us = time_us(|| {
+        let mut eng: Engine<u64> = Engine::new();
+        for i in 0..TIMERS {
+            eng.schedule(SimDuration::from_micros(1 + (i * 7) % 1000), i);
+        }
+        let mut left = N;
+        eng.run(|eng, n| {
+            if left > 0 {
+                left -= 1;
+                eng.schedule(SimDuration::from_micros(1 + (n * 13) % 1000), n);
+            } else {
+                eng.stop();
+            }
+        });
+        black_box(eng.events_processed());
+    });
+    rate(N as f64, us)
+}
+
+fn sim_same_instant() -> f64 {
+    const N: u64 = 100_000;
+    let us = time_us(|| {
+        let mut eng: Engine<u64> = Engine::new();
+        eng.schedule(SimDuration::from_micros(1), 0);
+        eng.run(|eng, n| {
+            if n >= N {
+                eng.stop();
+            } else if n % 64 == 0 {
+                for k in 1..=64 {
+                    eng.schedule(SimDuration::ZERO, n + k);
+                }
+            }
+        });
+        black_box(eng.events_processed());
+    });
+    rate(N as f64, us)
+}
+
+fn sim_deployment() -> f64 {
+    const N: u64 = 1_000;
+    let us = time_us(|| {
+        let mut sim = SimFalkon::new(SimFalkonConfig {
+            executors: 64,
+            ..SimFalkonConfig::default()
+        });
+        sim.submit(0, (0..N).map(|i| TaskSpec::sleep(i, 0)).collect());
+        black_box(sim.run_until_drained().tasks);
+    });
+    rate(N as f64, us)
+}
+
+/// Drive a full task lifecycle (submit→notify→getwork→result→ack) through
+/// the pure dispatcher machine, echoing executor behaviour synchronously.
+fn dispatcher_lifecycle() -> f64 {
+    const N: u64 = 1_000;
+    const EXECS: u64 = 16;
+    let us = time_us(|| {
+        let mut d = Dispatcher::new(DispatcherConfig::default());
+        let mut out: Vec<DispatcherAction> = Vec::new();
+        d.on_event(0, DispatcherEvent::CreateInstance, &mut out);
+        let instance = InstanceId(1);
+        for e in 0..EXECS {
+            d.on_event(
+                0,
+                DispatcherEvent::Register {
+                    executor: ExecutorId(e),
+                    host: String::new(),
+                },
+                &mut out,
+            );
+        }
+        out.clear();
+        d.on_event(
+            1,
+            DispatcherEvent::Submit {
+                instance,
+                tasks: (0..N).map(|i| TaskSpec::sleep(i, 0)).collect(),
+            },
+            &mut out,
+        );
+        let mut now = 2;
+        let mut done = 0u64;
+        let mut inbox: Vec<DispatcherEvent> = Vec::new();
+        loop {
+            for act in out.drain(..) {
+                match act {
+                    DispatcherAction::ToExecutor {
+                        executor,
+                        msg: Message::Notify { key },
+                    } => inbox.push(DispatcherEvent::GetWork { executor, key }),
+                    DispatcherAction::ToExecutor {
+                        executor,
+                        msg: Message::Work { tasks },
+                    } if !tasks.is_empty() => {
+                        inbox.push(DispatcherEvent::Result {
+                            executor,
+                            results: tasks.iter().map(|t| TaskResult::success(t.id)).collect(),
+                        });
+                    }
+                    DispatcherAction::ToExecutor {
+                        executor,
+                        msg: Message::ResultAck { piggybacked },
+                    } if !piggybacked.is_empty() => {
+                        inbox.push(DispatcherEvent::Result {
+                            executor,
+                            results: piggybacked
+                                .iter()
+                                .map(|t| TaskResult::success(t.id))
+                                .collect(),
+                        });
+                    }
+                    DispatcherAction::TaskDone { .. } => done += 1,
+                    _ => {}
+                }
+            }
+            if inbox.is_empty() {
+                break;
+            }
+            for ev in std::mem::take(&mut inbox) {
+                now += 1;
+                d.on_event(now, ev, &mut out);
+            }
+        }
+        assert_eq!(done, N, "all tasks complete");
+        black_box(done);
+    });
+    rate(N as f64, us)
+}
+
+fn inproc(wire: WireMode) -> f64 {
+    const N: u64 = 2_000;
+    let config = InprocConfig {
+        executors: 8,
+        wire,
+        bundle: BundleConfig::of(300),
+        dispatcher: DispatcherConfig {
+            client_notify_batch: 1_000,
+            ..DispatcherConfig::default()
+        },
+        ..InprocConfig::default()
+    };
+    let us = time_us(|| {
+        black_box(run_sleep_workload(&config, N, 0));
+    });
+    rate(N as f64, us)
+}
+
+fn codec_bundle(k: u64) -> Message {
+    Message::Submit {
+        instance: InstanceId(1),
+        tasks: (0..k).map(|i| TaskSpec::sleep(i, 0)).collect(),
+    }
+}
+
+fn codec_encode() -> f64 {
+    let msg = codec_bundle(1000);
+    let bytes = EfficientCodec.encode(&msg).len() as f64;
+    // Reuse one scratch buffer, as the TCP driver does.
+    let mut scratch = Vec::new();
+    let us = time_us(|| {
+        for _ in 0..100 {
+            EfficientCodec.encode_into(black_box(&msg), &mut scratch);
+            black_box(scratch.len());
+        }
+    });
+    rate(bytes * 100.0, us) / 1e6 // MB/s
+}
+
+fn codec_decode() -> f64 {
+    let bytes = EfficientCodec.encode(&codec_bundle(1000));
+    let len = bytes.len() as f64;
+    let us = time_us(|| {
+        for _ in 0..100 {
+            black_box(EfficientCodec.decode(black_box(&bytes)).expect("valid"));
+        }
+    });
+    rate(len * 100.0, us) / 1e6 // MB/s
+}
+
+/// Run the full scenario set. Baselines: reference machine at
+/// [`BASELINE_COMMIT`] (same scenario code, pre-overhaul queue/tables).
+pub fn run_benches() -> Vec<BenchResult> {
+    let mut out = Vec::new();
+    let mut push = |id, unit, rate: f64, baseline: f64| {
+        out.push(BenchResult {
+            id,
+            unit,
+            rate,
+            baseline,
+        });
+    };
+    push(
+        "sim/chained_timer_events",
+        "events/s",
+        sim_chained(),
+        91.4e6,
+    );
+    push(
+        "sim/outstanding_50k_timers",
+        "events/s",
+        sim_outstanding(),
+        6.81e6,
+    );
+    push(
+        "sim/same_instant_bursts",
+        "events/s",
+        sim_same_instant(),
+        28.9e6,
+    );
+    push(
+        "sim/deployment_sleep0_1000",
+        "tasks/s",
+        sim_deployment(),
+        457.0e3,
+    );
+    push(
+        "dispatcher/lifecycle_1000",
+        "tasks/s",
+        dispatcher_lifecycle(),
+        1.91e6,
+    );
+    push(
+        "inproc/sleep0_plain",
+        "tasks/s",
+        inproc(WireMode::Plain),
+        182.8e3,
+    );
+    push(
+        "inproc/sleep0_encoded",
+        "tasks/s",
+        inproc(WireMode::Encoded),
+        153.1e3,
+    );
+    push(
+        "inproc/sleep0_secure",
+        "tasks/s",
+        inproc(WireMode::Secure),
+        131.3e3,
+    );
+    push(
+        "codec/encode_efficient_1000",
+        "MB/s",
+        codec_encode(),
+        3483.0,
+    );
+    push("codec/decode_efficient_1000", "MB/s", codec_decode(), 284.0);
+    out
+}
+
+/// Render the results as the committed JSON report.
+pub fn render_json(results: &[BenchResult], repro_all_quick_s: Option<f64>) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"bench\": \"BENCH_0003\",\n");
+    s.push_str(&format!("  \"baseline_commit\": \"{BASELINE_COMMIT}\",\n"));
+    if let Some(wall) = repro_all_quick_s {
+        s.push_str(&format!(
+            "  \"repro_all_quick\": {{ \"unit\": \"s\", \"before\": 1.67, \"after\": {wall:.3} }},\n"
+        ));
+    }
+    s.push_str("  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{ \"id\": \"{}\", \"unit\": \"{}\", \"before\": {:.4e}, \"after\": {:.4e}, \"speedup\": {:.2} }}{}\n",
+            r.id,
+            r.unit,
+            r.baseline,
+            r.rate,
+            r.speedup(),
+            comma
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Render the results as an aligned text table.
+pub fn render_table(results: &[BenchResult], repro_all_quick_s: Option<f64>) -> String {
+    let mut t = falkon_sim::table::Table::new(
+        format!("repro bench (baseline: commit {BASELINE_COMMIT})"),
+        &["scenario", "unit", "before", "after", "speedup"],
+    );
+    for r in results {
+        t.row(vec![
+            r.id.to_string(),
+            r.unit.to_string(),
+            format!("{:.3e}", r.baseline),
+            format!("{:.3e}", r.rate),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    if let Some(wall) = repro_all_quick_s {
+        t.row(vec![
+            "repro_all_quick".into(),
+            "s".into(),
+            "1.67".into(),
+            format!("{wall:.2}"),
+            format!("{:.2}x", 1.67 / wall.max(1e-9)),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_is_wellformed() {
+        let results = vec![
+            BenchResult {
+                id: "sim/x",
+                unit: "events/s",
+                rate: 2.0e6,
+                baseline: 1.0e6,
+            },
+            BenchResult {
+                id: "codec/y",
+                unit: "MB/s",
+                rate: 500.0,
+                baseline: 250.0,
+            },
+        ];
+        let json = render_json(&results, Some(1.5));
+        assert!(json.contains("\"bench\": \"BENCH_0003\""));
+        assert!(json.contains("\"speedup\": 2.00"));
+        assert!(json.contains("\"repro_all_quick\""));
+        // Balanced braces/brackets and no trailing comma before a closer.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(!json.contains(",\n  ]"));
+        let table = render_table(&results, None);
+        assert!(table.contains("sim/x"));
+        assert!(table.contains("2.00x"));
+    }
+
+    #[test]
+    fn speedup_handles_zero_baseline() {
+        let r = BenchResult {
+            id: "z",
+            unit: "u",
+            rate: 1.0,
+            baseline: 0.0,
+        };
+        assert_eq!(r.speedup(), 0.0);
+    }
+}

@@ -6,11 +6,11 @@
 //! crate.
 
 use crate::ids::InstanceId;
+use crate::table::FxHashMap;
 use crate::Micros;
 use falkon_proto::bundle::{bundles, BundleConfig};
 use falkon_proto::message::Message;
 use falkon_proto::task::{TaskResult, TaskSpec};
-use std::collections::HashMap;
 
 /// Inputs to the client state machine (messages from the dispatcher).
 #[derive(Clone, Debug)]
@@ -64,7 +64,7 @@ pub struct Client {
     /// Tasks waiting for the instance to be created.
     staged: Vec<TaskSpec>,
     /// Submission timestamps by task id.
-    submitted_at: HashMap<u64, Micros>,
+    submitted_at: FxHashMap<u64, Micros>,
     outstanding: u64,
     completions: Vec<CompletionRecord>,
     done_emitted: bool,
@@ -77,7 +77,7 @@ impl Client {
             bundle,
             instance: None,
             staged: Vec::new(),
-            submitted_at: HashMap::new(),
+            submitted_at: FxHashMap::default(),
             outstanding: 0,
             completions: Vec::new(),
             done_emitted: false,

@@ -16,11 +16,12 @@
 
 use crate::config::DispatcherConfig;
 use crate::ids::{ExecutorId, InstanceId, NotifyKey, TaskId};
+use crate::table::{DenseMap, FxHashMap, FxHashSet, DENSE_ID_CAP};
 use crate::Micros;
 use falkon_obs::{Counters, NoopProbe, ObsEvent, ObsEventKind, Probe};
 use falkon_proto::message::{DispatcherStatus, Message};
 use falkon_proto::task::{TaskResult, TaskSpec};
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Inputs to the dispatcher state machine.
 #[derive(Clone, Debug)]
@@ -223,12 +224,17 @@ pub struct Dispatcher<P: Probe = NoopProbe> {
     config: DispatcherConfig,
     next_instance: u64,
     next_notify_key: u64,
-    instances: HashMap<InstanceId, Instance>,
-    executors: HashMap<ExecutorId, ExecState>,
+    /// Dense: the dispatcher assigns instance ids sequentially from 1.
+    instances: DenseMap<InstanceId, Instance>,
+    /// Dense: drivers assign executor ids sequentially (guarded by
+    /// [`DENSE_ID_CAP`] at registration since the id arrives on the wire).
+    executors: DenseMap<ExecutorId, ExecState>,
     /// Next-available dispatch order; may contain stale ids (lazily skipped).
     idle: VecDeque<ExecutorId>,
     queue: VecDeque<QueuedTask>,
-    running: HashMap<TaskId, Running>,
+    /// Task ids span the whole 2 M-task run (sparse at any instant), so this
+    /// stays a true map — with the fast seed-free hasher.
+    running: FxHashMap<TaskId, Running>,
     /// Min-heap of (deadline, task, attempts) with lazy deletion.
     deadlines: BinaryHeap<std::cmp::Reverse<(Micros, TaskId, u32)>>,
     counters: Counters,
@@ -239,7 +245,7 @@ pub struct Dispatcher<P: Probe = NoopProbe> {
     /// populated from completed tasks' data specs). Tracked per executor —
     /// a conservative proxy for the per-node caches the executors actually
     /// share: co-located executors' hits are under-counted, never over-.
-    object_cache: HashMap<u64, std::collections::HashSet<ExecutorId>>,
+    object_cache: FxHashMap<u64, FxHashSet<ExecutorId>>,
 }
 
 #[derive(Debug, Default)]
@@ -266,17 +272,17 @@ impl<P: Probe> Dispatcher<P> {
             config,
             next_instance: 1,
             next_notify_key: 1,
-            instances: HashMap::new(),
-            executors: HashMap::new(),
+            instances: DenseMap::new(),
+            executors: DenseMap::new(),
             idle: VecDeque::new(),
             queue: VecDeque::new(),
-            running: HashMap::new(),
+            running: FxHashMap::default(),
             deadlines: BinaryHeap::new(),
             counters: Counters::new(),
             probe,
             busy_count: 0,
             notified_count: 0,
-            object_cache: HashMap::new(),
+            object_cache: FxHashMap::default(),
         }
     }
 
@@ -289,7 +295,7 @@ impl<P: Probe> Dispatcher<P> {
     /// Change an executor's status, maintaining the busy/notified counters
     /// and the idle queue. Returns false if the executor is unknown.
     fn set_status(&mut self, now: Micros, executor: ExecutorId, new: ExecStatus) -> bool {
-        let Some(st) = self.executors.get_mut(&executor) else {
+        let Some(st) = self.executors.get_mut(executor) else {
             return false;
         };
         let old = st.status;
@@ -387,7 +393,7 @@ impl<P: Probe> Dispatcher<P> {
                 });
             }
             DispatcherEvent::Submit { instance, tasks } => {
-                let accepted = if self.instances.contains_key(&instance) {
+                let accepted = if self.instances.contains_key(instance) {
                     let n = tasks.len() as u64;
                     for spec in tasks {
                         self.queue.push_back(QueuedTask {
@@ -397,7 +403,7 @@ impl<P: Probe> Dispatcher<P> {
                             enqueued_us: now,
                         });
                     }
-                    if let Some(inst) = self.instances.get_mut(&instance) {
+                    if let Some(inst) = self.instances.get_mut(instance) {
                         inst.pending += n;
                     }
                     self.emit(now, ObsEvent::TaskSubmitted { count: n });
@@ -418,11 +424,17 @@ impl<P: Probe> Dispatcher<P> {
                 );
             }
             DispatcherEvent::Register { executor, host } => {
+                // The id arrives on the wire; the dense table below indexes
+                // by it directly, so an absurd id must not be allowed to
+                // size the table. Real drivers assign ids sequentially.
+                if executor.0 >= DENSE_ID_CAP {
+                    return;
+                }
                 // Re-registration of a live id (e.g. an executor restarting
                 // after a crash the driver didn't notice): retire the old
                 // incarnation first so counters stay balanced and its
                 // in-flight tasks are replayed.
-                if self.executors.contains_key(&executor) {
+                if self.executors.contains_key(executor) {
                     self.remove_executor(now, executor, out);
                 }
                 self.executors.insert(
@@ -442,7 +454,7 @@ impl<P: Probe> Dispatcher<P> {
                 self.pump(now, out);
             }
             DispatcherEvent::GetWork { executor, key: _ } => {
-                if !self.executors.contains_key(&executor) {
+                if !self.executors.contains_key(executor) {
                     // Unknown executor: tell it there is nothing.
                     out.push(DispatcherAction::ToExecutor {
                         executor,
@@ -454,7 +466,13 @@ impl<P: Probe> Dispatcher<P> {
                 if tasks.is_empty() {
                     // Only transition to idle if nothing is still outstanding
                     // (an executor with in-flight work stays busy).
-                    if self.executors[&executor].outstanding == 0 {
+                    if self
+                        .executors
+                        .get(executor)
+                        .expect("checked above")
+                        .outstanding
+                        == 0
+                    {
                         self.set_idle(now, executor);
                     }
                 } else {
@@ -477,7 +495,7 @@ impl<P: Probe> Dispatcher<P> {
                     self.finish_task(now, executor, result, out);
                 }
                 // Piggy-back new work on the acknowledgement when possible.
-                let piggybacked = if self.config.piggyback && self.executors.contains_key(&executor)
+                let piggybacked = if self.config.piggyback && self.executors.contains_key(executor)
                 {
                     let tasks = self.take_work(now, executor);
                     if !tasks.is_empty() {
@@ -494,7 +512,7 @@ impl<P: Probe> Dispatcher<P> {
                     Vec::new()
                 };
                 if piggybacked.is_empty() {
-                    if let Some(st) = self.executors.get(&executor) {
+                    if let Some(st) = self.executors.get(executor) {
                         if st.outstanding == 0 {
                             self.set_idle(now, executor);
                         }
@@ -520,7 +538,7 @@ impl<P: Probe> Dispatcher<P> {
             DispatcherEvent::GetResults { instance } => {
                 let results = self
                     .instances
-                    .get_mut(&instance)
+                    .get_mut(instance)
                     .map(|inst| {
                         inst.unnotified = 0;
                         std::mem::take(&mut inst.ready)
@@ -541,18 +559,21 @@ impl<P: Probe> Dispatcher<P> {
                 self.pump(now, out);
             }
             DispatcherEvent::DestroyInstance { instance } => {
-                self.instances.remove(&instance);
+                self.instances.remove(instance);
                 // Purge queued tasks belonging to the destroyed instance;
                 // running tasks will complete and be dropped as duplicates,
                 // but their executors' bookkeeping must be released now or
                 // those executors would stay Busy forever.
                 self.queue.retain(|q| q.instance != instance);
-                let orphaned: Vec<TaskId> = self
+                // Sorted so executor-slot release order (and thus the idle
+                // queue) never depends on map iteration order.
+                let mut orphaned: Vec<TaskId> = self
                     .running
                     .iter()
                     .filter(|(_, r)| r.instance == instance)
                     .map(|(id, _)| *id)
                     .collect();
+                orphaned.sort_unstable();
                 for id in orphaned {
                     let r = self.running.remove(&id).expect("collected above");
                     self.release_executor_slot(now, r.executor);
@@ -625,7 +646,7 @@ impl<P: Probe> Dispatcher<P> {
 
     fn set_busy(&mut self, now: Micros, executor: ExecutorId, added: usize) {
         if self.set_status(now, executor, ExecStatus::Busy) {
-            if let Some(st) = self.executors.get_mut(&executor) {
+            if let Some(st) = self.executors.get_mut(executor) {
                 st.outstanding += added;
             }
         }
@@ -634,7 +655,7 @@ impl<P: Probe> Dispatcher<P> {
     /// One of `executor`'s in-flight tasks is no longer its responsibility:
     /// decrement `outstanding` and return it to the idle pool at zero.
     fn release_executor_slot(&mut self, now: Micros, executor: ExecutorId) {
-        let freed = if let Some(st) = self.executors.get_mut(&executor) {
+        let freed = if let Some(st) = self.executors.get_mut(executor) {
             st.outstanding = st.outstanding.saturating_sub(1);
             st.outstanding == 0 && st.status == ExecStatus::Busy
         } else {
@@ -654,7 +675,7 @@ impl<P: Probe> Dispatcher<P> {
         executor: ExecutorId,
         out: &mut Vec<DispatcherAction>,
     ) {
-        if let Some(st) = self.executors.remove(&executor) {
+        if let Some(st) = self.executors.remove(executor) {
             match st.status {
                 ExecStatus::Busy => self.busy_count -= 1,
                 ExecStatus::Notified => self.notified_count -= 1,
@@ -697,7 +718,7 @@ impl<P: Probe> Dispatcher<P> {
             return;
         }
         let r = self.running.remove(&result.id).expect("checked above");
-        if let Some(st) = self.executors.get_mut(&executor) {
+        if let Some(st) = self.executors.get_mut(executor) {
             st.outstanding = st.outstanding.saturating_sub(1);
         }
         // Data-aware dispatch: this executor now has the task's data staged.
@@ -746,7 +767,7 @@ impl<P: Probe> Dispatcher<P> {
             record,
         });
         let mut delivered = 0u64;
-        if let Some(inst) = self.instances.get_mut(&r.instance) {
+        if let Some(inst) = self.instances.get_mut(r.instance) {
             inst.pending = inst.pending.saturating_sub(1);
             inst.ready.push(result);
             inst.unnotified += 1;
@@ -781,7 +802,7 @@ impl<P: Probe> Dispatcher<P> {
             });
             // Also surface a synthesized failure so clients can complete.
             let mut delivered = 0u64;
-            if let Some(inst) = self.instances.get_mut(&r.instance) {
+            if let Some(inst) = self.instances.get_mut(r.instance) {
                 inst.pending = inst.pending.saturating_sub(1);
                 let mut res = TaskResult::failure(r.spec.id, -1);
                 res.stderr = Some("falkon: retries exhausted".to_string());
@@ -852,7 +873,7 @@ impl<P: Probe> Dispatcher<P> {
                 };
                 if self
                     .executors
-                    .get(&e)
+                    .get(e)
                     .is_some_and(|st| st.status == ExecStatus::Idle)
                 {
                     break e;

@@ -14,10 +14,11 @@
 //! bridging public and private networks).
 
 use crate::ids::{InstanceId, TaskId};
+use crate::table::FxHashMap;
 use crate::Micros;
 use falkon_obs::{Counters, NoopProbe, ObsEvent, ObsEventKind, Probe};
 use falkon_proto::task::{TaskResult, TaskSpec};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Identifies a downstream dispatcher (index into the driver's table).
 pub type DispatcherIndex = usize;
@@ -87,9 +88,9 @@ pub struct Forwarder<P: Probe = NoopProbe> {
     /// Tasks outstanding at each downstream dispatcher.
     outstanding: Vec<u64>,
     /// Which instance owns each in-flight task, and where it went.
-    in_flight: HashMap<TaskId, (InstanceId, DispatcherIndex)>,
+    in_flight: FxHashMap<TaskId, (InstanceId, DispatcherIndex)>,
     /// Copies of in-flight specs for re-routing after dispatcher loss.
-    specs: HashMap<TaskId, TaskSpec>,
+    specs: FxHashMap<TaskId, TaskSpec>,
     counters: Counters,
     probe: P,
 }
@@ -107,8 +108,8 @@ impl<P: Probe> Forwarder<P> {
         assert!(dispatchers > 0, "need at least one dispatcher");
         Forwarder {
             outstanding: vec![0; dispatchers],
-            in_flight: HashMap::new(),
-            specs: HashMap::new(),
+            in_flight: FxHashMap::default(),
+            specs: FxHashMap::default(),
             counters: Counters::new(),
             probe,
         }
@@ -196,7 +197,8 @@ impl<P: Probe> Forwarder<P> {
                 results,
             } => {
                 // Group results back by owning instance.
-                let mut by_instance: HashMap<InstanceId, Vec<TaskResult>> = HashMap::new();
+                // BTreeMap: delivery order must not depend on hash iteration.
+                let mut by_instance: BTreeMap<InstanceId, Vec<TaskResult>> = BTreeMap::new();
                 for r in results {
                     let Some((instance, routed_to)) = self.in_flight.remove(&r.id) else {
                         continue; // unknown/duplicate
@@ -230,7 +232,7 @@ impl<P: Probe> Forwarder<P> {
                     .map(|(&id, _)| id)
                     .collect();
                 orphaned.sort_unstable();
-                let mut by_instance: HashMap<InstanceId, Vec<TaskSpec>> = HashMap::new();
+                let mut by_instance: BTreeMap<InstanceId, Vec<TaskSpec>> = BTreeMap::new();
                 for id in orphaned {
                     let (instance, _) = self.in_flight.remove(&id).expect("collected");
                     let spec = self.specs.remove(&id).expect("paired");

@@ -29,6 +29,7 @@ pub mod ids;
 pub mod mapping;
 pub mod policy;
 pub mod provisioner;
+pub mod table;
 
 pub use client::{Client, ClientEvent};
 pub use config::DispatcherConfig;
@@ -38,6 +39,7 @@ pub use forwarder::{Forwarder, ForwarderAction, ForwarderEvent, ForwarderStats};
 pub use ids::AllocationId;
 pub use policy::{AcquisitionPolicy, ProvisionerPolicy, ReleasePolicy, ReplayPolicy};
 pub use provisioner::{Provisioner, ProvisionerAction, ProvisionerEvent, ProvisionerStats};
+pub use table::{DenseMap, FxHashMap, FxHashSet};
 
 /// Microsecond-resolution timestamp passed explicitly into every state
 /// machine. The real-time driver derives it from a monotonic clock; the

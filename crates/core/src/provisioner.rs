@@ -9,10 +9,10 @@
 
 use crate::ids::AllocationId;
 use crate::policy::{ProvisionerPolicy, ReleasePolicy};
+use crate::table::DenseMap;
 use crate::Micros;
 use falkon_obs::{Counters, NoopProbe, ObsEvent, ObsEventKind, Probe};
 use falkon_proto::message::DispatcherStatus;
-use std::collections::HashMap;
 
 /// Inputs to the provisioner state machine.
 #[derive(Clone, Debug)]
@@ -93,7 +93,14 @@ pub struct ProvisionerStats {
 pub struct Provisioner<P: Probe = NoopProbe> {
     policy: ProvisionerPolicy,
     next_allocation: u64,
-    allocations: HashMap<AllocationId, AllocState>,
+    /// Dense: the provisioner assigns allocation ids sequentially from 1.
+    allocations: DenseMap<AllocationId, AllocState>,
+    /// Executors across `Pending` allocations, maintained incrementally so
+    /// every poll's supply computation is O(1) instead of a table scan.
+    pending_sum: u32,
+    /// Executors across `Active` allocations (incremental, like
+    /// `pending_sum`).
+    active_sum: u32,
     counters: Counters,
     probe: P,
 }
@@ -111,10 +118,23 @@ impl<P: Probe> Provisioner<P> {
         Provisioner {
             policy,
             next_allocation: 1,
-            allocations: HashMap::new(),
+            allocations: DenseMap::new(),
+            pending_sum: 0,
+            active_sum: 0,
             counters: Counters::new(),
             probe,
         }
+    }
+
+    /// Drop an allocation and keep the incremental sums balanced.
+    fn forget(&mut self, allocation: AllocationId) -> Option<AllocState> {
+        let state = self.allocations.remove(allocation);
+        match state {
+            Some(AllocState::Pending { executors }) => self.pending_sum -= executors,
+            Some(AllocState::Active { executors }) => self.active_sum -= executors,
+            None => {}
+        }
+        state
     }
 
     #[inline]
@@ -147,24 +167,32 @@ impl<P: Probe> Provisioner<P> {
 
     /// Executors in pending (not yet granted) allocations.
     pub fn pending_executors(&self) -> u32 {
-        self.allocations
-            .values()
-            .filter_map(|s| match s {
-                AllocState::Pending { executors } => Some(*executors),
-                _ => None,
-            })
-            .sum()
+        debug_assert_eq!(
+            self.pending_sum,
+            self.allocations
+                .values()
+                .filter_map(|s| match s {
+                    AllocState::Pending { executors } => Some(*executors),
+                    _ => None,
+                })
+                .sum::<u32>()
+        );
+        self.pending_sum
     }
 
     /// Executors in granted allocations still considered live.
     pub fn active_executors(&self) -> u32 {
-        self.allocations
-            .values()
-            .filter_map(|s| match s {
-                AllocState::Active { executors } => Some(*executors),
-                _ => None,
-            })
-            .sum()
+        debug_assert_eq!(
+            self.active_sum,
+            self.allocations
+                .values()
+                .filter_map(|s| match s {
+                    AllocState::Active { executors } => Some(*executors),
+                    _ => None,
+                })
+                .sum::<u32>()
+        );
+        self.active_sum
     }
 
     /// How often the driver should poll dispatcher state (µs).
@@ -190,10 +218,13 @@ impl<P: Probe> Provisioner<P> {
                 allocation,
                 executors,
             } => {
-                if let std::collections::hash_map::Entry::Occupied(mut e) =
-                    self.allocations.entry(allocation)
-                {
-                    e.insert(AllocState::Active { executors });
+                if let Some(state) = self.allocations.get_mut(allocation) {
+                    match *state {
+                        AllocState::Pending { executors: p } => self.pending_sum -= p,
+                        AllocState::Active { executors: a } => self.active_sum -= a,
+                    }
+                    *state = AllocState::Active { executors };
+                    self.active_sum += executors;
                     self.emit(
                         now,
                         ObsEvent::AllocationGranted {
@@ -203,18 +234,20 @@ impl<P: Probe> Provisioner<P> {
                 }
             }
             ProvisionerEvent::AllocationEnded { allocation } => {
-                self.allocations.remove(&allocation);
+                self.forget(allocation);
             }
             ProvisionerEvent::ExecutorTerminated { allocation } => {
                 let mut drop_alloc = false;
-                if let Some(AllocState::Active { executors }) =
-                    self.allocations.get_mut(&allocation)
+                if let Some(AllocState::Active { executors }) = self.allocations.get_mut(allocation)
                 {
-                    *executors = executors.saturating_sub(1);
+                    if *executors > 0 {
+                        *executors -= 1;
+                        self.active_sum -= 1;
+                    }
                     drop_alloc = *executors == 0;
                 }
                 if drop_alloc {
-                    self.allocations.remove(&allocation);
+                    self.forget(allocation);
                 }
             }
         }
@@ -248,6 +281,7 @@ impl<P: Probe> Provisioner<P> {
                 self.next_allocation += 1;
                 self.allocations
                     .insert(id, AllocState::Pending { executors: size });
+                self.pending_sum += size;
                 self.emit(
                     now,
                     ObsEvent::AllocationRequested {
@@ -270,21 +304,20 @@ impl<P: Probe> Provisioner<P> {
                     .saturating_sub(status.busy_executors);
                 if idle > 0 {
                     // Deterministic choice: the smallest active allocation id
-                    // whose release keeps the supply at or above the floor
-                    // (HashMap iteration order must not influence behaviour).
+                    // whose release keeps the supply at or above the floor.
+                    // `DenseMap` iterates in ascending id order, so the first
+                    // match is the minimum.
+                    let active_sum = self.active_sum;
                     let candidate = self
                         .allocations
                         .iter()
-                        .filter_map(|(&id, s)| match s {
+                        .filter_map(|(id, s)| match s {
                             AllocState::Active { executors } => Some((id, *executors)),
                             _ => None,
                         })
-                        .filter(|&(_, n)| {
-                            self.active_executors().saturating_sub(n) >= self.policy.min_executors
-                        })
-                        .min_by_key(|&(id, _)| id);
+                        .find(|&(_, n)| active_sum.saturating_sub(n) >= self.policy.min_executors);
                     if let Some((id, _)) = candidate {
-                        self.allocations.remove(&id);
+                        self.forget(id);
                         self.emit(now, ObsEvent::AllocationReleased);
                         out.push(ProvisionerAction::ReleaseAllocation { allocation: id });
                     }

@@ -23,6 +23,7 @@ use falkon_core::executor::{Executor, ExecutorAction, ExecutorConfig, ExecutorEv
 use falkon_core::ids::AllocationId;
 use falkon_core::policy::ProvisionerPolicy;
 use falkon_core::provisioner::{Provisioner, ProvisionerAction, ProvisionerEvent};
+use falkon_core::DenseMap;
 use falkon_core::DispatcherConfig;
 use falkon_fs::{ClusterFs, FsConfig};
 use falkon_lrm::job::{JobId, JobSpec, JobState};
@@ -33,7 +34,6 @@ use falkon_proto::bundle::bundles;
 use falkon_proto::message::{ExecutorId, InstanceId, Message};
 use falkon_proto::task::{TaskId, TaskResult, TaskSpec};
 use falkon_sim::{EventQueue, SimRng, TimeSeries};
-use std::collections::HashMap;
 
 /// Configuration of a simulated deployment.
 #[derive(Clone, Debug)]
@@ -179,6 +179,18 @@ struct SimExecutor {
     dead_at: Option<Micros>,
 }
 
+/// Bookkeeping for one first-level allocation, keyed by [`AllocationId`] in
+/// a dense table. The LRM job id is always `JobId(allocation.0)` (asserted
+/// where the job is created), so no job→allocation map is needed.
+struct AllocInfo {
+    /// Executor indices started under this allocation.
+    executors: Vec<u32>,
+    /// Executors still alive (last one out cancels the LRM job).
+    live: u32,
+    /// Executors to start once the LRM grants the job.
+    pending: u32,
+}
+
 /// The simulated deployment. Drive with [`SimFalkon::submit`] +
 /// [`SimFalkon::run_until_drained`], or incrementally via
 /// [`SimFalkon::advance_to`] / [`SimFalkon::drain_completions`] (used by
@@ -204,12 +216,11 @@ pub struct SimFalkon {
     gc_counter: u64,
     gc_pauses: u64,
     // allocation bookkeeping
-    alloc_jobs: HashMap<JobId, AllocationId>,
-    jobs_by_alloc: HashMap<AllocationId, JobId>,
-    alloc_executors: HashMap<AllocationId, Vec<u32>>,
-    alloc_live: HashMap<AllocationId, u32>,
-    pending_alloc_sizes: HashMap<AllocationId, u32>,
+    allocs: DenseMap<AllocationId, AllocInfo>,
     allocations_requested: u64,
+    /// Tasks completed (decoupled from `records.len()` so the records can be
+    /// moved out of the sim without disturbing loop conditions).
+    completed: u64,
     /// Per-node sets of cached data objects (data-caching extension).
     node_caches: Vec<std::collections::HashSet<u64>>,
     // metrics
@@ -252,12 +263,9 @@ impl SimFalkon {
             failed: 0,
             gc_counter: 0,
             gc_pauses: 0,
-            alloc_jobs: HashMap::new(),
-            jobs_by_alloc: HashMap::new(),
-            alloc_executors: HashMap::new(),
-            alloc_live: HashMap::new(),
-            pending_alloc_sizes: HashMap::new(),
+            allocs: DenseMap::new(),
             allocations_requested: 0,
+            completed: 0,
             node_caches: Vec::new(),
             queue_series: TimeSeries::new(),
             busy_series: TimeSeries::new(),
@@ -403,11 +411,8 @@ impl SimFalkon {
 
     /// Process all events with time ≤ `t`.
     pub fn advance_to(&mut self, t: Micros) {
-        while let Some(next) = self.queue.peek_time() {
-            if next.as_micros() > t {
-                break;
-            }
-            let (at, ev) = self.queue.pop().expect("peeked");
+        let deadline = falkon_sim::SimTime::from_micros(t);
+        while let Some((at, ev)) = self.queue.pop_at_or_before(deadline) {
             self.now = at.as_micros();
             self.handle(ev);
         }
@@ -420,31 +425,52 @@ impl SimFalkon {
     }
 
     /// Run until every submitted task has completed or permanently failed
-    /// (or no events remain). Returns the outcome summary.
+    /// (or no events remain). Returns the outcome summary; the per-task
+    /// records and sampled series are **moved** into it (a 2 M-task run
+    /// would otherwise clone ~2 M `TaskRecord`s), so [`SimFalkon::records`]
+    /// is empty afterwards. Use the borrowing [`SimFalkon::outcome`] for
+    /// mid-run snapshots.
     pub fn run_until_drained(&mut self) -> SimOutcome {
         let mut guard: u64 = 0;
-        while (self.records.len() as u64 + self.failed) < self.submitted {
-            let Some(next) = self.queue.peek_time() else {
+        while (self.completed + self.failed) < self.submitted {
+            let Some((at, ev)) = self.queue.pop() else {
                 break;
             };
-            let (at, ev) = self.queue.pop().expect("peeked");
-            let _ = next;
             self.now = at.as_micros();
             self.handle(ev);
             guard += 1;
             assert!(
                 guard < 500_000_000,
                 "simulation livelock: {} of {} tasks after {} events",
-                self.records.len(),
+                self.completed,
                 self.submitted,
                 guard
             );
         }
-        self.outcome()
+        let mut out = self.summary();
+        out.records = std::mem::take(&mut self.records);
+        out.queue_series = std::mem::take(&mut self.queue_series);
+        out.busy_series = std::mem::take(&mut self.busy_series);
+        out.registered_series = std::mem::take(&mut self.registered_series);
+        out.allocated_series = std::mem::take(&mut self.allocated_series);
+        out
     }
 
-    /// Build the outcome summary at the current instant.
+    /// Build the outcome summary at the current instant, cloning the
+    /// records and series (incremental drivers keep the sim alive).
     pub fn outcome(&self) -> SimOutcome {
+        let mut out = self.summary();
+        out.records = self.records.clone();
+        out.queue_series = self.queue_series.clone();
+        out.busy_series = self.busy_series.clone();
+        out.registered_series = self.registered_series.clone();
+        out.allocated_series = self.allocated_series.clone();
+        out
+    }
+
+    /// The scalar aggregates of the outcome (records/series left empty for
+    /// the caller to fill by clone or move).
+    fn summary(&self) -> SimOutcome {
         let makespan_us = self
             .records
             .iter()
@@ -478,11 +504,11 @@ impl SimFalkon {
             tasks: self.records.len() as u64,
             makespan_us,
             throughput: self.records.len() as f64 / (makespan_us.max(1) as f64 / 1e6),
-            records: self.records.clone(),
-            queue_series: self.queue_series.clone(),
-            busy_series: self.busy_series.clone(),
-            registered_series: self.registered_series.clone(),
-            allocated_series: self.allocated_series.clone(),
+            records: Vec::new(),
+            queue_series: TimeSeries::new(),
+            busy_series: TimeSeries::new(),
+            registered_series: TimeSeries::new(),
+            allocated_series: TimeSeries::new(),
             avg_queue_us,
             avg_exec_us,
             used_cpu_us,
@@ -587,7 +613,7 @@ impl SimFalkon {
                 self.allocated_series
                     .push(t, self.starting_executors as f64);
                 // Keep sampling while anything remains outstanding.
-                if (self.records.len() as u64) < self.submitted || st.registered_executors > 0 {
+                if self.completed < self.submitted || st.registered_executors > 0 {
                     let next = self.now + self.config.sample_interval_us;
                     self.queue
                         .push(falkon_sim::SimTime::from_micros(next), Ev::Sample);
@@ -628,6 +654,7 @@ impl SimFalkon {
                         .push((record.result.id, record.completed_us));
                     crate::trace::record(&record);
                     self.records.push(record);
+                    self.completed += 1;
                     self.maybe_gc();
                 }
                 DispatcherAction::TaskFailed { .. } => {
@@ -802,10 +829,10 @@ impl SimFalkon {
             }
             // When the last executor of an allocation exits, release the
             // LRM job (the paper's per-resource distributed release).
-            let live = self.alloc_live.entry(alloc).or_insert(0);
-            *live = live.saturating_sub(1);
-            if *live == 0 {
-                if let Some(&job) = self.jobs_by_alloc.get(&alloc) {
+            if let Some(info) = self.allocs.get_mut(alloc) {
+                info.live = info.live.saturating_sub(1);
+                if info.live == 0 {
+                    let job = JobId(alloc.0);
                     let mut out = Vec::new();
                     if let Some(lrm) = self.lrm.as_mut() {
                         lrm.handle(self.now, LrmInput::Cancel(job), &mut out);
@@ -825,9 +852,11 @@ impl SimFalkon {
                 duration_us,
             } => {
                 self.allocations_requested += 1;
+                // Allocation and LRM job share one id space (the provisioner
+                // assigns allocation ids sequentially, and this is the only
+                // place jobs are created), so the job↔allocation "maps" are
+                // the identity.
                 let job = JobId(allocation.0);
-                self.alloc_jobs.insert(job, allocation);
-                self.jobs_by_alloc.insert(allocation, job);
                 // Nodes requested = executors / executors_per_node.
                 let nodes = executors.div_ceil(self.config.executors_per_node.max(1));
                 let spec = JobSpec {
@@ -844,16 +873,21 @@ impl SimFalkon {
                     falkon_sim::SimTime::from_micros(submit_at),
                     Ev::LrmSubmit(spec),
                 );
-                self.alloc_live.insert(allocation, 0);
-                self.alloc_executors.insert(allocation, Vec::new());
-                // Remember how many executors to start on grant.
-                self.pending_alloc_sizes.insert(allocation, executors);
+                self.allocs.insert(
+                    allocation,
+                    AllocInfo {
+                        executors: Vec::new(),
+                        live: 0,
+                        // Remember how many executors to start on grant.
+                        pending: executors,
+                    },
+                );
             }
             ProvisionerAction::ReleaseAllocation { allocation } => {
-                if let Some(job) = self.jobs_by_alloc.get(&allocation).copied() {
+                if self.allocs.contains_key(allocation) {
                     let mut out = Vec::new();
                     if let Some(lrm) = self.lrm.as_mut() {
-                        lrm.handle(self.now, LrmInput::Cancel(job), &mut out);
+                        lrm.handle(self.now, LrmInput::Cancel(JobId(allocation.0)), &mut out);
                     }
                     self.lrm_outputs(out);
                     self.arm_lrm();
@@ -864,12 +898,17 @@ impl SimFalkon {
 
     fn lrm_outputs(&mut self, outs: Vec<LrmOutput>) {
         for LrmOutput::State { job, state } in outs {
-            let Some(&alloc) = self.alloc_jobs.get(&job) else {
+            // Inverse of `JobId(allocation.0)` at submission.
+            let alloc = AllocationId(job.0);
+            if !self.allocs.contains_key(alloc) {
                 continue;
-            };
+            }
             match state {
                 JobState::Active => {
-                    let count = self.pending_alloc_sizes.remove(&alloc).unwrap_or(0);
+                    let count = match self.allocs.get_mut(alloc) {
+                        Some(info) => std::mem::take(&mut info.pending),
+                        None => 0,
+                    };
                     if let Some(p) = self.provisioner.as_mut() {
                         let mut pout = Vec::new();
                         p.on_event(
@@ -885,20 +924,26 @@ impl SimFalkon {
                         }
                     }
                     // Start the executors after JVM startup.
-                    for _ in 0..count {
-                        let idx = self.executors.len() as u32;
+                    let first = self.executors.len() as u32;
+                    for idx in first..first + count {
                         self.spawn_executor(idx, Some(alloc));
-                        self.alloc_executors.entry(alloc).or_default().push(idx);
-                        *self.alloc_live.entry(alloc).or_insert(0) += 1;
                         self.starting_executors += 1;
                         let start = self.now + self.config.costs.executor_startup_us;
                         self.queue
                             .push(falkon_sim::SimTime::from_micros(start), Ev::ExecStart(idx));
                     }
+                    if let Some(info) = self.allocs.get_mut(alloc) {
+                        info.executors.extend(first..first + count);
+                        info.live += count;
+                    }
                 }
                 JobState::Done(_) => {
                     // Kill any executors still alive under this allocation.
-                    let victims = self.alloc_executors.remove(&alloc).unwrap_or_default();
+                    let victims = self
+                        .allocs
+                        .remove(alloc)
+                        .map(|info| info.executors)
+                        .unwrap_or_default();
                     for v in victims {
                         if self.executors[v as usize].alive {
                             self.executors[v as usize].alive = false;
@@ -918,9 +963,6 @@ impl SimFalkon {
                             self.provisioner_action(act);
                         }
                     }
-                    self.alloc_jobs.remove(&job);
-                    self.jobs_by_alloc.remove(&alloc);
-                    self.alloc_live.remove(&alloc);
                 }
                 JobState::Queued => {}
             }

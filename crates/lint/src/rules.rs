@@ -17,12 +17,15 @@ pub const SANS_IO_SCOPES: [&str; 4] = [
 ];
 
 /// `falkon-proto` files whose non-test code is reachable from decode paths.
-pub const DECODE_SCOPES: [&str; 5] = [
+/// (`task.rs` joined when decode-side string interning made `task::interned`
+/// reachable from untrusted bytes.)
+pub const DECODE_SCOPES: [&str; 6] = [
     "crates/proto/src/frame.rs",
     "crates/proto/src/wire.rs",
     "crates/proto/src/codec.rs",
     "crates/proto/src/bundle.rs",
     "crates/proto/src/security.rs",
+    "crates/proto/src/task.rs",
 ];
 
 /// Driver crates that may mount probes but never construct `ObsEvent`s.
@@ -385,7 +388,8 @@ mod tests {
         assert!(in_scope("crates/core/src/dispatcher.rs", &SANS_IO_SCOPES));
         assert!(!in_scope("crates/rt/src/tcp.rs", &SANS_IO_SCOPES));
         assert!(in_scope("crates/proto/src/wire.rs", &DECODE_SCOPES));
-        assert!(!in_scope("crates/proto/src/task.rs", &DECODE_SCOPES));
+        assert!(in_scope("crates/proto/src/task.rs", &DECODE_SCOPES));
+        assert!(!in_scope("crates/proto/src/message.rs", &DECODE_SCOPES));
     }
 
     #[test]

@@ -137,6 +137,48 @@ pub const UNDOCUMENTED: u64 = 7;
     );
 }
 
+// The hot-path data structures added by the perf overhaul are inside the
+// enforced scopes: a wall-clock read in the dense-table module is a sans-io
+// violation like anywhere else in `falkon-core`.
+#[test]
+fn sans_io_covers_dense_table_module() {
+    let f = SourceFile::parse(
+        "crates/core/src/table.rs",
+        r#"
+fn bad_probe() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_micros() as u64
+}
+"#,
+    );
+    let report = lint_files(&[f], None).unwrap();
+    assert_eq!(report.diags.len(), 1, "diags: {:#?}", report.diags);
+    assert_eq!(report.diags[0].rule, Rule::SansIo);
+}
+
+// `task::interned` is called on wire strings during decode, so `task.rs`
+// is a decode scope: indexing or unwrapping untrusted input there must flag.
+#[test]
+fn decode_panic_covers_interning_module() {
+    let f = SourceFile::parse(
+        "crates/proto/src/task.rs",
+        r#"
+fn interned_bad(s: &str) -> u8 {
+    let b = s.as_bytes();
+    if b[0] == b'0' { 0 } else { s.parse().unwrap() }
+}
+"#,
+    );
+    let report = lint_files(&[f], None).unwrap();
+    let n = report
+        .diags
+        .iter()
+        .filter(|d| d.rule == Rule::DecodePanic)
+        .count();
+    // b[0] + .unwrap() = 2
+    assert_eq!(n, 2, "diags: {:#?}", report.diags);
+}
+
 #[test]
 fn registry_catches_unreachable_experiments() {
     let alpha = SourceFile::parse("crates/exp/src/experiments/alpha.rs", "pub fn run() {}");

@@ -16,12 +16,20 @@
 use crate::error::CodecError;
 use crate::message::{DispatcherStatus, ExecutorId, InstanceId, Message, NotifyKey};
 use crate::task::{DataAccess, DataLocation, DataSpec, TaskId, TaskResult, TaskSpec};
-use crate::wire::{GrowByCopySink, Reader, Sink, VecSink};
+use crate::wire::{CountSink, GrowByCopySink, Reader, Sink};
 
 /// A message codec: symmetric encode/decode over byte buffers.
 pub trait Codec {
     /// Serialize `msg`, appending nothing — the returned buffer is complete.
     fn encode(&self, msg: &Message) -> Vec<u8>;
+
+    /// Serialize `msg` into `out` (cleared first), so a driver can reuse one
+    /// scratch buffer across bundles instead of allocating per message. The
+    /// default round-trips through [`Codec::encode`]; codecs whose growth
+    /// behaviour is not itself the point override it to write in place.
+    fn encode_into(&self, msg: &Message, out: &mut Vec<u8>) {
+        *out = self.encode(msg);
+    }
 
     /// Deserialize one message occupying the entire buffer.
     fn decode(&self, buf: &[u8]) -> Result<Message, CodecError> {
@@ -32,8 +40,12 @@ pub trait Codec {
     }
 
     /// The encoded size of `msg` (used by cost models charging per byte).
+    /// Counts bytes without materialising the buffer; correct for every
+    /// codec because they all produce identical bytes.
     fn encoded_len(&self, msg: &Message) -> usize {
-        self.encode(msg).len()
+        let mut sink = CountSink::default();
+        encode_message(&mut sink, msg);
+        sink.len
     }
 }
 
@@ -43,9 +55,16 @@ pub struct EfficientCodec;
 
 impl Codec for EfficientCodec {
     fn encode(&self, msg: &Message) -> Vec<u8> {
-        let mut sink = VecSink::default();
-        encode_message(&mut sink, msg);
-        sink.buf
+        // Same monomorphization as `encode_into` (a plain `Vec<u8>` sink),
+        // so the one-shot and scratch-reuse paths share hot code.
+        let mut buf = Vec::new();
+        encode_message(&mut buf, msg);
+        buf
+    }
+
+    fn encode_into(&self, msg: &Message, out: &mut Vec<u8>) {
+        out.clear();
+        encode_message(out, msg);
     }
 }
 
@@ -127,23 +146,34 @@ fn encode_task<S: Sink>(s: &mut S, t: &TaskSpec) {
     }
 }
 
+/// Read one string into an `Arc<str>`, reusing the interned table for the
+/// hot cases (`sleep N /tmp` tasks decode with zero string allocations —
+/// three refcount bumps instead).
+fn arc_string(
+    r: &mut Reader<'_>,
+    context: &'static str,
+) -> Result<std::sync::Arc<str>, CodecError> {
+    let s = r.str_slice(context)?;
+    Ok(crate::task::interned(s).unwrap_or_else(|| std::sync::Arc::from(s)))
+}
+
 fn decode_task(r: &mut Reader<'_>) -> Result<TaskSpec, CodecError> {
     const C: &str = "TaskSpec";
     let id = TaskId(r.u64(C)?);
-    let command = r.string(C)?;
+    let command = arc_string(r, C)?;
     let nargs = r.len(C)?;
     let mut args = Vec::with_capacity(nargs.min(1024));
     for _ in 0..nargs {
-        args.push(r.string(C)?);
+        args.push(arc_string(r, C)?);
     }
     let nenv = r.len(C)?;
     let mut env = Vec::with_capacity(nenv.min(1024));
     for _ in 0..nenv {
-        let k = r.string(C)?;
-        let v = r.string(C)?;
+        let k = arc_string(r, C)?;
+        let v = arc_string(r, C)?;
         env.push((k, v));
     }
-    let working_dir = r.string(C)?;
+    let working_dir = arc_string(r, C)?;
     let estimated_runtime_us = r.opt_u64(C)?;
     let data = match r.u8(C)? {
         0 => None,

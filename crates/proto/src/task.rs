@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// Globally unique task identifier, assigned by the client.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -58,18 +59,25 @@ pub struct DataSpec {
 }
 
 /// A unit of work dispatched by Falkon: an executable invocation.
+///
+/// String fields are reference-counted (`Arc<str>`): every hop of the
+/// enqueue→dispatch→complete pipeline clones the spec, and with 2 M tasks in
+/// flight a per-clone string allocation dominated the dispatch profile.
+/// Cloning a spec now bumps four refcounts instead of copying four heap
+/// strings, and the canonical `sleep` constructors intern their literals so
+/// building a spec allocates nothing at all.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct TaskSpec {
     /// Unique id.
     pub id: TaskId,
     /// Executable name (the microbenchmarks use `sleep`).
-    pub command: String,
+    pub command: Arc<str>,
     /// Command-line arguments.
-    pub args: Vec<String>,
+    pub args: Vec<Arc<str>>,
     /// Environment variables.
-    pub env: Vec<(String, String)>,
+    pub env: Vec<(Arc<str>, Arc<str>)>,
     /// Working directory on the executor.
-    pub working_dir: String,
+    pub working_dir: Arc<str>,
     /// Client-estimated runtime in microseconds, if known. The paper notes
     /// that dispatcher→executor bundling requires runtime estimates; absent
     /// ones, only client→dispatcher bundling is used.
@@ -78,16 +86,64 @@ pub struct TaskSpec {
     pub data: Option<DataSpec>,
 }
 
+/// Interned `"sleep"` — shared by every spec the benchmark constructors
+/// build, so constructing a task never re-allocates the command string.
+fn sleep_command() -> Arc<str> {
+    static S: OnceLock<Arc<str>> = OnceLock::new();
+    S.get_or_init(|| Arc::from("sleep")).clone()
+}
+
+/// Interned `"/tmp"` (the constructors' canonical working directory).
+fn tmp_dir() -> Arc<str> {
+    static S: OnceLock<Arc<str>> = OnceLock::new();
+    S.get_or_init(|| Arc::from("/tmp")).clone()
+}
+
+/// Interned decimal strings for small durations: the paper's microbenchmark
+/// workloads use a handful of distinct `sleep` arguments ("0", "1", "4",
+/// "8"…) across millions of tasks.
+fn small_decimal(n: u64) -> Option<Arc<str>> {
+    const N: usize = 64;
+    static TABLE: OnceLock<Vec<Arc<str>>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| (0..N as u64).map(|i| Arc::from(i.to_string())).collect());
+    table.get(n as usize).cloned()
+}
+
+/// Decode-side interning: map a wire string back onto the shared `Arc`s the
+/// constructors hand out, so decoding a `sleep N /tmp` bundle bumps three
+/// refcounts instead of allocating three strings per task. Returns `None`
+/// for anything outside the interned set (the caller allocates normally).
+/// Exactness matters: only canonical decimal forms intern (`"07"` must stay
+/// `"07"`), so leading zeros are rejected.
+pub(crate) fn interned(s: &str) -> Option<Arc<str>> {
+    match s {
+        "sleep" => Some(sleep_command()),
+        "/tmp" => Some(tmp_dir()),
+        _ => {
+            let b = s.as_bytes();
+            let canonical_decimal = matches!(b.len(), 1 | 2)
+                && b.iter().all(|c| c.is_ascii_digit())
+                && (b.len() == 1 || b.first() != Some(&b'0'));
+            if canonical_decimal {
+                small_decimal(s.parse().ok()?)
+            } else {
+                None
+            }
+        }
+    }
+}
+
 impl TaskSpec {
     /// A canonical `sleep <secs>` task, the paper's microbenchmark workload.
     /// `sleep 0` measures pure dispatch overhead.
     pub fn sleep(id: u64, secs: u64) -> TaskSpec {
+        let arg = small_decimal(secs).unwrap_or_else(|| Arc::from(secs.to_string()));
         TaskSpec {
             id: TaskId(id),
-            command: "sleep".to_string(),
-            args: vec![secs.to_string()],
+            command: sleep_command(),
+            args: vec![arg],
             env: Vec::new(),
-            working_dir: "/tmp".to_string(),
+            working_dir: tmp_dir(),
             estimated_runtime_us: Some(secs * 1_000_000),
             data: None,
         }
@@ -95,12 +151,17 @@ impl TaskSpec {
 
     /// A sleep task with sub-second resolution (microseconds).
     pub fn sleep_us(id: u64, us: u64) -> TaskSpec {
+        let arg = if us.is_multiple_of(1_000_000) {
+            small_decimal(us / 1_000_000).unwrap_or_else(|| Arc::from((us / 1_000_000).to_string()))
+        } else {
+            Arc::from(format!("{}", us as f64 / 1e6))
+        };
         TaskSpec {
             id: TaskId(id),
-            command: "sleep".to_string(),
-            args: vec![format!("{}", us as f64 / 1e6)],
+            command: sleep_command(),
+            args: vec![arg],
             env: Vec::new(),
-            working_dir: "/tmp".to_string(),
+            working_dir: tmp_dir(),
             estimated_runtime_us: Some(us),
             data: None,
         }
@@ -196,15 +257,15 @@ mod tests {
     fn sleep_task_shape() {
         let t = TaskSpec::sleep(7, 480);
         assert_eq!(t.id, TaskId(7));
-        assert_eq!(t.command, "sleep");
-        assert_eq!(t.args, vec!["480"]);
+        assert_eq!(&*t.command, "sleep");
+        assert_eq!(&*t.args[0], "480");
         assert_eq!(t.runtime_us(), 480_000_000);
     }
 
     #[test]
     fn sleep_us_fractional() {
         let t = TaskSpec::sleep_us(1, 1_500_000);
-        assert_eq!(t.args, vec!["1.5"]);
+        assert_eq!(&*t.args[0], "1.5");
         assert_eq!(t.runtime_us(), 1_500_000);
     }
 
@@ -224,6 +285,19 @@ mod tests {
         let f = TaskResult::failure(TaskId(2), 3);
         assert!(!f.is_success());
         assert_eq!(f.exit_code, 3);
+    }
+
+    #[test]
+    fn sleep_constructors_intern_strings() {
+        let a = TaskSpec::sleep(1, 0);
+        let b = TaskSpec::sleep(2, 0);
+        assert!(Arc::ptr_eq(&a.command, &b.command));
+        assert!(Arc::ptr_eq(&a.working_dir, &b.working_dir));
+        assert!(Arc::ptr_eq(&a.args[0], &b.args[0]));
+        // Whole-second `sleep_us` calls share the same interned digits.
+        let c = TaskSpec::sleep_us(3, 2_000_000);
+        assert_eq!(&*c.args[0], "2");
+        assert!(Arc::ptr_eq(&c.args[0], &TaskSpec::sleep(4, 2).args[0]));
     }
 
     #[test]

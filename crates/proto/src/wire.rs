@@ -78,6 +78,14 @@ impl<'a> Reader<'a> {
             .map_err(|_| CodecError::InvalidUtf8 { context })
     }
 
+    /// A borrowed, UTF-8-validated view of a length-prefixed string: lets
+    /// decode paths inspect (e.g. intern) the text before deciding whether
+    /// to allocate.
+    pub fn str_slice(&mut self, context: &'static str) -> Result<&'a str, CodecError> {
+        let b = self.bytes(context)?;
+        std::str::from_utf8(b).map_err(|_| CodecError::InvalidUtf8 { context })
+    }
+
     pub fn opt_string(&mut self, context: &'static str) -> Result<Option<String>, CodecError> {
         match self.u8(context)? {
             0 => Ok(None),
@@ -157,16 +165,26 @@ pub trait Sink {
     }
 }
 
-/// Standard amortized-growth sink (what any sane implementation uses).
-#[derive(Default)]
-pub struct VecSink {
-    /// Accumulated output.
-    pub buf: Vec<u8>,
+/// The standard amortized-growth sink: a plain `Vec<u8>` appends in place,
+/// so a driver-owned scratch buffer can be reused across encodes without
+/// reallocating.
+impl Sink for Vec<u8> {
+    fn put(&mut self, data: &[u8]) {
+        self.extend_from_slice(data);
+    }
 }
 
-impl Sink for VecSink {
+/// A sink that discards bytes and counts them — sizes a message without
+/// materialising it.
+#[derive(Default)]
+pub struct CountSink {
+    /// Bytes that would have been written.
+    pub len: usize,
+}
+
+impl Sink for CountSink {
     fn put(&mut self, data: &[u8]) {
-        self.buf.extend_from_slice(data);
+        self.len += data.len();
     }
 }
 
@@ -201,12 +219,12 @@ mod tests {
 
     #[test]
     fn roundtrip_scalars() {
-        let mut s = VecSink::default();
+        let mut s = Vec::new();
         s.put_u8(7);
         s.put_u32(0xDEAD_BEEF);
         s.put_u64(u64::MAX);
         s.put_i32(-42);
-        let mut r = Reader::new(&s.buf);
+        let mut r = Reader::new(&s);
         assert_eq!(r.u8("t").unwrap(), 7);
         assert_eq!(r.u32("t").unwrap(), 0xDEAD_BEEF);
         assert_eq!(r.u64("t").unwrap(), u64::MAX);
@@ -216,13 +234,13 @@ mod tests {
 
     #[test]
     fn roundtrip_strings_and_options() {
-        let mut s = VecSink::default();
+        let mut s = Vec::new();
         s.put_string("héllo");
         s.put_opt_string(&None);
         s.put_opt_string(&Some("x".into()));
         s.put_opt_u64(&Some(9));
         s.put_opt_u64(&None);
-        let mut r = Reader::new(&s.buf);
+        let mut r = Reader::new(&s);
         assert_eq!(r.string("t").unwrap(), "héllo");
         assert_eq!(r.opt_string("t").unwrap(), None);
         assert_eq!(r.opt_string("t").unwrap(), Some("x".into()));
@@ -233,17 +251,17 @@ mod tests {
 
     #[test]
     fn truncated_input_errors() {
-        let mut s = VecSink::default();
+        let mut s = Vec::new();
         s.put_u64(1);
-        let mut r = Reader::new(&s.buf[..4]);
+        let mut r = Reader::new(&s[..4]);
         assert!(matches!(r.u64("ctx"), Err(CodecError::Truncated { .. })));
     }
 
     #[test]
     fn oversized_length_rejected() {
-        let mut s = VecSink::default();
+        let mut s = Vec::new();
         s.put_u32(u32::MAX); // length far above MAX_LEN
-        let mut r = Reader::new(&s.buf);
+        let mut r = Reader::new(&s);
         assert!(matches!(
             r.len("arr"),
             Err(CodecError::LengthOverflow { .. })
@@ -252,9 +270,9 @@ mod tests {
 
     #[test]
     fn invalid_utf8_rejected() {
-        let mut s = VecSink::default();
+        let mut s = Vec::new();
         s.put_bytes(&[0xFF, 0xFE]);
-        let mut r = Reader::new(&s.buf);
+        let mut r = Reader::new(&s);
         assert!(matches!(r.string("s"), Err(CodecError::InvalidUtf8 { .. })));
     }
 
@@ -276,11 +294,11 @@ mod tests {
         // Copies: 0 + 10 + 20 + ... + 990 = 49_500
         assert_eq!(s.bytes_copied, 49_500);
         assert_eq!(s.buf.len(), 1_000);
-        // Same logical output as VecSink
-        let mut v = VecSink::default();
+        // Same logical output as the plain Vec sink
+        let mut v = Vec::new();
         for _ in 0..100 {
             v.put(&[0u8; 10]);
         }
-        assert_eq!(s.buf, v.buf);
+        assert_eq!(s.buf, v);
     }
 }

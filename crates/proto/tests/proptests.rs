@@ -18,10 +18,10 @@ fn arb_task() -> BoxedStrategy<TaskSpec> {
         .prop_map(
             |(id, command, args, env, working_dir, est, data)| TaskSpec {
                 id: TaskId(id),
-                command,
-                args,
-                env,
-                working_dir,
+                command: command.into(),
+                args: args.into_iter().map(Into::into).collect(),
+                env: env.into_iter().map(|(k, v)| (k.into(), v.into())).collect(),
+                working_dir: working_dir.into(),
                 estimated_runtime_us: est,
                 data: data.map(|(object, bytes, loc, acc)| DataSpec {
                     object,

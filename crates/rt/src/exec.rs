@@ -7,7 +7,7 @@ use std::time::Duration;
 /// Execute a task without spawning a process: `sleep <secs>` sleeps, any
 /// other command is a no-op success (the paper's microbenchmark semantics).
 pub fn execute_builtin(spec: &TaskSpec) -> TaskResult {
-    if spec.command == "sleep" {
+    if &*spec.command == "sleep" {
         if let Some(secs) = spec.args.first().and_then(|a| a.parse::<f64>().ok()) {
             if secs > 0.0 {
                 thread::sleep(Duration::from_secs_f64(secs));
@@ -19,8 +19,8 @@ pub fn execute_builtin(spec: &TaskSpec) -> TaskResult {
 
 /// Execute a task by spawning the real OS process and waiting for it.
 pub fn execute_process(spec: &TaskSpec) -> TaskResult {
-    match std::process::Command::new(&spec.command)
-        .args(&spec.args)
+    match std::process::Command::new(&*spec.command)
+        .args(spec.args.iter().map(|a| &**a))
         .output()
     {
         Ok(o) => TaskResult {

@@ -42,6 +42,10 @@ pub struct Conn {
     secure: Option<SecureChannel>,
     codec: EfficientCodec,
     readbuf: [u8; 64 * 1024],
+    /// Encode scratch, reused across sends (no per-message allocation).
+    writebuf: Vec<u8>,
+    /// Frame scratch for `write_raw`, reused likewise.
+    framebuf: Vec<u8>,
     clock: Clock,
     wire: WireTap,
 }
@@ -66,6 +70,8 @@ impl Conn {
             secure: None,
             codec: EfficientCodec,
             readbuf: [0; 64 * 1024],
+            writebuf: Vec::new(),
+            framebuf: Vec::new(),
             clock,
             wire: WireTap::new(),
         };
@@ -86,9 +92,9 @@ impl Conn {
     }
 
     fn write_raw(&mut self, payload: &[u8]) -> std::io::Result<()> {
-        let mut buf = Vec::with_capacity(payload.len() + 4);
-        write_frame(&mut buf, payload);
-        self.stream.write_all(&buf)
+        self.framebuf.clear();
+        write_frame(&mut self.framebuf, payload);
+        self.stream.write_all(&self.framebuf)
     }
 
     /// Blocking read of one raw frame.
@@ -111,15 +117,25 @@ impl Conn {
 
     /// Send one message.
     pub fn send(&mut self, msg: &Message) -> std::io::Result<()> {
-        let bytes = self.codec.encode(msg);
-        let payload = match self.secure.as_mut() {
-            Some(chan) => chan
-                .seal(&bytes)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?,
-            None => bytes,
+        // Encode into the connection's scratch buffer (taken out for the
+        // duration so `write_raw` can borrow `self`), then hand it back.
+        let mut bytes = std::mem::take(&mut self.writebuf);
+        self.codec.encode_into(msg, &mut bytes);
+        let result = match self.secure.as_mut() {
+            Some(chan) => match chan.seal(&bytes) {
+                Ok(sealed) => {
+                    self.wire.encoded(self.clock.now_us(), sealed.len() as u64);
+                    self.write_raw(&sealed)
+                }
+                Err(e) => Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e)),
+            },
+            None => {
+                self.wire.encoded(self.clock.now_us(), bytes.len() as u64);
+                self.write_raw(&bytes)
+            }
         };
-        self.wire.encoded(self.clock.now_us(), payload.len() as u64);
-        self.write_raw(&payload)
+        self.writebuf = bytes;
+        result
     }
 
     /// Blocking receive of one message.

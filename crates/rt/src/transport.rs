@@ -40,6 +40,9 @@ pub struct Endpoint {
     mode: WireMode,
     secure: Option<SecureChannel>,
     codec: EfficientCodec,
+    /// Plaintext encode scratch for [`WireMode::Secure`], reused across
+    /// packs (the sealed output must still be owned by the packet).
+    scratch: Vec<u8>,
     /// Messages processed (observability).
     pub sent: u64,
     /// Messages received (observability).
@@ -59,6 +62,7 @@ impl Endpoint {
             mode,
             secure,
             codec: EfficientCodec,
+            scratch: Vec::new(),
             sent: 0,
             received: 0,
         }
@@ -71,8 +75,12 @@ impl Endpoint {
             WireMode::Plain => Ok(Packet::Value(msg)),
             WireMode::Encoded => Ok(Packet::Bytes(self.codec.encode(&msg))),
             WireMode::Secure => {
-                let bytes = self.codec.encode(&msg);
-                let sealed = self.secure.as_mut().expect("checked in new").seal(&bytes)?;
+                self.codec.encode_into(&msg, &mut self.scratch);
+                let sealed = self
+                    .secure
+                    .as_mut()
+                    .expect("checked in new")
+                    .seal(&self.scratch)?;
                 Ok(Packet::Bytes(sealed))
             }
         }

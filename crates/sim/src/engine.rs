@@ -91,12 +91,11 @@ impl<E> Engine<E> {
         handler: &mut F,
     ) -> bool {
         while !self.stopped {
-            match self.queue.peek_time() {
-                None => return false,
-                Some(t) if t > deadline => return true,
-                Some(_) => {}
-            }
-            let (t, ev) = self.queue.pop().expect("peeked");
+            // One heap operation per event: `pop_at_or_before` folds the old
+            // peek-then-pop double traversal into a single conditional pop.
+            let Some((t, ev)) = self.queue.pop_at_or_before(deadline) else {
+                return !self.queue.is_empty();
+            };
             self.now = t;
             self.events_processed += 1;
             assert!(
@@ -198,31 +197,29 @@ impl<E> ActorSystem<E> {
 
     /// Drive until no events remain or an actor calls [`Ctx::stop`].
     pub fn run(&mut self) {
+        // Reuse the engine's single-pop path instead of reaching into the
+        // queue directly; `Ctx::stop` maps onto `Engine::stop`.
+        self.engine.stopped = false;
         let mut outbox: Vec<(SimTime, ProcessId, E)> = Vec::new();
-        let mut stop = false;
-        while !stop {
-            let Some((t, (pid, ev))) = self.engine.queue.pop() else {
-                break;
-            };
-            self.engine.now = t;
-            self.engine.events_processed += 1;
-            assert!(
-                self.engine.events_processed <= self.engine.max_events,
-                "actor system exceeded max_events (livelock?)"
-            );
+        let actors = &mut self.actors;
+        self.engine.run_until(SimTime::MAX, &mut |eng, (pid, ev)| {
+            let mut stop = false;
             {
                 let mut ctx = Ctx {
-                    now: t,
+                    now: eng.now(),
                     self_id: pid,
                     outbox: &mut outbox,
                     stop: &mut stop,
                 };
-                self.actors[pid.0].on_event(&mut ctx, ev);
+                actors[pid.0].on_event(&mut ctx, ev);
+            }
+            if stop {
+                eng.stop();
             }
             for (at, to, event) in outbox.drain(..) {
-                self.engine.schedule_at(at, (to, event));
+                eng.schedule_at(at, (to, event));
             }
-        }
+        });
     }
 
     /// Access a registered actor (e.g. to extract results after `run`).

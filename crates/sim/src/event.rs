@@ -3,41 +3,63 @@
 //! Events scheduled for the same instant are delivered in insertion order
 //! (stable FIFO), which makes simulations bit-for-bit reproducible regardless
 //! of how the heap happens to balance.
+//!
+//! # Layout
+//!
+//! The queue is a **4-ary implicit heap** ordered by a packed
+//! `(time, sequence)` index key, plus a **same-instant FIFO lane**:
+//!
+//! * Each heap entry carries its ordering key *inline* as a single packed
+//!   `u128` (`time << 64 | seq`), so every sift comparison is one wide
+//!   integer compare with no pointer chasing. A 4-ary heap halves the tree
+//!   depth of a binary heap and keeps the four children of a node in at
+//!   most two cache lines, which is what keeps 50K-outstanding-timer
+//!   simulations (the paper's 54K-executor runs) queue-bound rather than
+//!   cache-bound. (A slab-indexed variant — dense key array, payloads
+//!   never moving — was measured and is *slower* for the small event types
+//!   the simulations actually use; see DESIGN.md § perf.)
+//! * Pushes at exactly the current instant (`at == last_popped`) skip the
+//!   heap entirely and append to a `VecDeque` lane. Dispatcher pump
+//!   cascades — dozens of notify/ack events emitted "now" — cost O(1) each
+//!   instead of a sift. Because every heap entry is keyed `(at, seq)` and
+//!   lane entries keep their global `seq`, [`EventQueue::pop`] merges the
+//!   two sources back into exactly the order a single heap would produce
+//!   (proven against the old `BinaryHeap` implementation by the
+//!   `queue_model` proptest suite).
+//!
+//! The total order is unchanged from the original implementation: ascending
+//! time, FIFO (ascending push sequence) within one instant.
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
+/// One heap entry: the packed ordering key and the payload.
 struct Entry<E> {
-    at: SimTime,
-    seq: u64,
+    /// `(time << 64) | seq` — compares exactly like `(time, seq)`.
+    key: u128,
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+#[inline]
+const fn pack(at: SimTime, seq: u64) -> u128 {
+    ((at.as_micros() as u128) << 64) | seq as u128
 }
 
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
+#[inline]
+const fn key_time(key: u128) -> SimTime {
+    SimTime::from_micros((key >> 64) as u64)
 }
 
 /// A priority queue of `(SimTime, E)` pairs popped in time order, FIFO within
 /// a single instant.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// 4-ary implicit min-heap on `Entry::key`.
+    heap: Vec<Entry<E>>,
+    /// Events pushed at exactly `last_popped`: already in pop order, no heap
+    /// traffic. Invariant: every lane entry's time equals `last_popped`, and
+    /// the lane drains before `last_popped` can advance (any later event
+    /// compares greater than the lane front).
+    lane: VecDeque<(u64, E)>,
     next_seq: u64,
     last_popped: SimTime,
 }
@@ -52,7 +74,8 @@ impl<E> EventQueue<E> {
     /// Create an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
+            lane: VecDeque::new(),
             next_seq: 0,
             last_popped: SimTime::ZERO,
         }
@@ -63,6 +86,7 @@ impl<E> EventQueue<E> {
     /// # Panics
     /// Panics if `at` is earlier than the time of the last popped event:
     /// scheduling into the past would violate causality.
+    #[inline]
     pub fn push(&mut self, at: SimTime, event: E) {
         assert!(
             at >= self.last_popped,
@@ -72,29 +96,128 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
+        if at == self.last_popped {
+            // Same-instant fast lane: globally minimal among future pushes,
+            // ordered against same-instant heap entries by `seq` at pop.
+            self.lane.push_back((seq, event));
+            return;
+        }
+        self.heap.push(Entry {
+            key: pack(at, seq),
+            event,
+        });
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// Remove and return the earliest event together with its timestamp.
+    #[inline]
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
-        self.last_popped = entry.at;
-        Some((entry.at, entry.event))
+        self.pop_at_or_before(SimTime::MAX)
+    }
+
+    /// Remove and return the earliest event if it is scheduled at or before
+    /// `deadline`; otherwise leave the queue untouched and return `None`.
+    /// One heap operation per delivered event — no peek-then-pop.
+    #[inline]
+    pub fn pop_at_or_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        // The lane, when non-empty, holds events at `last_popped`, which is
+        // ≤ every heap time; it loses only to a same-instant heap entry with
+        // an earlier sequence number.
+        if let Some(&(lane_seq, _)) = self.lane.front() {
+            let lane_key = pack(self.last_popped, lane_seq);
+            if let Some(root) = self.heap.first() {
+                if root.key < lane_key {
+                    // Same instant, earlier push: the heap entry goes first.
+                    // (`last_popped` is unchanged by construction.)
+                    return Some(self.pop_root());
+                }
+            }
+            if self.last_popped > deadline {
+                return None;
+            }
+            let (_, event) = self.lane.pop_front().expect("front checked");
+            return Some((self.last_popped, event));
+        }
+        let root = self.heap.first()?;
+        if key_time(root.key) > deadline {
+            return None;
+        }
+        let (at, event) = self.pop_root();
+        self.last_popped = at;
+        Some((at, event))
+    }
+
+    /// Pop the heap root unconditionally (caller checked non-empty).
+    #[inline]
+    fn pop_root(&mut self) -> (SimTime, E) {
+        let entry = self.heap.swap_remove(0);
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        (key_time(entry.key), entry.event)
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut pos: usize) {
+        // The sifted entry's key is invariant: hoist it out of the loop so
+        // each level is one load + one compare (+ one swap when moving).
+        let key = self.heap[pos].key;
+        while pos > 0 {
+            let parent = (pos - 1) / 4;
+            if key < self.heap[parent].key {
+                self.heap.swap(pos, parent);
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut pos: usize) {
+        let len = self.heap.len();
+        let key = self.heap[pos].key;
+        loop {
+            let first = 4 * pos + 1;
+            if first >= len {
+                return;
+            }
+            let last = (first + 4).min(len);
+            let mut min = first;
+            let mut min_key = self.heap[first].key;
+            for c in first + 1..last {
+                let k = self.heap[c].key;
+                if k < min_key {
+                    min = c;
+                    min_key = k;
+                }
+            }
+            if min_key < key {
+                self.heap.swap(pos, min);
+                pos = min;
+            } else {
+                return;
+            }
+        }
     }
 
     /// The timestamp of the next event, if any.
+    #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        if !self.lane.is_empty() {
+            // A same-instant heap entry can only tie the lane's time.
+            return Some(self.last_popped);
+        }
+        self.heap.first().map(|e| key_time(e.key))
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.lane.len()
     }
 
     /// Whether the queue has no pending events.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.lane.is_empty()
     }
 }
 
@@ -151,5 +274,80 @@ mod tests {
         q.pop();
         q.push(SimTime::from_secs(10), 2); // same instant as last pop: fine
         assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn lane_respects_earlier_heap_entries_at_same_instant() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.push(t, "heap-early"); // seq 0, via heap (last_popped = 0)
+        q.push(SimTime::from_micros(500), "first"); // seq 1
+        assert_eq!(q.pop().unwrap().1, "first"); // last_popped = 500µs
+        q.push(SimTime::from_secs(1), "heap-late"); // seq 2, heap (1s > 0.5s)
+        assert_eq!(q.pop().unwrap().1, "heap-early"); // last_popped = 1s
+        q.push(t, "lane-1"); // seq 3, lane
+        q.push(t, "lane-2"); // seq 4, lane
+                             // heap-late (seq 2) precedes the lane entries (seqs 3, 4).
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["heap-late", "lane-1", "lane-2"]);
+    }
+
+    #[test]
+    fn pop_at_or_before_respects_deadline() {
+        let mut q = EventQueue::new();
+        for s in [5u64, 1, 3, 2, 4] {
+            q.push(SimTime::from_secs(s), s);
+        }
+        let mut seen = Vec::new();
+        while let Some((_, e)) = q.pop_at_or_before(SimTime::from_secs(3)) {
+            seen.push(e);
+        }
+        assert_eq!(seen, vec![1, 2, 3]);
+        assert_eq!(q.len(), 2);
+        // The remainder pops in order with an unbounded deadline.
+        assert_eq!(q.pop().unwrap().1, 4);
+        assert_eq!(q.pop().unwrap().1, 5);
+        assert!(q.pop_at_or_before(SimTime::MAX).is_none());
+    }
+
+    #[test]
+    fn pop_at_or_before_holds_lane_events_past_deadline() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(10), "a");
+        q.pop();
+        q.push(SimTime::from_secs(10), "lane"); // same instant: lane
+                                                // Deadline before the lane's instant: nothing deliverable.
+        assert!(q.pop_at_or_before(SimTime::from_secs(9)).is_none());
+        assert_eq!(q.len(), 1);
+        assert_eq!(
+            q.pop_at_or_before(SimTime::from_secs(10)).unwrap().1,
+            "lane"
+        );
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_sorted() {
+        // Deterministic pseudo-random workout for the 4-ary sift paths.
+        let mut q = EventQueue::new();
+        let mut x: u64 = 0x2545_F491_4F6C_DD1D;
+        let mut now = 0u64;
+        let mut popped = Vec::new();
+        for round in 0..2_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            q.push(SimTime::from_micros(now + x % 1_000), round);
+            if x.is_multiple_of(3) {
+                if let Some((t, _)) = q.pop() {
+                    now = t.as_micros();
+                    popped.push(t);
+                }
+            }
+        }
+        while let Some((t, _)) = q.pop() {
+            popped.push(t);
+        }
+        assert_eq!(popped.len(), 2_000);
+        assert!(popped.windows(2).all(|w| w[0] <= w[1]), "pops out of order");
     }
 }

@@ -1,0 +1,60 @@
+//! `cargo xtask <task>` — the blessed spellings for workspace chores.
+//!
+//! ```text
+//! cargo xtask lint            architecture-invariant static analysis
+//! cargo xtask bench [--json <path>]
+//!                             hot-path perf baseline (repro bench)
+//! ```
+//!
+//! Each task shells back out to cargo so it always runs the current tree;
+//! extra arguments are forwarded to the underlying tool.
+
+use std::process::{Command, ExitCode};
+
+const USAGE: &str = "usage: cargo xtask <lint|bench> [tool args...]";
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(task) = args.next() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let rest: Vec<String> = args.collect();
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
+    let status = match task.as_str() {
+        "lint" => Command::new(&cargo)
+            .args(["run", "--quiet", "--release", "-p", "falkon-lint", "--"])
+            .args(&rest)
+            .status(),
+        "bench" => Command::new(&cargo)
+            .args([
+                "run",
+                "--quiet",
+                "--release",
+                "-p",
+                "falkon-bench",
+                "--bin",
+                "repro",
+                "--",
+                "bench",
+            ])
+            .args(&rest)
+            .status(),
+        "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("xtask: unknown task `{other}`\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(s) => ExitCode::from(s.code().unwrap_or(1).clamp(0, 255) as u8),
+        Err(e) => {
+            eprintln!("xtask: cannot run {cargo}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

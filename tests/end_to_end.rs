@@ -94,7 +94,7 @@ fn failing_command_reports_nonzero_exit() {
     let mut cfg = quick(2, WireMode::Plain);
     cfg.spawn_processes = true;
     let mut task = TaskSpec::sleep(1, 0);
-    task.command = "false".to_string();
+    task.command = "false".into();
     task.args.clear();
     let out = run_workload(&cfg, vec![task]);
     assert_eq!(out.tasks, 1);

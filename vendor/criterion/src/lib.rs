@@ -129,6 +129,14 @@ fn run_benchmark(
     sample_size: usize,
     f: &mut dyn FnMut(&mut Bencher),
 ) {
+    // CI smoke mode: `FALKON_BENCH_QUICK=1` clamps every benchmark to two
+    // samples so the harness still *runs* each routine (catching panics and
+    // compile rot) without pretending the resulting rates are meaningful.
+    let sample_size = if std::env::var_os("FALKON_BENCH_QUICK").is_some() {
+        2
+    } else {
+        sample_size
+    };
     // Calibrate: grow the iteration count until one sample takes ≥ ~2 ms so
     // cheap routines are not lost in timer noise.
     let mut iters = 1u64;
