@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the Falkon paper.
 //!
 //! ```text
-//! repro [<experiment>] [--full] [--trace <path>]
+//! repro [<experiment>] [--full] [--jobs <n>] [--trace <path>]
 //!
 //! repro list       enumerate experiments (id + description)
 //! repro all        run everything (the default)
@@ -11,19 +11,23 @@
 //! flags:
 //!   --full         the paper's parameters (2,000,000 tasks, 54,000
 //!                  executors) instead of the quick smoke scale
+//!   --jobs <n>     run on an n-worker work-stealing pool (default 1 =
+//!                  serial). Output is byte-identical for every n except
+//!                  the wall-clock "measured" block.
 //!   --trace <path> with a single experiment: also dump every completed
 //!                  task's lifecycle (enqueue/dispatch/complete timestamps)
-//!                  as TSV to <path>
+//!                  as TSV to <path>. Forces serial execution: the trace
+//!                  sink is thread-local.
 //!   --json <path>  with `bench`: also write the machine-readable report
-//!                  (the format committed as BENCH_0003.json)
+//!                  (the format committed as BENCH_0004.json)
 //! ```
 //!
 //! Experiments sharing one expensive run (fig9/fig10; table3/table4/
 //! fig12/fig13) execute it once per `repro all` via their registry group.
 
+use falkon_bench::harness;
 use falkon_exp::experiments::{registry, Scale};
 use falkon_exp::trace;
-use std::collections::HashMap;
 use std::io::Write;
 
 /// Print a block, exiting quietly on a closed pipe (`repro all | head`).
@@ -37,31 +41,43 @@ fn emit(block: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
-    let path_flag = |flag: &str| match args.iter().position(|a| a == flag) {
+    let value_flag = |flag: &str| match args.iter().position(|a| a == flag) {
         Some(i) => match args.get(i + 1) {
             Some(p) if !p.starts_with("--") => Some(p.clone()),
             _ => {
-                eprintln!("{flag} needs a file path");
+                eprintln!("{flag} needs a value");
                 std::process::exit(2);
             }
         },
         None => None,
     };
-    let trace_path = path_flag("--trace");
-    let json_path = path_flag("--json");
+    let trace_path = value_flag("--trace");
+    let json_path = value_flag("--json");
+    let jobs = match value_flag("--jobs") {
+        Some(n) => match n.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--jobs needs a worker count >= 1, got `{n}`");
+                std::process::exit(2);
+            }
+        },
+        None => 1,
+    };
+    const VALUE_FLAGS: [&str; 3] = ["--trace", "--json", "--jobs"];
     if let Some(bad) = args
         .iter()
         .enumerate()
         .find(|&(i, a)| {
             a.starts_with("--")
                 && a != "--full"
-                && a != "--trace"
-                && a != "--json"
-                && !(i > 0 && (args[i - 1] == "--trace" || args[i - 1] == "--json"))
+                && !VALUE_FLAGS.contains(&a.as_str())
+                && !(i > 0 && VALUE_FLAGS.contains(&args[i - 1].as_str()))
         })
         .map(|(_, a)| a)
     {
-        eprintln!("unknown flag `{bad}`; flags are --full, --trace <path>, --json <path>");
+        eprintln!(
+            "unknown flag `{bad}`; flags are --full, --jobs <n>, --trace <path>, --json <path>"
+        );
         std::process::exit(2);
     }
     let scale = if full { Scale::Full } else { Scale::Quick };
@@ -69,15 +85,14 @@ fn main() {
         .iter()
         .enumerate()
         .filter(|&(i, a)| {
-            !a.starts_with("--")
-                && (i == 0 || (args[i - 1] != "--trace" && args[i - 1] != "--json"))
+            !a.starts_with("--") && (i == 0 || !VALUE_FLAGS.contains(&args[i - 1].as_str()))
         })
         .map(|(_, a)| a.as_str())
         .next()
         .unwrap_or("all");
 
     if what == "bench" {
-        run_bench(json_path);
+        run_bench(json_path, jobs);
         return;
     }
     if json_path.is_some() {
@@ -97,7 +112,7 @@ fn main() {
             eprintln!("--trace needs a single experiment (see `repro list`)");
             std::process::exit(2);
         }
-        run_all(scale);
+        harness::run_all_with(scale, jobs, &mut |_id, text| emit(text));
         return;
     }
 
@@ -109,10 +124,17 @@ fn main() {
         );
         std::process::exit(2);
     };
+    // Single-experiment runs stay serial: the lifecycle trace sink is
+    // thread-local, and pool workers would swallow records. The pool's
+    // win is concurrency *across* experiments anyway.
+    if trace_path.is_some() && jobs > 1 {
+        eprintln!("--trace is serial-only; drop --jobs or use --jobs 1");
+        std::process::exit(2);
+    }
     if trace_path.is_some() {
         trace::enable();
     }
-    let report = exp.run(scale);
+    let report = run_single(exp, scale, jobs);
     let text = exp.render(&report);
     if !text.is_empty() {
         emit(&text);
@@ -128,35 +150,19 @@ fn main() {
     }
 }
 
-/// Run every registry entry in order. Entries with a common
-/// `shared_run_key` reuse one run; when two of them also render
-/// identically (fig9/fig10 are the same plot), the block prints once.
-fn run_all(scale: Scale) {
-    run_all_with(scale, &mut |text| emit(text));
-}
-
-fn run_all_with(scale: Scale, sink: &mut dyn FnMut(&str)) {
-    let mut reports: HashMap<&'static str, registry::Report> = HashMap::new();
-    let mut printed: HashMap<&'static str, Vec<String>> = HashMap::new();
-    for exp in registry::REGISTRY {
-        let key = exp.shared_run_key();
-        let report = reports.entry(key).or_insert_with(|| exp.run(scale));
-        let text = exp.render(report);
-        if text.is_empty() {
-            continue;
-        }
-        let seen = printed.entry(key).or_default();
-        if seen.contains(&text) {
-            continue;
-        }
-        sink(&text);
-        seen.push(text);
+/// Run one experiment, with the pool installed so its inner sweeps (if
+/// any) fan out when `--jobs` asks for it.
+fn run_single(exp: &dyn registry::Experiment, scale: Scale, jobs: usize) -> registry::Report {
+    if jobs <= 1 {
+        return exp.run(scale);
     }
+    let pool = falkon_pool::Pool::new(jobs);
+    pool.install(|| exp.run(scale))
 }
 
 /// `repro bench`: the tracked hot-path baseline (DESIGN.md § perf).
 /// Prints a table; with `--json <path>` also writes the committed report.
-fn run_bench(json_path: Option<String>) {
+fn run_bench(json_path: Option<String>, jobs: usize) {
     use falkon_bench::perfbench;
 
     eprintln!("repro bench: running hot-path scenarios (~1 min)...");
@@ -166,13 +172,13 @@ fn run_bench(json_path: Option<String>) {
     let clock = falkon_rt::Clock::start();
     let t0 = clock.now_us();
     let mut sink_len = 0usize;
-    run_all_with(Scale::Quick, &mut |text| sink_len += text.len());
+    harness::run_all_with(Scale::Quick, jobs, &mut |_id, text| sink_len += text.len());
     let wall_s = clock.now_us().saturating_sub(t0) as f64 / 1e6;
     assert!(sink_len > 0, "repro all produced no output");
 
-    emit(&perfbench::render_table(&results, Some(wall_s)));
+    emit(&perfbench::render_table(&results, Some(wall_s), jobs));
     if let Some(path) = json_path {
-        let json = perfbench::render_json(&results, Some(wall_s));
+        let json = perfbench::render_json(&results, Some(wall_s), jobs);
         if let Err(e) = std::fs::write(&path, json) {
             eprintln!("cannot write bench report to {path}: {e}");
             std::process::exit(1);

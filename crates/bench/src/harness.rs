@@ -1,0 +1,132 @@
+//! The `repro all` execution harness: serial or pool-parallel, with
+//! byte-identical output either way.
+//!
+//! `repro all --jobs N` fans the registry's shared-run groups across a
+//! [`falkon_pool::Pool`]; experiments whose inner sweeps call
+//! `falkon_pool::parallel_map` split their replicas over the same workers
+//! (the pool is the ambient pool on every worker thread). Output
+//! determinism is structural, not incidental:
+//!
+//! - each `shared_run_key` group executes exactly once, on one worker —
+//!   consumers of a shared run (fig9/fig10; table3/table4/fig12/fig13)
+//!   render the same `Report`, so the emit loop blocks until the group's
+//!   run has arrived;
+//! - rendering and emission happen on the calling thread, walking
+//!   [`registry::REGISTRY`] in declaration order with the same
+//!   per-group dedupe as the serial path;
+//! - `parallel_map` returns results in input order.
+//!
+//! The `measured` experiment reports wall-clock rates and is excluded from
+//! byte-identity comparisons (it is last in the registry, so a single
+//! carve-out suffices; see `tests/determinism.rs` and the CI bench-smoke
+//! job).
+
+use falkon_exp::experiments::{registry, Scale};
+use falkon_pool::Pool;
+use std::collections::HashMap;
+use std::sync::mpsc;
+
+/// One rendered `repro all` block, tagged with the registry id that
+/// produced it (after shared-run dedupe).
+pub struct Block {
+    pub id: &'static str,
+    pub text: String,
+}
+
+/// Run every registry entry and stream rendered blocks to `sink` in
+/// registry order. `jobs <= 1` is the serial reference path; higher values
+/// run shared-run groups (and pool-aware inner sweeps) concurrently.
+pub fn run_all_with(scale: Scale, jobs: usize, sink: &mut dyn FnMut(&'static str, &str)) {
+    if jobs <= 1 {
+        run_all_serial(scale, sink);
+    } else {
+        run_all_pooled(scale, jobs, sink);
+    }
+}
+
+/// Collect the blocks of a full run (used by the determinism tests).
+pub fn run_all_blocks(scale: Scale, jobs: usize) -> Vec<Block> {
+    let mut blocks = Vec::new();
+    run_all_with(scale, jobs, &mut |id, text| {
+        blocks.push(Block {
+            id,
+            text: text.to_string(),
+        });
+    });
+    blocks
+}
+
+fn run_all_serial(scale: Scale, sink: &mut dyn FnMut(&'static str, &str)) {
+    let mut reports: HashMap<&'static str, registry::Report> = HashMap::new();
+    let mut printed: HashMap<&'static str, Vec<String>> = HashMap::new();
+    for exp in registry::REGISTRY {
+        let key = exp.shared_run_key();
+        let report = reports.entry(key).or_insert_with(|| exp.run(scale));
+        emit_block(*exp, report, &mut printed, sink);
+    }
+}
+
+fn run_all_pooled(scale: Scale, jobs: usize, sink: &mut dyn FnMut(&'static str, &str)) {
+    // One job per shared-run group, in first-occurrence order so the
+    // earliest-emitting groups start first.
+    let mut groups: Vec<(&'static str, &'static dyn registry::Experiment)> = Vec::new();
+    for exp in registry::REGISTRY {
+        let key = exp.shared_run_key();
+        if !groups.iter().any(|&(k, _)| k == key) {
+            groups.push((key, *exp));
+        }
+    }
+
+    let pool = Pool::new(jobs);
+    let (tx, rx) = mpsc::channel::<(&'static str, registry::Report)>();
+    pool.install(|| {
+        falkon_pool::scope(|s| {
+            for &(key, exp) in &groups {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    let report = exp.run(scale);
+                    let _ = tx.send((key, report));
+                });
+            }
+            drop(tx);
+
+            // Emit on this thread, in registry order, as group runs land.
+            let mut ready: HashMap<&'static str, registry::Report> = HashMap::new();
+            let mut printed: HashMap<&'static str, Vec<String>> = HashMap::new();
+            for exp in registry::REGISTRY {
+                let key = exp.shared_run_key();
+                while !ready.contains_key(key) {
+                    match rx.recv() {
+                        Ok((k, report)) => {
+                            ready.insert(k, report);
+                        }
+                        // A group run panicked; stop emitting and let the
+                        // scope re-raise the captured panic at join.
+                        Err(_) => return,
+                    }
+                }
+                emit_block(*exp, &ready[key], &mut printed, sink);
+            }
+        });
+    });
+}
+
+/// Render one entry and emit it unless an entry of the same group already
+/// printed the identical text (fig9/fig10 are the same plot).
+fn emit_block(
+    exp: &dyn registry::Experiment,
+    report: &registry::Report,
+    printed: &mut HashMap<&'static str, Vec<String>>,
+    sink: &mut dyn FnMut(&'static str, &str),
+) {
+    let text = exp.render(report);
+    if text.is_empty() {
+        return;
+    }
+    let seen = printed.entry(exp.shared_run_key()).or_default();
+    if seen.contains(&text) {
+        return;
+    }
+    sink(exp.id(), &text);
+    seen.push(text);
+}

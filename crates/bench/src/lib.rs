@@ -2,6 +2,9 @@
 //! See `benches/` and `src/bin/repro.rs`.
 //!
 //! [`perfbench`] is the self-contained scenario set behind `repro bench`,
-//! the tracked hot-path baseline committed as `BENCH_0003.json`.
+//! the tracked hot-path baseline committed as `BENCH_0004.json`.
+//! [`harness`] is the `repro all` runner (serial or `--jobs N` parallel,
+//! byte-identical output either way).
 
+pub mod harness;
 pub mod perfbench;

@@ -1,11 +1,11 @@
-//! `repro bench` — the tracked performance baseline behind `BENCH_0003.json`.
+//! `repro bench` — the tracked performance baseline behind `BENCH_0004.json`.
 //!
 //! Runs a fixed set of hot-path scenarios (event engine, simulated
-//! deployment, dispatcher state machine, in-process runtime, codec) with
-//! wall-clock timing and renders them as a text table or a JSON report.
-//! Each scenario carries the pre-optimisation rate measured at the
-//! `BASELINE_COMMIT` of this repository so regressions and speedups stay
-//! visible in review without digging through CI history.
+//! deployment, dispatcher state machine, in-process runtime, TCP runtime,
+//! codec) with wall-clock timing and renders them as a text table or a
+//! JSON report. Each scenario carries the pre-optimisation rate measured at
+//! the `BASELINE_COMMIT` of this repository so regressions and speedups
+//! stay visible in review without digging through CI history.
 //!
 //! Methodology: one warm-up iteration, then repeated timed iterations until
 //! [`MIN_SAMPLE_US`] of accumulated runtime (at least [`MIN_ITERS`]); the
@@ -13,6 +13,7 @@
 //! statistic on a noisy machine.
 
 use falkon_core::dispatcher::{Dispatcher, DispatcherAction, DispatcherEvent};
+use falkon_core::executor::ExecutorConfig;
 use falkon_core::DispatcherConfig;
 use falkon_exp::simfalkon::{SimFalkon, SimFalkonConfig};
 use falkon_proto::bundle::BundleConfig;
@@ -20,13 +21,16 @@ use falkon_proto::codec::{Codec, EfficientCodec};
 use falkon_proto::message::{ExecutorId, InstanceId, Message};
 use falkon_proto::task::{TaskResult, TaskSpec};
 use falkon_rt::inproc::{run_sleep_workload, InprocConfig};
+use falkon_rt::tcp::{run_client, run_executor, DispatcherServer, TcpSecurity};
 use falkon_rt::{Clock, WireMode};
 use falkon_sim::{Engine, SimDuration};
 use std::hint::black_box;
 
 /// The commit whose build produced every `baseline` rate below (the state
-/// of the tree immediately before the hot-path overhaul).
-pub const BASELINE_COMMIT: &str = "fd56d4f";
+/// of the tree immediately before the batched-dispatch / parallel-harness
+/// work; both columns re-measured on one machine per DESIGN.md §10's
+/// baseline discipline).
+pub const BASELINE_COMMIT: &str = "5feb66c";
 
 /// Keep sampling until a scenario has accumulated this much measured time.
 const MIN_SAMPLE_US: u64 = 300_000;
@@ -251,6 +255,44 @@ fn inproc(wire: WireMode) -> f64 {
     rate(N as f64, us)
 }
 
+/// A real TCP deployment end to end: dispatcher server, 4 executor
+/// threads, one client submitting `N` sleep-0 tasks in bundles of 300.
+/// This is the scenario the batched (one coalesced write per outbound
+/// drain) dispatch path is measured by.
+fn tcp_sleep0(security: TcpSecurity) -> f64 {
+    const N: u64 = 1_000;
+    const EXECS: usize = 4;
+    let us = time_us(|| {
+        let config = DispatcherConfig {
+            client_notify_batch: 1_000,
+            ..DispatcherConfig::default()
+        };
+        let server = DispatcherServer::start(config, security).expect("bind dispatcher");
+        let addr = server.addr;
+        let execs: Vec<_> = (0..EXECS)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    run_executor(
+                        addr,
+                        ExecutorId(i as u64),
+                        ExecutorConfig::default(),
+                        security,
+                    )
+                })
+            })
+            .collect();
+        let tasks: Vec<TaskSpec> = (0..N).map(|i| TaskSpec::sleep(i, 0)).collect();
+        let (done, _) =
+            run_client(addr, tasks, BundleConfig::of(300), security).expect("client run");
+        assert_eq!(done, N, "all tasks complete over TCP");
+        black_box(server.shutdown());
+        for e in execs {
+            e.join().expect("executor thread").ok();
+        }
+    });
+    rate(N as f64, us)
+}
+
 fn codec_bundle(k: u64) -> Message {
     Message::Submit {
         instance: InstanceId(1),
@@ -299,68 +341,80 @@ pub fn run_benches() -> Vec<BenchResult> {
         "sim/chained_timer_events",
         "events/s",
         sim_chained(),
-        91.4e6,
+        98.6e6,
     );
     push(
         "sim/outstanding_50k_timers",
         "events/s",
         sim_outstanding(),
-        6.81e6,
+        9.63e6,
     );
     push(
         "sim/same_instant_bursts",
         "events/s",
         sim_same_instant(),
-        28.9e6,
+        194.2e6,
     );
     push(
         "sim/deployment_sleep0_1000",
         "tasks/s",
         sim_deployment(),
-        457.0e3,
+        0.971e6,
     );
     push(
         "dispatcher/lifecycle_1000",
         "tasks/s",
         dispatcher_lifecycle(),
-        1.91e6,
+        3.15e6,
     );
     push(
         "inproc/sleep0_plain",
         "tasks/s",
         inproc(WireMode::Plain),
-        182.8e3,
+        235.3e3,
     );
     push(
         "inproc/sleep0_encoded",
         "tasks/s",
         inproc(WireMode::Encoded),
-        153.1e3,
+        195.5e3,
     );
     push(
         "inproc/sleep0_secure",
         "tasks/s",
         inproc(WireMode::Secure),
-        131.3e3,
+        173.8e3,
+    );
+    push("tcp/sleep0_plain", "tasks/s", tcp_sleep0(None), 517.6);
+    push(
+        "tcp/sleep0_secure",
+        "tasks/s",
+        tcp_sleep0(Some(0xFA1C0)),
+        521.9,
     );
     push(
         "codec/encode_efficient_1000",
         "MB/s",
         codec_encode(),
-        3483.0,
+        2781.7,
     );
-    push("codec/decode_efficient_1000", "MB/s", codec_decode(), 284.0);
+    push("codec/decode_efficient_1000", "MB/s", codec_decode(), 404.4);
     out
 }
 
-/// Render the results as the committed JSON report.
-pub fn render_json(results: &[BenchResult], repro_all_quick_s: Option<f64>) -> String {
+/// Serial quick-scale `repro all` wall time at [`BASELINE_COMMIT`] on the
+/// reference machine (the "before" of the `repro_all_quick` row).
+pub const REPRO_ALL_QUICK_BASELINE_S: f64 = 1.54;
+
+/// Render the results as the committed JSON report. `jobs` is the worker
+/// count the `repro_all_quick` wall time was measured with.
+pub fn render_json(results: &[BenchResult], repro_all_quick_s: Option<f64>, jobs: usize) -> String {
     let mut s = String::from("{\n");
-    s.push_str("  \"bench\": \"BENCH_0003\",\n");
+    s.push_str("  \"bench\": \"BENCH_0004\",\n");
     s.push_str(&format!("  \"baseline_commit\": \"{BASELINE_COMMIT}\",\n"));
     if let Some(wall) = repro_all_quick_s {
         s.push_str(&format!(
-            "  \"repro_all_quick\": {{ \"unit\": \"s\", \"before\": 1.67, \"after\": {wall:.3} }},\n"
+            "  \"repro_all_quick\": {{ \"unit\": \"s\", \"jobs\": {jobs}, \"before\": {REPRO_ALL_QUICK_BASELINE_S}, \"after\": {wall:.3} }},\n"
         ));
     }
     s.push_str("  \"scenarios\": [\n");
@@ -380,8 +434,13 @@ pub fn render_json(results: &[BenchResult], repro_all_quick_s: Option<f64>) -> S
     s
 }
 
-/// Render the results as an aligned text table.
-pub fn render_table(results: &[BenchResult], repro_all_quick_s: Option<f64>) -> String {
+/// Render the results as an aligned text table. `jobs` labels the
+/// `repro_all_quick` row with the worker count it was measured at.
+pub fn render_table(
+    results: &[BenchResult],
+    repro_all_quick_s: Option<f64>,
+    jobs: usize,
+) -> String {
     let mut t = falkon_sim::table::Table::new(
         format!("repro bench (baseline: commit {BASELINE_COMMIT})"),
         &["scenario", "unit", "before", "after", "speedup"],
@@ -397,11 +456,11 @@ pub fn render_table(results: &[BenchResult], repro_all_quick_s: Option<f64>) -> 
     }
     if let Some(wall) = repro_all_quick_s {
         t.row(vec![
-            "repro_all_quick".into(),
+            format!("repro_all_quick (--jobs {jobs})"),
             "s".into(),
-            "1.67".into(),
+            format!("{REPRO_ALL_QUICK_BASELINE_S}"),
             format!("{wall:.2}"),
-            format!("{:.2}x", 1.67 / wall.max(1e-9)),
+            format!("{:.2}x", REPRO_ALL_QUICK_BASELINE_S / wall.max(1e-9)),
         ]);
     }
     t.render()
@@ -427,15 +486,16 @@ mod tests {
                 baseline: 250.0,
             },
         ];
-        let json = render_json(&results, Some(1.5));
-        assert!(json.contains("\"bench\": \"BENCH_0003\""));
+        let json = render_json(&results, Some(1.5), 4);
+        assert!(json.contains("\"bench\": \"BENCH_0004\""));
         assert!(json.contains("\"speedup\": 2.00"));
         assert!(json.contains("\"repro_all_quick\""));
+        assert!(json.contains("\"jobs\": 4"));
         // Balanced braces/brackets and no trailing comma before a closer.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         assert!(!json.contains(",\n  ]"));
-        let table = render_table(&results, None);
+        let table = render_table(&results, None, 1);
         assert!(table.contains("sim/x"));
         assert!(table.contains("2.00x"));
     }

@@ -183,16 +183,35 @@ fn run_ideal() -> ProvisioningRun {
     }
 }
 
-/// All six configurations plus the ideal reference.
+/// One provisioning arm of the sweep (a column of Tables 3/4).
+enum Arm {
+    Gram,
+    Falkon { label: String, idle_s: Option<u64> },
+    Ideal,
+}
+
+/// All six configurations plus the ideal reference. The arms are mutually
+/// independent simulations, so they fan out over the ambient pool; the
+/// result order (and therefore every rendered table) matches serial.
 pub fn run_all(scale: Scale) -> Vec<ProvisioningRun> {
-    let mut runs = vec![run_gram()];
+    let mut arms = vec![Arm::Gram];
     let idle_settings: &[u64] = scale.pick(&[15, 180][..], &[15, 60, 120, 180][..]);
     for &idle in idle_settings {
-        runs.push(run_falkon(&format!("Falkon-{idle}"), Some(idle)));
+        arms.push(Arm::Falkon {
+            label: format!("Falkon-{idle}"),
+            idle_s: Some(idle),
+        });
     }
-    runs.push(run_falkon("Falkon-inf", None));
-    runs.push(run_ideal());
-    runs
+    arms.push(Arm::Falkon {
+        label: "Falkon-inf".to_string(),
+        idle_s: None,
+    });
+    arms.push(Arm::Ideal);
+    falkon_pool::parallel_map(arms, |arm| match arm {
+        Arm::Gram => run_gram(),
+        Arm::Falkon { label, idle_s } => run_falkon(&label, idle_s),
+        Arm::Ideal => run_ideal(),
+    })
 }
 
 /// Render Figure 11 (the workload itself).

@@ -28,8 +28,16 @@ pub const DECODE_SCOPES: [&str; 6] = [
     "crates/proto/src/task.rs",
 ];
 
-/// Driver crates that may mount probes but never construct `ObsEvent`s.
-pub const DRIVER_SCOPES: [&str; 3] = ["crates/rt/src/", "crates/exp/src/", "crates/sim/src/"];
+/// Driver-side crates: they may own threads and mount probes, but never
+/// construct `ObsEvent`s. `crates/pool` is driver-side by definition — it
+/// exists to run driver work on real threads — and must never be pulled
+/// into the sans-io set.
+pub const DRIVER_SCOPES: [&str; 4] = [
+    "crates/rt/src/",
+    "crates/exp/src/",
+    "crates/sim/src/",
+    "crates/pool/src/",
+];
 
 /// Files whose `const` items are calibration constants and must cite the
 /// paper.
@@ -387,6 +395,11 @@ mod tests {
     fn scope_matching() {
         assert!(in_scope("crates/core/src/dispatcher.rs", &SANS_IO_SCOPES));
         assert!(!in_scope("crates/rt/src/tcp.rs", &SANS_IO_SCOPES));
+        // The thread pool is a driver: threads allowed, probe rules apply.
+        assert!(!in_scope("crates/pool/src/lib.rs", &SANS_IO_SCOPES));
+        assert!(in_scope("crates/pool/src/deque.rs", &DRIVER_SCOPES));
+        // The simulator stays pure even though it is also a driver scope.
+        assert!(in_scope("crates/sim/src/engine.rs", &SANS_IO_SCOPES));
         assert!(in_scope("crates/proto/src/wire.rs", &DECODE_SCOPES));
         assert!(in_scope("crates/proto/src/task.rs", &DECODE_SCOPES));
         assert!(!in_scope("crates/proto/src/message.rs", &DECODE_SCOPES));

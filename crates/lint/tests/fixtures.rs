@@ -179,6 +179,27 @@ fn interned_bad(s: &str) -> u8 {
     assert_eq!(n, 2, "diags: {:#?}", report.diags);
 }
 
+// The work-stealing pool added by the parallel-harness work is driver-side:
+// real threads are its whole point. The same `thread::spawn` that is fine
+// there must still flag inside the simulator, which remains sans-io even
+// though both are driver scopes for the probe-provenance rule.
+#[test]
+fn pool_is_driver_side_but_sim_stays_sans_io() {
+    let src = r#"
+use std::thread;
+fn start() {
+    thread::spawn(|| {});
+}
+"#;
+    let in_sim = SourceFile::parse("crates/sim/src/engine.rs", src);
+    let report = lint_files(&[in_sim], None).unwrap();
+    assert_eq!(report.diags.len(), 1, "diags: {:#?}", report.diags);
+    assert_eq!(report.diags[0].rule, Rule::SansIo);
+
+    let in_pool = SourceFile::parse("crates/pool/src/lib.rs", src);
+    assert!(lint_files(&[in_pool], None).unwrap().clean());
+}
+
 #[test]
 fn registry_catches_unreachable_experiments() {
     let alpha = SourceFile::parse("crates/exp/src/experiments/alpha.rs", "pub fn run() {}");

@@ -1,0 +1,480 @@
+//! falkon-pool — a work-stealing scoped thread pool for the *drivers*.
+//!
+//! The sans-io core (`falkon-core`, `falkon-sim`, …) stays single-threaded;
+//! this crate is mounted only by drivers (`repro`, `falkon-rt` harnesses) to
+//! fan independent work — whole experiments, or the embarrassingly parallel
+//! inner sweeps inside one — across cores. No external dependencies: the
+//! scheduler is a chase-lev deque per worker (see [`deque`]) plus a shared
+//! injector queue, all over `std::sync` primitives.
+//!
+//! Design constraints inherited from the workspace:
+//!
+//! - **Scoped, blocking joins.** [`scope`] returns only after every job it
+//!   spawned has completed, so jobs may borrow the enclosing stack frame
+//!   (the lifetime erasure in [`Scope::spawn`] is sound for exactly this
+//!   reason). A thread that waits on a scope does not idle: workers run
+//!   other pool jobs while they wait, and non-worker threads drain the
+//!   injector/steal, so nested scopes cannot deadlock and dropping the pool
+//!   cannot strand queued jobs.
+//! - **Ambient, optional.** [`Pool::install`] plants the pool in TLS for the
+//!   duration of a closure; [`parallel_map`] and [`scope`] pick it up if
+//!   present and degrade to serial execution otherwise. Experiment code can
+//!   therefore call `parallel_map` unconditionally — under `repro all
+//!   --jobs 1` (or in unit tests) it is a plain `map`, byte-identical by
+//!   construction.
+//! - **No clock, no sleep.** Workers park on a `Condvar` with a bounded
+//!   `wait_timeout`; the crate never reads wall-clock time (that remains
+//!   `falkon-rt`'s monopoly, enforced by clippy.toml and falkon-lint).
+
+pub mod deque;
+
+use deque::{Steal, Stealer, Worker};
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send>;
+
+/// How long a worker with nothing to do parks before re-polling. Wake-ups
+/// are notified eagerly on every push; the timeout only bounds the cost of
+/// a lost race between "checked queues" and "went to sleep".
+const PARK: Duration = Duration::from_millis(1);
+
+struct Shared {
+    threads: usize,
+    /// Spill queue for jobs pushed from non-worker threads.
+    injector: Mutex<VecDeque<Job>>,
+    /// One thief handle per worker deque, indexed like the workers.
+    stealers: Vec<Stealer<Job>>,
+    /// Rotates the first victim a thief tries, to spread contention.
+    next_victim: AtomicUsize,
+    sleep: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+thread_local! {
+    /// The ambient pool context: set for the lifetime of a worker thread,
+    /// or for the duration of [`Pool::install`] on any other thread.
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+struct Ctx {
+    shared: Arc<Shared>,
+    /// The thread's own deque — `Some` only on pool worker threads.
+    local: Option<Worker<Job>>,
+}
+
+/// A fixed-size work-stealing pool. Dropping it joins every worker after
+/// draining any queued jobs.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawn `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let mut owners = Vec::with_capacity(threads);
+        let mut stealers = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (w, s) = deque::deque();
+            owners.push(w);
+            stealers.push(s);
+        }
+        let shared = Arc::new(Shared {
+            threads,
+            injector: Mutex::new(VecDeque::new()),
+            stealers,
+            next_victim: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = owners
+            .into_iter()
+            .enumerate()
+            .map(|(i, local)| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("falkon-pool-{i}"))
+                    .spawn(move || {
+                        CURRENT.with_borrow_mut(|c| {
+                            *c = Some(Ctx {
+                                shared: shared.clone(),
+                                local: Some(local),
+                            })
+                        });
+                        worker_loop(&shared);
+                    })
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool { shared, handles }
+    }
+
+    pub fn threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Run `f` with this pool as the thread's ambient pool: [`scope`] and
+    /// [`parallel_map`] inside `f` will use it. The previous ambient pool
+    /// (if any) is restored afterwards.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = CURRENT.with_borrow_mut(|c| {
+            c.replace(Ctx {
+                shared: self.shared.clone(),
+                local: None,
+            })
+        });
+        struct Restore(Option<Ctx>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0.take();
+                CURRENT.with_borrow_mut(|c| *c = prev);
+            }
+        }
+        let _restore = Restore(prev);
+        f()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Take the sleep lock so no worker is between its last queue check
+        // and parking when we notify.
+        drop(self.shared.sleep.lock().unwrap());
+        self.shared.wake.notify_all();
+        for h in self.handles.drain(..) {
+            h.join().expect("pool worker panicked outside a job");
+        }
+    }
+}
+
+/// Main loop of a worker thread: run jobs until shutdown AND empty.
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        if let Some(job) = take_job(shared) {
+            job();
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            // One more sweep closed the race where a job lands between the
+            // failed `take_job` and the flag read; queues are empty now and
+            // scoped spawners block, so nothing new can arrive.
+            return;
+        }
+        let guard = shared.sleep.lock().unwrap();
+        if shared.shutdown.load(Ordering::Acquire) {
+            continue;
+        }
+        let _ = shared.wake.wait_timeout(guard, PARK).unwrap();
+    }
+}
+
+/// Find one runnable job: own deque first (LIFO, cache-warm), then the
+/// injector, then steal the oldest job from a sibling.
+fn take_job(shared: &Arc<Shared>) -> Option<Job> {
+    let local = CURRENT.with_borrow(|c| {
+        c.as_ref()
+            .filter(|ctx| Arc::ptr_eq(&ctx.shared, shared))
+            .and_then(|ctx| ctx.local.as_ref().and_then(Worker::pop))
+    });
+    if local.is_some() {
+        return local;
+    }
+    if let Some(job) = shared.injector.lock().unwrap().pop_front() {
+        return Some(job);
+    }
+    let n = shared.stealers.len();
+    let start = shared.next_victim.fetch_add(1, Ordering::Relaxed);
+    // A couple of full sweeps absorb transient Retry races; beyond that the
+    // caller re-polls anyway.
+    for _ in 0..2 {
+        let mut saw_retry = false;
+        for i in 0..n {
+            match shared.stealers[(start + i) % n].steal() {
+                Steal::Success(job) => return Some(job),
+                Steal::Retry => saw_retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !saw_retry {
+            return None;
+        }
+    }
+    None
+}
+
+/// Queue a job: onto the current worker's own deque when called from a
+/// worker of the same pool, else onto the injector. Wakes a sleeper.
+fn push_job(shared: &Arc<Shared>, job: Job) {
+    let job = CURRENT.with_borrow(|c| {
+        match c
+            .as_ref()
+            .filter(|ctx| Arc::ptr_eq(&ctx.shared, shared))
+            .and_then(|ctx| ctx.local.as_ref())
+        {
+            Some(local) => {
+                local.push(job);
+                None
+            }
+            None => Some(job),
+        }
+    });
+    if let Some(job) = job {
+        shared.injector.lock().unwrap().push_back(job);
+    }
+    shared.wake.notify_all();
+}
+
+struct ScopeState {
+    pending: AtomicUsize,
+    done: Mutex<()>,
+    cv: Condvar,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+/// Handle passed to the [`scope`] closure; spawn jobs that may borrow
+/// anything outliving the scope call.
+pub struct Scope<'env> {
+    shared: Option<Arc<Shared>>,
+    state: Arc<ScopeState>,
+    /// Invariant over 'env, like `std::thread::Scope`.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env> {
+    /// Run `f` on the ambient pool (or inline when there is none). Panics
+    /// inside `f` are captured and re-raised when the scope joins.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        let Some(shared) = &self.shared else {
+            f();
+            return;
+        };
+        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        let state = self.state.clone();
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                let mut slot = state.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+            if state.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last job out: take the lock so the notify cannot slip
+                // between a waiter's pending-check and its wait.
+                drop(state.done.lock().unwrap());
+                state.cv.notify_all();
+            }
+        });
+        // SAFETY: only the lifetime is erased. `scope` blocks until
+        // `pending` reaches zero before 'env can end (even on panic), so
+        // every borrow inside the job outlives the job.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
+        };
+        push_job(shared, job);
+    }
+
+    fn join(&self) {
+        let Some(shared) = &self.shared else { return };
+        let is_worker = CURRENT.with_borrow(|c| {
+            c.as_ref()
+                .is_some_and(|ctx| Arc::ptr_eq(&ctx.shared, shared) && ctx.local.is_some())
+        });
+        while self.state.pending.load(Ordering::SeqCst) != 0 {
+            // Work while waiting: a worker runs anything (its own deque
+            // included); an installer thread drains the injector and
+            // steals. Either way the scope's own jobs make progress even
+            // if every worker is busy elsewhere.
+            let job = if is_worker {
+                take_job(shared)
+            } else {
+                take_job_external(shared)
+            };
+            match job {
+                Some(job) => job(),
+                None => {
+                    let guard = self.state.done.lock().unwrap();
+                    if self.state.pending.load(Ordering::SeqCst) != 0 {
+                        let _ = self.state.cv.wait_timeout(guard, PARK).unwrap();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Like [`take_job`] for threads that own no deque (scope waiters outside
+/// the pool): injector first, then steal.
+fn take_job_external(shared: &Arc<Shared>) -> Option<Job> {
+    if let Some(job) = shared.injector.lock().unwrap().pop_front() {
+        return Some(job);
+    }
+    let n = shared.stealers.len();
+    let start = shared.next_victim.fetch_add(1, Ordering::Relaxed);
+    for i in 0..n {
+        if let Steal::Success(job) = shared.stealers[(start + i) % n].steal() {
+            return Some(job);
+        }
+    }
+    None
+}
+
+/// Create a scope on the ambient pool. Returns after every spawned job has
+/// finished; re-raises the first captured job panic. With no ambient pool,
+/// spawns run inline and this is plain function application.
+pub fn scope<'env, R>(f: impl FnOnce(&Scope<'env>) -> R) -> R {
+    let shared = CURRENT.with_borrow(|c| c.as_ref().map(|ctx| ctx.shared.clone()));
+    let sc = Scope {
+        shared,
+        state: Arc::new(ScopeState {
+            pending: AtomicUsize::new(0),
+            done: Mutex::new(()),
+            cv: Condvar::new(),
+            panic: Mutex::new(None),
+        }),
+        _env: PhantomData,
+    };
+    // Join even if `f` panics: spawned jobs may borrow `f`'s frame.
+    let out = catch_unwind(AssertUnwindSafe(|| f(&sc)));
+    sc.join();
+    if let Some(payload) = sc.state.panic.lock().unwrap().take() {
+        resume_unwind(payload);
+    }
+    match out {
+        Ok(r) => r,
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+/// Whether an ambient pool is installed on this thread (so `parallel_map`
+/// would actually fan out).
+pub fn active() -> bool {
+    CURRENT.with_borrow(|c| c.is_some())
+}
+
+/// Map `f` over `items`, fanning out across the ambient pool when one is
+/// installed (serial otherwise). Results come back in input order, so the
+/// output is identical — byte for byte, for deterministic `f` — at any
+/// worker count.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if !active() || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let (slots_ref, f_ref) = (&slots, &f);
+    scope(|s| {
+        for (i, item) in items.into_iter().enumerate() {
+            s.spawn(move || {
+                let r = f_ref(item);
+                *slots_ref[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("scope joined all jobs"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn parallel_map_without_pool_is_plain_map() {
+        assert!(!active());
+        let out = parallel_map(vec![1, 2, 3], |x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let pool = Pool::new(4);
+        let out = pool.install(|| parallel_map((0..200).collect(), |x: u64| x * x));
+        assert_eq!(out, (0..200).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_joins_all_jobs() {
+        let pool = Pool::new(3);
+        let hits = AtomicU64::new(0);
+        pool.install(|| {
+            scope(|s| {
+                for _ in 0..500 {
+                    s.spawn(|| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = Pool::new(2);
+        let sum = pool.install(|| {
+            parallel_map((0..8).collect(), |i: u64| {
+                // Each outer job fans out again on the same two workers.
+                parallel_map((0..8).collect(), |j: u64| i * 10 + j)
+                    .into_iter()
+                    .sum::<u64>()
+            })
+            .into_iter()
+            .sum::<u64>()
+        });
+        let expect: u64 = (0..8u64)
+            .map(|i| (0..8u64).map(|j| i * 10 + j).sum::<u64>())
+            .sum();
+        assert_eq!(sum, expect);
+    }
+
+    #[test]
+    fn job_panic_propagates_to_scope_caller() {
+        let pool = Pool::new(2);
+        let caught = pool.install(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                scope(|s| {
+                    s.spawn(|| panic!("boom in job"));
+                    s.spawn(|| { /* sibling still joins */ });
+                });
+            }))
+        });
+        assert!(caught.is_err());
+        // The pool is still usable afterwards.
+        let out = pool.install(|| parallel_map(vec![1, 2], |x| x + 1));
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn install_restores_previous_ambient() {
+        let a = Pool::new(1);
+        let b = Pool::new(1);
+        a.install(|| {
+            assert!(active());
+            b.install(|| assert!(active()));
+            assert!(active());
+        });
+        assert!(!active());
+    }
+}

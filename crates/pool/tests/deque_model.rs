@@ -1,0 +1,162 @@
+//! Model-equivalence suite for the chase-lev work-stealing deque.
+//!
+//! Sequentially (one thread playing both owner and thief) the deque is
+//! exactly a `VecDeque`: owner pushes/pops at the back, a thief takes from
+//! the front. Arbitrary operation sequences must agree with that model —
+//! including across buffer growth — and with no contention a steal must
+//! never report `Retry`. Concurrent tests then pin the properties the
+//! model cannot see: every pushed element is delivered exactly once under
+//! real owner/thief races, and a pool drop after a joined scope loses no
+//! jobs.
+
+use falkon_pool::deque::{deque, Steal};
+use falkon_pool::Pool;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Push,
+    Pop,
+    StealOne,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // Push listed twice: bias toward growth so sequences cross the initial
+    // 64-slot capacity and exercise `grow`.
+    prop_oneof![
+        Just(Op::Push),
+        Just(Op::Push),
+        Just(Op::Pop),
+        Just(Op::StealOne)
+    ]
+}
+
+proptest! {
+    #[test]
+    fn matches_vecdeque_model(ops in prop::collection::vec(arb_op(), 1..600)) {
+        let (worker, stealer) = deque::<u64>();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut next = 0u64;
+        for op in ops {
+            match op {
+                Op::Push => {
+                    worker.push(next);
+                    model.push_back(next);
+                    next += 1;
+                }
+                Op::Pop => {
+                    prop_assert_eq!(worker.pop(), model.pop_back());
+                }
+                Op::StealOne => {
+                    let want = model.pop_front();
+                    match stealer.steal() {
+                        Steal::Success(v) => prop_assert_eq!(Some(v), want),
+                        Steal::Empty => prop_assert_eq!(None, want),
+                        // Single-threaded: nothing to race with.
+                        Steal::Retry => prop_assert!(false, "uncontended steal returned Retry"),
+                    }
+                }
+            }
+            prop_assert_eq!(worker.len(), model.len());
+            prop_assert_eq!(stealer.is_empty(), model.is_empty());
+        }
+        // Drain from the thief end: full FIFO order must survive growth.
+        while let Some(want) = model.pop_front() {
+            prop_assert_eq!(stealer.steal(), Steal::Success(want));
+        }
+        prop_assert_eq!(stealer.steal(), Steal::Empty);
+        prop_assert_eq!(worker.pop(), None);
+    }
+}
+
+/// Under real contention — one owner pushing and popping, several thieves
+/// stealing — every element is delivered to exactly one party.
+#[test]
+fn concurrent_steals_deliver_each_element_once() {
+    const ITEMS: u64 = 20_000;
+    const THIEVES: usize = 3;
+    let (worker, stealer) = deque::<u64>();
+    let mut kept: Vec<u64> = Vec::new();
+    let stolen: Vec<Vec<u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THIEVES)
+            .map(|_| {
+                let st = stealer.clone();
+                s.spawn(move || {
+                    let mut got = Vec::new();
+                    let mut empties = 0u32;
+                    // Keep stealing until the deque stays empty well after
+                    // the owner has finished pushing.
+                    loop {
+                        match st.steal() {
+                            Steal::Success(v) => {
+                                got.push(v);
+                                empties = 0;
+                            }
+                            Steal::Retry => empties = 0,
+                            Steal::Empty => {
+                                empties += 1;
+                                if empties > 10_000 {
+                                    break;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for i in 0..ITEMS {
+            worker.push(i);
+            // Owner competes too: pop a few of its own.
+            if i % 5 == 0 {
+                if let Some(v) = worker.pop() {
+                    kept.push(v);
+                }
+            }
+        }
+        while let Some(v) = worker.pop() {
+            kept.push(v);
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut seen: BTreeMap<u64, u32> = BTreeMap::new();
+    for v in kept.iter().chain(stolen.iter().flatten()) {
+        *seen.entry(*v).or_default() += 1;
+    }
+    assert_eq!(seen.len() as u64, ITEMS, "some elements were lost");
+    assert!(
+        seen.values().all(|&c| c == 1),
+        "some elements were delivered twice"
+    );
+    // Each thief observes the owner's FIFO order among what it stole.
+    for got in &stolen {
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+    }
+}
+
+/// No-lost-jobs shutdown: jobs spawned through a scope all run before the
+/// pool can be dropped, and the drop itself completes (workers drain and
+/// join rather than abandoning queued work).
+#[test]
+fn shutdown_loses_no_jobs() {
+    const JOBS: u64 = 2_000;
+    let ran = AtomicU64::new(0);
+    let pool = Pool::new(4);
+    pool.install(|| {
+        falkon_pool::scope(|s| {
+            for _ in 0..JOBS {
+                s.spawn(|| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    });
+    // Scope has joined: every job ran even though workers may still be
+    // parked mid-steal. Dropping the pool must now terminate cleanly.
+    drop(pool);
+    assert_eq!(ran.load(Ordering::Relaxed), JOBS);
+}

@@ -8,7 +8,7 @@
 
 use crate::clock::Clock;
 use crate::transport::{link, Endpoint, Packet, WireMode};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use falkon_core::client::{Client, ClientAction, ClientEvent};
 use falkon_core::dispatcher::{Dispatcher, DispatcherAction, DispatcherEvent, TaskRecord};
 use falkon_core::executor::{Executor, ExecutorAction, ExecutorConfig, ExecutorEvent};
@@ -240,7 +240,10 @@ fn dispatcher_thread(
     let mut wire = WireTap::with_probe(Recorder::new());
     let mut records = Vec::new();
     let mut out = Vec::new();
-    loop {
+    // Cap on messages handled per wake-up, so deadline checks and action
+    // routing cannot be starved by a firehose of inbound packets.
+    const MAX_DRAIN: u32 = 256;
+    'main: loop {
         let timeout = match d.next_deadline() {
             Some(dl) => Duration::from_micros(dl.saturating_sub(clock.now_us()).max(1)),
             None => Duration::from_millis(200),
@@ -249,55 +252,119 @@ fn dispatcher_thread(
         // Read the clock after the (possibly long) wait, or deadline checks
         // would be evaluated against a stale pre-wait timestamp.
         let now = clock.now_us();
-        let ev = match recv {
-            Ok(DispIn::Stop) | Err(RecvTimeoutError::Disconnected) => break,
-            Ok(DispIn::FromExecutor(id, pkt)) => {
-                if let Some(bytes) = packet_bytes(&pkt) {
-                    wire.decoded(now, bytes);
-                }
-                let msg = exec_eps[id.0 as usize].unpack(pkt).expect("valid packet");
-                falkon_core::mapping::executor_message_to_dispatcher_event(msg)
-                    .expect("executor sent a non-executor message")
+        let mut next = match recv {
+            Ok(msg) => Some(msg),
+            Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Timeout) => {
+                d.on_event(now, DispatcherEvent::CheckDeadlines, &mut out);
+                route_actions(
+                    &mut out,
+                    now,
+                    &mut wire,
+                    &mut exec_eps,
+                    &mut client_ep,
+                    &exec_txs,
+                    &client_tx,
+                    &mut records,
+                );
+                continue;
             }
-            Ok(DispIn::FromClient(pkt)) => {
-                if let Some(bytes) = packet_bytes(&pkt) {
-                    wire.decoded(now, bytes);
-                }
-                let msg = client_ep.unpack(pkt).expect("valid packet");
-                falkon_core::mapping::client_message_to_dispatcher_event(msg)
-                    .expect("client sent a non-client message")
-            }
-            Err(RecvTimeoutError::Timeout) => DispatcherEvent::CheckDeadlines,
         };
-        d.on_event(now, ev, &mut out);
-        for act in out.drain(..) {
-            match act {
-                DispatcherAction::ToExecutor { executor, msg } => {
-                    let pkt = exec_eps[executor.0 as usize].pack(msg).expect("packable");
-                    if let Some(bytes) = packet_bytes(&pkt) {
-                        wire.encoded(now, bytes);
-                    }
-                    // A send failure means the executor already exited
-                    // (e.g. idle-released); the dispatcher will time the
-                    // task out and replay.
-                    let _ = exec_txs[&executor].send(pkt);
+        // Batch-drain: after the blocking receive, feed everything already
+        // queued (bounded) into the machine under one timestamp, then route
+        // the accumulated actions in one pass — one wake-up, one clock
+        // read, one action drain for the whole burst.
+        let mut drained = 0u32;
+        while let Some(msg) = next.take() {
+            let ev = match msg {
+                DispIn::Stop => {
+                    route_actions(
+                        &mut out,
+                        now,
+                        &mut wire,
+                        &mut exec_eps,
+                        &mut client_ep,
+                        &exec_txs,
+                        &client_tx,
+                        &mut records,
+                    );
+                    break 'main;
                 }
-                DispatcherAction::ToClient { msg, .. } => {
-                    let pkt = client_ep.pack(msg).expect("packable");
+                DispIn::FromExecutor(id, pkt) => {
                     if let Some(bytes) = packet_bytes(&pkt) {
-                        wire.encoded(now, bytes);
+                        wire.decoded(now, bytes);
                     }
-                    let _ = client_tx.send(pkt);
+                    let msg = exec_eps[id.0 as usize].unpack(pkt).expect("valid packet");
+                    falkon_core::mapping::executor_message_to_dispatcher_event(msg)
+                        .expect("executor sent a non-executor message")
                 }
-                DispatcherAction::TaskDone { record, .. } => records.push(record),
-                DispatcherAction::TaskFailed { .. } | DispatcherAction::ToProvisioner { .. } => {}
+                DispIn::FromClient(pkt) => {
+                    if let Some(bytes) = packet_bytes(&pkt) {
+                        wire.decoded(now, bytes);
+                    }
+                    let msg = client_ep.unpack(pkt).expect("valid packet");
+                    falkon_core::mapping::client_message_to_dispatcher_event(msg)
+                        .expect("client sent a non-client message")
+                }
+            };
+            d.on_event(now, ev, &mut out);
+            drained += 1;
+            if drained < MAX_DRAIN {
+                next = rx.try_recv().ok();
             }
         }
+        route_actions(
+            &mut out,
+            now,
+            &mut wire,
+            &mut exec_eps,
+            &mut client_ep,
+            &exec_txs,
+            &client_tx,
+            &mut records,
+        );
     }
     let stats = d.stats();
     let mut obs = d.probe().clone();
     obs.merge(wire.probe());
     (records, stats, obs)
+}
+
+/// Deliver one wake-up's accumulated dispatcher actions.
+#[allow(clippy::too_many_arguments)]
+fn route_actions(
+    out: &mut Vec<DispatcherAction>,
+    now: u64,
+    wire: &mut WireTap<Recorder>,
+    exec_eps: &mut [Endpoint],
+    client_ep: &mut Endpoint,
+    exec_txs: &HashMap<ExecutorId, Sender<Packet>>,
+    client_tx: &Sender<Packet>,
+    records: &mut Vec<TaskRecord>,
+) {
+    for act in out.drain(..) {
+        match act {
+            DispatcherAction::ToExecutor { executor, msg } => {
+                let pkt = exec_eps[executor.0 as usize].pack(msg).expect("packable");
+                if let Some(bytes) = packet_bytes(&pkt) {
+                    wire.encoded(now, bytes);
+                }
+                // A send failure means the executor already exited
+                // (e.g. idle-released); the dispatcher will time the
+                // task out and replay.
+                let _ = exec_txs[&executor].send(pkt);
+            }
+            DispatcherAction::ToClient { msg, .. } => {
+                let pkt = client_ep.pack(msg).expect("packable");
+                if let Some(bytes) = packet_bytes(&pkt) {
+                    wire.encoded(now, bytes);
+                }
+                let _ = client_tx.send(pkt);
+            }
+            DispatcherAction::TaskDone { record, .. } => records.push(record),
+            DispatcherAction::TaskFailed { .. } | DispatcherAction::ToProvisioner { .. } => {}
+        }
+    }
 }
 
 fn executor_thread(
@@ -340,19 +407,26 @@ fn executor_thread(
                 machine.on_event(clock.now_us(), ev, &mut actions);
             }
         }
-        // Wait for the next message (or the idle-release deadline).
-        let msg = match machine.idle_deadline_us() {
-            Some(deadline) => {
-                let wait = deadline.saturating_sub(clock.now_us());
-                match rx.recv_timeout(Duration::from_micros(wait.max(1))) {
-                    Ok(pkt) => Some(pkt),
-                    Err(RecvTimeoutError::Timeout) => None,
-                    Err(RecvTimeoutError::Disconnected) => break 'main,
+        // Fast path: a message is already queued — take it without the
+        // deadline arithmetic or a park/unpark round trip.
+        let msg = match rx.try_recv() {
+            Ok(pkt) => Some(pkt),
+            Err(TryRecvError::Disconnected) => break 'main,
+            // Nothing pending: wait for the next message (or the
+            // idle-release deadline).
+            Err(TryRecvError::Empty) => match machine.idle_deadline_us() {
+                Some(deadline) => {
+                    let wait = deadline.saturating_sub(clock.now_us());
+                    match rx.recv_timeout(Duration::from_micros(wait.max(1))) {
+                        Ok(pkt) => Some(pkt),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => break 'main,
+                    }
                 }
-            }
-            None => match rx.recv() {
-                Ok(pkt) => Some(pkt),
-                Err(_) => break 'main,
+                None => match rx.recv() {
+                    Ok(pkt) => Some(pkt),
+                    Err(_) => break 'main,
+                },
             },
         };
         let now = clock.now_us();

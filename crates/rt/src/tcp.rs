@@ -44,11 +44,18 @@ pub struct Conn {
     readbuf: [u8; 64 * 1024],
     /// Encode scratch, reused across sends (no per-message allocation).
     writebuf: Vec<u8>,
-    /// Frame scratch for `write_raw`, reused likewise.
-    framebuf: Vec<u8>,
+    /// Coalesced outbound frames awaiting [`Conn::flush_queued`]: an entire
+    /// drain of the outbound channel becomes one `write` syscall instead of
+    /// one per frame (the paper's §3.1 bundling argument applied at the
+    /// syscall layer).
+    batchbuf: Vec<u8>,
     clock: Clock,
     wire: WireTap,
 }
+
+/// Flush the coalesced outbound buffer once it holds this many bytes, so
+/// an unbounded drain cannot grow the buffer without bound.
+const FLUSH_HIGH_WATER: usize = 256 * 1024;
 
 impl Conn {
     /// Wrap a connected stream, performing the security handshake if asked.
@@ -71,7 +78,7 @@ impl Conn {
             codec: EfficientCodec,
             readbuf: [0; 64 * 1024],
             writebuf: Vec::new(),
-            framebuf: Vec::new(),
+            batchbuf: Vec::new(),
             clock,
             wire: WireTap::new(),
         };
@@ -92,9 +99,8 @@ impl Conn {
     }
 
     fn write_raw(&mut self, payload: &[u8]) -> std::io::Result<()> {
-        self.framebuf.clear();
-        write_frame(&mut self.framebuf, payload);
-        self.stream.write_all(&self.framebuf)
+        write_frame(&mut self.batchbuf, payload);
+        self.flush_queued()
     }
 
     /// Blocking read of one raw frame.
@@ -115,27 +121,54 @@ impl Conn {
         }
     }
 
-    /// Send one message.
-    pub fn send(&mut self, msg: &Message) -> std::io::Result<()> {
+    /// Queue one message into the coalesced outbound buffer *without*
+    /// writing. The wire tap is charged per frame at queue time (same
+    /// accounting as an immediate send); the bytes hit the socket on the
+    /// next [`Conn::flush_queued`]. Flushes early past the high-water mark
+    /// so a long drain cannot balloon the buffer.
+    pub fn queue(&mut self, msg: &Message) -> std::io::Result<()> {
         // Encode into the connection's scratch buffer (taken out for the
-        // duration so `write_raw` can borrow `self`), then hand it back.
+        // duration so the framing can borrow `self`), then hand it back.
         let mut bytes = std::mem::take(&mut self.writebuf);
         self.codec.encode_into(msg, &mut bytes);
         let result = match self.secure.as_mut() {
             Some(chan) => match chan.seal(&bytes) {
                 Ok(sealed) => {
                     self.wire.encoded(self.clock.now_us(), sealed.len() as u64);
-                    self.write_raw(&sealed)
+                    write_frame(&mut self.batchbuf, &sealed);
+                    Ok(())
                 }
                 Err(e) => Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e)),
             },
             None => {
                 self.wire.encoded(self.clock.now_us(), bytes.len() as u64);
-                self.write_raw(&bytes)
+                write_frame(&mut self.batchbuf, &bytes);
+                Ok(())
             }
         };
         self.writebuf = bytes;
+        result?;
+        if self.batchbuf.len() >= FLUSH_HIGH_WATER {
+            self.flush_queued()?;
+        }
+        Ok(())
+    }
+
+    /// Write every queued frame in one syscall. No-op when nothing is
+    /// queued, so callers flush unconditionally before blocking.
+    pub fn flush_queued(&mut self) -> std::io::Result<()> {
+        if self.batchbuf.is_empty() {
+            return Ok(());
+        }
+        let result = self.stream.write_all(&self.batchbuf);
+        self.batchbuf.clear();
         result
+    }
+
+    /// Send one message immediately (queue + flush).
+    pub fn send(&mut self, msg: &Message) -> std::io::Result<()> {
+        self.queue(msg)?;
+        self.flush_queued()
     }
 
     /// Blocking receive of one message.
@@ -294,29 +327,56 @@ fn serve_conn(
     // reader thread owns `conn` and the writer sends pre-encoded frames…
     // which conflicts with counter-ordered sealing. Instead the single
     // connection thread alternates: block on the socket with a short
-    // timeout, drain outbound messages between reads.
-    conn.set_read_timeout(Some(Duration::from_millis(2)));
+    // timeout, drain outbound messages between reads. Each drain is
+    // *batched*: every queued message coalesces into one buffer and one
+    // write syscall (`Conn::flush_queued`), and the poll cadence adapts —
+    // tight while traffic flows, backed off once the connection idles.
+    const ACTIVE_TIMEOUT: Duration = Duration::from_micros(500);
+    const IDLE_TIMEOUT: Duration = Duration::from_millis(2);
+    /// Consecutive quiet polls before backing off to the idle cadence.
+    const QUIET_POLLS: u32 = 64;
+    let mut quiet = 0u32;
+    conn.set_read_timeout(Some(ACTIVE_TIMEOUT));
     while !stop.load(Ordering::Relaxed) {
-        // Drain outbound first.
+        // Batch-drain outbound: queue everything, flush once.
+        let mut sent_any = false;
         let mut closed = false;
         while let Ok(msg) = out_rx.try_recv() {
-            if conn.send(&msg).is_err() {
+            sent_any = true;
+            if conn.queue(&msg).is_err() {
                 closed = true;
                 break;
             }
         }
-        if closed {
+        if closed || conn.flush_queued().is_err() {
             break;
         }
         match conn.recv() {
             Ok(msg) => {
+                if quiet >= QUIET_POLLS {
+                    conn.set_read_timeout(Some(ACTIVE_TIMEOUT));
+                }
+                quiet = 0;
                 if core_tx.send(CoreIn::Msg(id, msg)).is_err() {
                     break;
                 }
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if sent_any {
+                    if quiet >= QUIET_POLLS {
+                        conn.set_read_timeout(Some(ACTIVE_TIMEOUT));
+                    }
+                    quiet = 0;
+                } else {
+                    quiet = quiet.saturating_add(1);
+                    if quiet == QUIET_POLLS {
+                        conn.set_read_timeout(Some(IDLE_TIMEOUT));
+                    }
+                }
+            }
             Err(_) => break,
         }
     }
@@ -469,23 +529,29 @@ pub fn run_executor(
     machine.on_event(clock.now_us(), ExecutorEvent::Start, &mut actions);
     let mut queue: Vec<ExecutorEvent> = Vec::new();
     loop {
+        // Pump the machine: sends *queue* into the coalesced buffer and hit
+        // the socket in one write when the pump goes quiet (or returns).
         while !actions.is_empty() || !queue.is_empty() {
             for act in std::mem::take(&mut actions) {
                 match act {
-                    ExecutorAction::Send(msg) => conn.send(&msg)?,
+                    ExecutorAction::Send(msg) => conn.queue(&msg)?,
                     ExecutorAction::Run(spec) => {
                         let t0 = clock.now_us();
                         let mut result = crate::exec::execute_builtin(&spec);
                         result.executor_time_us = clock.now_us() - t0;
                         queue.push(ExecutorEvent::TaskCompleted { result });
                     }
-                    ExecutorAction::Shutdown => return Ok(machine.tasks_run),
+                    ExecutorAction::Shutdown => {
+                        conn.flush_queued()?;
+                        return Ok(machine.tasks_run);
+                    }
                 }
             }
             for ev in std::mem::take(&mut queue) {
                 machine.on_event(clock.now_us(), ev, &mut actions);
             }
         }
+        conn.flush_queued()?;
         // Wait for the next message, respecting the idle deadline.
         match machine.idle_deadline_us() {
             Some(deadline) => {
@@ -551,12 +617,13 @@ pub fn run_client(
 }
 
 fn flush_client(conn: &mut Conn, actions: &mut Vec<ClientAction>) -> std::io::Result<()> {
+    // Queue every outbound message, then write the whole batch once.
     for act in actions.drain(..) {
         if let ClientAction::Send(msg) = act {
-            conn.send(&msg)?;
+            conn.queue(&msg)?;
         }
     }
-    Ok(())
+    conn.flush_queued()
 }
 
 #[cfg(test)]

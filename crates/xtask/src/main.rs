@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! cargo xtask lint            architecture-invariant static analysis
-//! cargo xtask bench [--json <path>]
+//! cargo xtask bench [--json <path>] [--jobs <n>]
 //!                             hot-path perf baseline (repro bench)
+//! cargo xtask repro [args...] the repro binary (`repro all --jobs 8`, ...)
 //! ```
 //!
 //! Each task shells back out to cargo so it always runs the current tree;
@@ -11,7 +12,7 @@
 
 use std::process::{Command, ExitCode};
 
-const USAGE: &str = "usage: cargo xtask <lint|bench> [tool args...]";
+const USAGE: &str = "usage: cargo xtask <lint|bench|repro> [tool args...]";
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -37,6 +38,22 @@ fn main() -> ExitCode {
                 "repro",
                 "--",
                 "bench",
+            ])
+            .args(&rest)
+            .status(),
+        // `cargo build --bins` at the workspace root is a no-op (the root
+        // `falkon` package has no binaries); this is the spelled-out path
+        // to the actual repro binary.
+        "repro" => Command::new(&cargo)
+            .args([
+                "run",
+                "--quiet",
+                "--release",
+                "-p",
+                "falkon-bench",
+                "--bin",
+                "repro",
+                "--",
             ])
             .args(&rest)
             .status(),
