@@ -19,7 +19,11 @@
 //!                  as TSV to <path>. Forces serial execution: the trace
 //!                  sink is thread-local.
 //!   --json <path>  with `bench`: also write the machine-readable report
-//!                  (the format committed as BENCH_0004.json)
+//!                  (the format committed as BENCH_0005.json)
+//!   --floor <id>=<rate>
+//!                  with `bench`: fail (exit 1) unless scenario <id>
+//!                  measures at least <rate>. Repeatable. CI uses this as
+//!                  a cheap regression tripwire on the TCP hot path.
 //! ```
 //!
 //! Experiments sharing one expensive run (fig9/fig10; table3/table4/
@@ -53,6 +57,34 @@ fn main() {
     };
     let trace_path = value_flag("--trace");
     let json_path = value_flag("--json");
+    // `--floor id=rate` is repeatable: collect every occurrence.
+    let floors: Vec<(String, f64)> = args
+        .iter()
+        .enumerate()
+        .filter(|&(_, a)| a == "--floor")
+        .map(|(i, _)| {
+            let spec = match args.get(i + 1) {
+                Some(p) if !p.starts_with("--") => p,
+                _ => {
+                    eprintln!("--floor needs a value of the form <id>=<rate>");
+                    std::process::exit(2);
+                }
+            };
+            match spec.split_once('=') {
+                Some((id, rate)) => match rate.parse::<f64>() {
+                    Ok(r) if r > 0.0 => (id.to_string(), r),
+                    _ => {
+                        eprintln!("--floor {spec}: rate must be a positive number");
+                        std::process::exit(2);
+                    }
+                },
+                None => {
+                    eprintln!("--floor needs <id>=<rate>, got `{spec}`");
+                    std::process::exit(2);
+                }
+            }
+        })
+        .collect();
     let jobs = match value_flag("--jobs") {
         Some(n) => match n.parse::<usize>() {
             Ok(n) if n >= 1 => n,
@@ -63,7 +95,7 @@ fn main() {
         },
         None => 1,
     };
-    const VALUE_FLAGS: [&str; 3] = ["--trace", "--json", "--jobs"];
+    const VALUE_FLAGS: [&str; 4] = ["--trace", "--json", "--jobs", "--floor"];
     if let Some(bad) = args
         .iter()
         .enumerate()
@@ -76,7 +108,8 @@ fn main() {
         .map(|(_, a)| a)
     {
         eprintln!(
-            "unknown flag `{bad}`; flags are --full, --jobs <n>, --trace <path>, --json <path>"
+            "unknown flag `{bad}`; flags are --full, --jobs <n>, --trace <path>, \
+             --json <path>, --floor <id>=<rate>"
         );
         std::process::exit(2);
     }
@@ -92,11 +125,15 @@ fn main() {
         .unwrap_or("all");
 
     if what == "bench" {
-        run_bench(json_path, jobs);
+        run_bench(json_path, jobs, &floors);
         return;
     }
     if json_path.is_some() {
         eprintln!("--json only applies to `repro bench`");
+        std::process::exit(2);
+    }
+    if !floors.is_empty() {
+        eprintln!("--floor only applies to `repro bench`");
         std::process::exit(2);
     }
 
@@ -161,12 +198,32 @@ fn run_single(exp: &dyn registry::Experiment, scale: Scale, jobs: usize) -> regi
 }
 
 /// `repro bench`: the tracked hot-path baseline (DESIGN.md § perf).
-/// Prints a table; with `--json <path>` also writes the committed report.
-fn run_bench(json_path: Option<String>, jobs: usize) {
+/// Prints a table; with `--json <path>` also writes the committed report;
+/// with `--floor <id>=<rate>` fails the run if a scenario measures slow.
+fn run_bench(json_path: Option<String>, jobs: usize, floors: &[(String, f64)]) {
     use falkon_bench::perfbench;
 
     eprintln!("repro bench: running hot-path scenarios (~1 min)...");
     let results = perfbench::run_benches();
+    let mut floor_failed = false;
+    for (id, min_rate) in floors {
+        let Some(r) = results.iter().find(|r| r.id == id) else {
+            eprintln!("--floor {id}: no such scenario (see the table ids)");
+            std::process::exit(2);
+        };
+        if r.rate < *min_rate {
+            eprintln!(
+                "FLOOR VIOLATION: {id} measured {:.1} {} < required {min_rate}",
+                r.rate, r.unit
+            );
+            floor_failed = true;
+        } else {
+            eprintln!(
+                "floor ok: {id} measured {:.1} {} >= {min_rate}",
+                r.rate, r.unit
+            );
+        }
+    }
     // Wall-clock of a full quick-scale `repro all`, output discarded so the
     // measurement is compute, not terminal I/O.
     let clock = falkon_rt::Clock::start();
@@ -184,5 +241,8 @@ fn run_bench(json_path: Option<String>, jobs: usize) {
             std::process::exit(1);
         }
         eprintln!("bench report -> {path}");
+    }
+    if floor_failed {
+        std::process::exit(1);
     }
 }

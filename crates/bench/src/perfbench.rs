@@ -1,4 +1,4 @@
-//! `repro bench` — the tracked performance baseline behind `BENCH_0004.json`.
+//! `repro bench` — the tracked performance baseline behind `BENCH_0005.json`.
 //!
 //! Runs a fixed set of hot-path scenarios (event engine, simulated
 //! deployment, dispatcher state machine, in-process runtime, TCP runtime,
@@ -27,10 +27,10 @@ use falkon_sim::{Engine, SimDuration};
 use std::hint::black_box;
 
 /// The commit whose build produced every `baseline` rate below (the state
-/// of the tree immediately before the batched-dispatch / parallel-harness
-/// work; both columns re-measured on one machine per DESIGN.md §10's
-/// baseline discipline).
-pub const BASELINE_COMMIT: &str = "5feb66c";
+/// of the tree immediately before the event-driven TCP transport rewrite;
+/// both columns re-measured on one machine per DESIGN.md §10's baseline
+/// discipline).
+pub const BASELINE_COMMIT: &str = "6cefbd9";
 
 /// Keep sampling until a scenario has accumulated this much measured time.
 const MIN_SAMPLE_US: u64 = 300_000;
@@ -257,8 +257,9 @@ fn inproc(wire: WireMode) -> f64 {
 
 /// A real TCP deployment end to end: dispatcher server, 4 executor
 /// threads, one client submitting `N` sleep-0 tasks in bundles of 300.
-/// This is the scenario the batched (one coalesced write per outbound
-/// drain) dispatch path is measured by.
+/// This is the scenario the event-driven transport (blocking reads,
+/// `select!`-driven core, channel-woken batched writers — no polling
+/// cadence anywhere) is measured by.
 fn tcp_sleep0(security: TcpSecurity) -> f64 {
     const N: u64 = 1_000;
     const EXECS: usize = 4;
@@ -341,64 +342,64 @@ pub fn run_benches() -> Vec<BenchResult> {
         "sim/chained_timer_events",
         "events/s",
         sim_chained(),
-        98.6e6,
+        98.62e6,
     );
     push(
         "sim/outstanding_50k_timers",
         "events/s",
         sim_outstanding(),
-        9.63e6,
+        9.64e6,
     );
     push(
         "sim/same_instant_bursts",
         "events/s",
         sim_same_instant(),
-        194.2e6,
+        194.17e6,
     );
     push(
         "sim/deployment_sleep0_1000",
         "tasks/s",
         sim_deployment(),
-        0.971e6,
+        0.975e6,
     );
     push(
         "dispatcher/lifecycle_1000",
         "tasks/s",
         dispatcher_lifecycle(),
-        3.15e6,
+        3.18e6,
     );
     push(
         "inproc/sleep0_plain",
         "tasks/s",
         inproc(WireMode::Plain),
-        235.3e3,
+        257.0e3,
     );
     push(
         "inproc/sleep0_encoded",
         "tasks/s",
         inproc(WireMode::Encoded),
-        195.5e3,
+        179.4e3,
     );
     push(
         "inproc/sleep0_secure",
         "tasks/s",
         inproc(WireMode::Secure),
-        173.8e3,
+        156.8e3,
     );
-    push("tcp/sleep0_plain", "tasks/s", tcp_sleep0(None), 517.6);
+    push("tcp/sleep0_plain", "tasks/s", tcp_sleep0(None), 523.0);
     push(
         "tcp/sleep0_secure",
         "tasks/s",
         tcp_sleep0(Some(0xFA1C0)),
-        521.9,
+        561.9,
     );
     push(
         "codec/encode_efficient_1000",
         "MB/s",
         codec_encode(),
-        2781.7,
+        2762.5,
     );
-    push("codec/decode_efficient_1000", "MB/s", codec_decode(), 404.4);
+    push("codec/decode_efficient_1000", "MB/s", codec_decode(), 391.6);
     out
 }
 
@@ -410,7 +411,7 @@ pub const REPRO_ALL_QUICK_BASELINE_S: f64 = 1.54;
 /// count the `repro_all_quick` wall time was measured with.
 pub fn render_json(results: &[BenchResult], repro_all_quick_s: Option<f64>, jobs: usize) -> String {
     let mut s = String::from("{\n");
-    s.push_str("  \"bench\": \"BENCH_0004\",\n");
+    s.push_str("  \"bench\": \"BENCH_0005\",\n");
     s.push_str(&format!("  \"baseline_commit\": \"{BASELINE_COMMIT}\",\n"));
     if let Some(wall) = repro_all_quick_s {
         s.push_str(&format!(
@@ -487,7 +488,7 @@ mod tests {
             },
         ];
         let json = render_json(&results, Some(1.5), 4);
-        assert!(json.contains("\"bench\": \"BENCH_0004\""));
+        assert!(json.contains("\"bench\": \"BENCH_0005\""));
         assert!(json.contains("\"speedup\": 2.00"));
         assert!(json.contains("\"repro_all_quick\""));
         assert!(json.contains("\"jobs\": 4"));

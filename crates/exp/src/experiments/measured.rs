@@ -7,9 +7,13 @@
 //! read from the `falkon-obs` recorder mounted on the threaded driver.
 
 use crate::experiments::Scale;
+use falkon_core::executor::ExecutorConfig;
 use falkon_core::DispatcherConfig;
 use falkon_proto::bundle::BundleConfig;
+use falkon_proto::message::ExecutorId;
+use falkon_proto::task::TaskSpec;
 use falkon_rt::inproc::{run_sleep_workload, InprocConfig};
+use falkon_rt::tcp::{run_client, run_executor, DispatcherServer, TcpSecurity};
 use falkon_rt::wscounter::{measure_call_rate, CounterServer};
 use falkon_rt::WireMode;
 use std::time::Duration;
@@ -40,14 +44,60 @@ pub struct MeasuredRow {
     pub overhead: OverheadQuantiles,
 }
 
+/// One security arm of the real-socket TCP deployment measurement.
+#[derive(Clone, Debug)]
+pub struct TcpMeasuredRow {
+    /// Security label.
+    pub label: &'static str,
+    /// Tasks completed.
+    pub tasks: u64,
+    /// Aggregate throughput, tasks/sec.
+    pub throughput: f64,
+}
+
 /// The measured-throughput report.
 #[derive(Clone, Debug)]
 pub struct Measured {
     /// One row per wire mode.
     pub rows: Vec<MeasuredRow>,
+    /// One row per security mode of the full TCP deployment: dispatcher
+    /// server, 4 executor threads, and a client on real loopback sockets,
+    /// driven by the event-driven transport (blocking reads, channel-woken
+    /// writers — no polling cadence).
+    pub tcp_rows: Vec<TcpMeasuredRow>,
     /// The GT4-counter-service analog: raw request/response over TCP,
     /// calls/sec with 8 concurrent clients.
     pub counter_rate: f64,
+}
+
+/// One full TCP deployment run: `n` sleep-0 tasks over 4 executors.
+fn tcp_arm(label: &'static str, n: u64, security: TcpSecurity) -> TcpMeasuredRow {
+    const EXECS: u64 = 4;
+    let config = DispatcherConfig {
+        client_notify_batch: 1_000,
+        ..DispatcherConfig::default()
+    };
+    let server = DispatcherServer::start(config, security).expect("bind tcp dispatcher");
+    let addr = server.addr;
+    let execs: Vec<_> = (0..EXECS)
+        .map(|i| {
+            std::thread::spawn(move || {
+                run_executor(addr, ExecutorId(i), ExecutorConfig::default(), security)
+            })
+        })
+        .collect();
+    let tasks: Vec<TaskSpec> = (0..n).map(|i| TaskSpec::sleep(i, 0)).collect();
+    let (done, elapsed_us) =
+        run_client(addr, tasks, BundleConfig::of(300), security).expect("tcp client run");
+    server.shutdown();
+    for e in execs {
+        e.join().expect("executor thread").ok();
+    }
+    TcpMeasuredRow {
+        label,
+        tasks: done,
+        throughput: done as f64 / (elapsed_us.max(1) as f64 / 1e6),
+    }
 }
 
 /// Run the in-process deployments (one per wire mode) and the TCP-bound
@@ -90,10 +140,23 @@ pub fn run(scale: Scale) -> Measured {
         }
     })
     .collect();
+    let n_tcp = scale.pick(2_000, 20_000);
+    let tcp_rows = vec![
+        tcp_arm("plain (no security)", n_tcp, None),
+        tcp_arm(
+            "secure (GSISecureConversation analog)",
+            n_tcp,
+            Some(0xFA1C0),
+        ),
+    ];
     let server = CounterServer::start().expect("bind counter service");
     let counter_rate = measure_call_rate(server.addr, 8, Duration::from_secs(scale.pick(1, 5)));
     server.shutdown();
-    Measured { rows, counter_rate }
+    Measured {
+        rows,
+        tcp_rows,
+        counter_rate,
+    }
 }
 
 /// Render the measured report.
@@ -111,6 +174,12 @@ pub fn render(m: &Measured) -> String {
             r.overhead.p90_us,
             r.overhead.p99_us,
             r.overhead.max_us,
+        ));
+    }
+    for r in &m.tcp_rows {
+        out.push_str(&format!(
+            "\nfalkon TCP    {:<38} {:>10.0} tasks/s  ({} tasks, 4 executors, real sockets)",
+            r.label, r.throughput, r.tasks,
         ));
     }
     out.push_str(&format!(
@@ -136,8 +205,15 @@ mod tests {
             assert!(r.overhead.p90_us <= r.overhead.p99_us);
             assert!(r.overhead.p99_us <= r.overhead.max_us);
         }
+        assert_eq!(m.tcp_rows.len(), 2);
+        for r in &m.tcp_rows {
+            assert!(r.tasks > 0, "{}: no tasks completed over TCP", r.label);
+            assert!(r.throughput > 0.0, "{}: no TCP throughput", r.label);
+        }
         assert!(m.counter_rate > 0.0);
         let text = render(&m);
         assert!(text.contains("dispatch overhead p50/p90/p99/max"));
+        assert!(text.contains("falkon TCP"));
+        assert!(text.contains("real sockets"));
     }
 }

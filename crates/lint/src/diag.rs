@@ -2,7 +2,7 @@
 
 use std::fmt::Write as _;
 
-/// Stable identifiers for the five enforced invariants.
+/// Stable identifiers for the six enforced invariants.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Rule {
     /// No sockets, threads, sleeps, or wall-clock reads in sans-io crates.
@@ -15,6 +15,9 @@ pub enum Rule {
     Calibration,
     /// Every experiment module must be registered in `REGISTRY`.
     Registry,
+    /// No fixed-cadence sleeps or read-timeout polling in `falkon-rt`
+    /// steady-state code — the transport is event-driven.
+    RtCadence,
     /// An allowlist entry no longer matches any diagnostic.
     StaleAllow,
 }
@@ -28,17 +31,19 @@ impl Rule {
             Rule::ProbeProvenance => "probe_provenance",
             Rule::Calibration => "calibration",
             Rule::Registry => "registry",
+            Rule::RtCadence => "rt_cadence",
             Rule::StaleAllow => "stale_allow",
         }
     }
 
-    /// The five checkable rules (excludes the allowlist meta-rule).
-    pub const ALL: [Rule; 5] = [
+    /// The six checkable rules (excludes the allowlist meta-rule).
+    pub const ALL: [Rule; 6] = [
         Rule::SansIo,
         Rule::DecodePanic,
         Rule::ProbeProvenance,
         Rule::Calibration,
         Rule::Registry,
+        Rule::RtCadence,
     ];
 }
 

@@ -66,6 +66,7 @@ pub fn lint_files(
                 .collect(),
             Rule::Calibration => files.iter().flat_map(rules::check_calibration).collect(),
             Rule::Registry => registry_diags(files),
+            Rule::RtCadence => files.iter().flat_map(rules::check_rt_cadence).collect(),
             Rule::StaleAllow => Vec::new(),
         };
         let (allowlist, allow_path) = load_allowlist(allow_dir, rule)?;

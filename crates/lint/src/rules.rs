@@ -1,4 +1,4 @@
-//! The five architecture-invariant checks.
+//! The six architecture-invariant checks.
 //!
 //! Each rule is a pure function over lexed [`SourceFile`]s, so the unit
 //! tests can run them on inline fixture snippets and the engine on the
@@ -42,6 +42,11 @@ pub const DRIVER_SCOPES: [&str; 4] = [
 /// Files whose `const` items are calibration constants and must cite the
 /// paper.
 pub const CALIBRATION_SCOPES: [&str; 2] = ["crates/exp/src/costs.rs", "crates/lrm/src/profile.rs"];
+
+/// The real-I/O runtime: steady-state code must be event-driven (blocking
+/// reads, channel waits, deadline-bounded timeouts) — never paced by fixed
+/// sleeps or read-timeout polling loops.
+pub const RT_CADENCE_SCOPES: [&str; 1] = ["crates/rt/src/"];
 
 fn in_scope(path: &str, scopes: &[&str]) -> bool {
     scopes
@@ -335,6 +340,60 @@ pub fn check_calibration(file: &SourceFile) -> Vec<Diagnostic> {
                     name.text
                 ),
             ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule 6: no polling cadences in the runtime
+// ---------------------------------------------------------------------------
+
+/// Cadence constructs forbidden in `falkon-rt`: `(pattern, what it is)`.
+/// Each of these turns an event-driven path back into a polling loop —
+/// `thread::sleep` paces work on a fixed cadence, and `set_read_timeout`
+/// converts a blocking read into a spin over `WouldBlock`/`TimedOut`.
+const RT_CADENCE_FORBIDDEN: [(&[&str], &str); 2] = [
+    (
+        &["thread", ":", ":", "sleep"],
+        "fixed-cadence sleep (`thread::sleep`)",
+    ),
+    (
+        &["set_read_timeout"],
+        "read-timeout polling (`set_read_timeout`)",
+    ),
+];
+
+/// Rule 6: `falkon-rt` steady-state code is event-driven — threads block on
+/// sockets or channels (optionally bounded by a machine-supplied deadline)
+/// and wake on data, never on a timer. Reintroducing a sleep or a read
+/// timeout silently re-caps throughput at the polling cadence, which is
+/// exactly the GT4 pathology the paper's architecture removes. Genuine
+/// exceptions (sleep-task bodies, measurement windows, handshake bounds) go
+/// in `rt_cadence.allow` with a `why:`.
+pub fn check_rt_cadence(file: &SourceFile) -> Vec<Diagnostic> {
+    if !in_scope(&file.path, &RT_CADENCE_SCOPES) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, tok) in file.toks.iter().enumerate() {
+        if tok.in_test {
+            continue;
+        }
+        for (pat, what) in RT_CADENCE_FORBIDDEN {
+            if seq_matches(&file.toks, i, pat) {
+                out.push(diag(
+                    Rule::RtCadence,
+                    file,
+                    tok,
+                    format!(
+                        "{what} in runtime steady-state code; block on the \
+                         socket/channel (bounded by a machine-supplied \
+                         deadline if one exists) instead of polling"
+                    ),
+                ));
+                break;
+            }
         }
     }
     out

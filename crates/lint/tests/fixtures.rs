@@ -1,4 +1,4 @@
-//! End-to-end fixtures: each of the five rules catches a seeded violation,
+//! End-to-end fixtures: each of the six rules catches a seeded violation,
 //! `#[cfg(test)]` regions are exempt, allowlist entries suppress with a
 //! justification, and stale allowlist entries are themselves violations.
 
@@ -198,6 +198,60 @@ fn start() {
 
     let in_pool = SourceFile::parse("crates/pool/src/lib.rs", src);
     assert!(lint_files(&[in_pool], None).unwrap().clean());
+}
+
+// The event-driven transport rewrite removed every fixed cadence from the
+// runtime; this rule keeps them out. A sleep or read-timeout in non-test
+// `falkon-rt` code silently re-caps throughput at the polling interval.
+#[test]
+fn rt_cadence_catches_sleeps_and_read_timeouts() {
+    let f = SourceFile::parse(
+        "crates/rt/src/tcp.rs",
+        r#"
+use std::thread;
+use std::time::Duration;
+fn poll_loop(stream: &std::net::TcpStream) {
+    stream.set_read_timeout(Some(Duration::from_millis(5))).ok();
+    thread::sleep(Duration::from_millis(5));
+}
+"#,
+    );
+    let report = lint_files(&[f], None).unwrap();
+    let n = report
+        .diags
+        .iter()
+        .filter(|d| d.rule == Rule::RtCadence)
+        .count();
+    // set_read_timeout + thread::sleep = 2
+    assert_eq!(n, 2, "diags: {:#?}", report.diags);
+}
+
+// The same constructs outside `crates/rt` (and inside rt test regions) are
+// not this rule's business — sans-io scopes have their own rule.
+#[test]
+fn rt_cadence_scoped_to_rt_non_test_code() {
+    let in_test = SourceFile::parse(
+        "crates/rt/src/clock.rs",
+        r#"
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn waits() { std::thread::sleep(std::time::Duration::from_millis(1)); }
+}
+"#,
+    );
+    assert!(lint_files(&[in_test], None).unwrap().clean());
+
+    let in_pool = SourceFile::parse(
+        "crates/pool/src/lib.rs",
+        "fn nap() { std::thread::sleep(std::time::Duration::from_millis(1)); }",
+    );
+    let report = lint_files(&[in_pool], None).unwrap();
+    assert!(
+        !report.diags.iter().any(|d| d.rule == Rule::RtCadence),
+        "diags: {:#?}",
+        report.diags
+    );
 }
 
 #[test]

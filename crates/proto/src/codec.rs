@@ -31,6 +31,15 @@ pub trait Codec {
         *out = self.encode(msg);
     }
 
+    /// Serialize `msg` *appending* to `out` without clearing it — lets a
+    /// driver encode straight into an outbound batch buffer behind a frame
+    /// header. The default round-trips through [`Codec::encode`]; codecs
+    /// whose growth behaviour is not itself the point override it to write
+    /// in place.
+    fn encode_append(&self, msg: &Message, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.encode(msg));
+    }
+
     /// Deserialize one message occupying the entire buffer.
     fn decode(&self, buf: &[u8]) -> Result<Message, CodecError> {
         let mut r = Reader::new(buf);
@@ -56,14 +65,21 @@ pub struct EfficientCodec;
 impl Codec for EfficientCodec {
     fn encode(&self, msg: &Message) -> Vec<u8> {
         // Same monomorphization as `encode_into` (a plain `Vec<u8>` sink),
-        // so the one-shot and scratch-reuse paths share hot code.
-        let mut buf = Vec::new();
+        // so the one-shot and scratch-reuse paths share hot code. Sizing
+        // the buffer up front (a `CountSink` walk costs a few additions)
+        // replaces the log₂(n) realloc-and-copy ladder of growing from
+        // empty with a single allocation.
+        let mut buf = Vec::with_capacity(self.encoded_len(msg));
         encode_message(&mut buf, msg);
         buf
     }
 
     fn encode_into(&self, msg: &Message, out: &mut Vec<u8>) {
         out.clear();
+        encode_message(out, msg);
+    }
+
+    fn encode_append(&self, msg: &Message, out: &mut Vec<u8>) {
         encode_message(out, msg);
     }
 }
@@ -568,6 +584,17 @@ mod tests {
                 "prefix of {cut} bytes decoded successfully"
             );
         }
+    }
+
+    #[test]
+    fn encode_append_preserves_prefix() {
+        let msg = Message::Work {
+            tasks: vec![TaskSpec::sleep(1, 0)],
+        };
+        let mut buf = vec![0xEE, 0xFF];
+        EfficientCodec.encode_append(&msg, &mut buf);
+        assert_eq!(&buf[..2], &[0xEE, 0xFF]);
+        assert_eq!(&buf[2..], &EfficientCodec.encode(&msg)[..]);
     }
 
     #[test]

@@ -18,6 +18,28 @@ pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
     out.extend_from_slice(payload);
 }
 
+/// Reserve a length-prefix slot in `out` for a frame whose payload will be
+/// appended in place (e.g. sealed or encoded directly into the buffer),
+/// returning the slot position to hand to [`end_frame`]. Together with
+/// [`end_frame`] this produces byte-identical output to [`write_frame`]
+/// without materialising the payload separately.
+pub fn begin_frame(out: &mut Vec<u8>) -> usize {
+    let pos = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    pos
+}
+
+/// Patch the length prefix reserved by [`begin_frame`] once the payload has
+/// been appended. `pos` must be a value returned by `begin_frame` on this
+/// buffer with no intervening truncation.
+pub fn end_frame(out: &mut [u8], pos: usize) {
+    let len = out.len().saturating_sub(pos + 4);
+    assert!(len <= MAX_FRAME_LEN, "frame too large");
+    if let Some(slot) = out.get_mut(pos..pos + 4) {
+        slot.copy_from_slice(&(len as u32).to_le_bytes());
+    }
+}
+
 /// Incremental frame reassembler.
 #[derive(Default)]
 pub struct FrameDecoder {
@@ -104,6 +126,20 @@ mod tests {
         assert_eq!(frames[0], b"abc");
         assert_eq!(frames[1], b"");
         assert_eq!(frames[2], vec![9u8; 1000]);
+    }
+
+    #[test]
+    fn begin_end_frame_matches_write_frame() {
+        let mut direct = Vec::new();
+        write_frame(&mut direct, b"abc");
+        write_frame(&mut direct, b"");
+        let mut patched = Vec::new();
+        let p = begin_frame(&mut patched);
+        patched.extend_from_slice(b"abc");
+        end_frame(&mut patched, p);
+        let p = begin_frame(&mut patched);
+        end_frame(&mut patched, p);
+        assert_eq!(patched, direct);
     }
 
     #[test]

@@ -65,18 +65,84 @@ impl KeyStream {
     }
 }
 
+/// Encrypt-and-MAC `payload` for frame `counter`, appending ciphertext +
+/// MAC to `out` without disturbing bytes already there. Shared by
+/// [`SecureChannel::seal_into`] and [`SealHalf::seal_into`].
+fn seal_frame(key: u64, counter: u64, payload: &[u8], out: &mut Vec<u8>) {
+    let start = out.len();
+    out.extend_from_slice(payload);
+    let mut mac = 0u64;
+    // `start <= out.len()` always, so the slice is never `None`; written
+    // this way to keep the decode-scope file free of panicking indexing.
+    if let Some(body) = out.get_mut(start..) {
+        KeyStream::new(key, counter).apply(body);
+        mac = fnv1a64(key ^ counter, body);
+    }
+    out.extend_from_slice(&mac.to_le_bytes());
+}
+
+/// Verify-and-decrypt the sealed frame `counter`. Shared by
+/// [`SecureChannel::open`] and [`OpenHalf::open`].
+fn open_frame(key: u64, counter: u64, sealed: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let Some((cipher, mac_bytes)) = sealed.split_last_chunk::<MAC_LEN>() else {
+        return Err(CodecError::Truncated { context: "sealed" });
+    };
+    let mac = u64::from_le_bytes(*mac_bytes);
+    if fnv1a64(key ^ counter, cipher) != mac {
+        return Err(CodecError::MacMismatch);
+    }
+    let mut plain = cipher.to_vec();
+    KeyStream::new(key, counter).apply(&mut plain);
+    Ok(plain)
+}
+
 /// One endpoint of a secured conversation.
 ///
 /// Both sides construct with the same pre-shared secret, exchange
 /// [`SecureChannel::handshake_message`]s, feed the peer's into
 /// [`SecureChannel::complete_handshake`], then [`SecureChannel::seal`] /
-/// [`SecureChannel::open`] frames.
+/// [`SecureChannel::open`] frames. Because the send and receive counters
+/// are independent, an established channel can be torn into a
+/// [`SealHalf`]/[`OpenHalf`] pair ([`SecureChannel::into_halves`]) so a
+/// writer thread and a reader thread can each own their direction.
 pub struct SecureChannel {
     psk: u64,
     local_nonce: u64,
     session_key: Option<u64>,
     send_counter: u64,
     recv_counter: u64,
+}
+
+/// The sending direction of an established [`SecureChannel`]: session key
+/// plus the send counter. Owned by whichever thread writes frames.
+pub struct SealHalf {
+    key: u64,
+    counter: u64,
+}
+
+impl SealHalf {
+    /// Seal `payload`, appending ciphertext + MAC to `out` (no per-frame
+    /// allocation). Consumes one send counter.
+    pub fn seal_into(&mut self, payload: &[u8], out: &mut Vec<u8>) {
+        seal_frame(self.key, self.counter, payload, out);
+        self.counter += 1;
+    }
+}
+
+/// The receiving direction of an established [`SecureChannel`]: session key
+/// plus the receive counter. Owned by whichever thread reads frames.
+pub struct OpenHalf {
+    key: u64,
+    counter: u64,
+}
+
+impl OpenHalf {
+    /// Verify-and-decrypt one sealed frame. Consumes one receive counter.
+    pub fn open(&mut self, sealed: &[u8]) -> Result<Vec<u8>, CodecError> {
+        let plain = open_frame(self.key, self.counter, sealed)?;
+        self.counter += 1;
+        Ok(plain)
+    }
 }
 
 impl SecureChannel {
@@ -133,29 +199,45 @@ impl SecureChannel {
     /// Encrypt-and-MAC a payload. Consumes a send-counter so each frame uses
     /// a distinct keystream.
     pub fn seal(&mut self, payload: &[u8]) -> Result<Vec<u8>, CodecError> {
-        let key = self.session_key.ok_or(CodecError::HandshakeIncomplete)?;
-        let mut out = payload.to_vec();
-        KeyStream::new(key, self.send_counter).apply(&mut out);
-        let mac = fnv1a64(key ^ self.send_counter, &out);
-        out.extend_from_slice(&mac.to_le_bytes());
-        self.send_counter += 1;
+        let mut out = Vec::with_capacity(payload.len() + MAC_LEN);
+        self.seal_into(payload, &mut out)?;
         Ok(out)
+    }
+
+    /// Like [`SecureChannel::seal`], but appends ciphertext + MAC to `out`
+    /// instead of allocating — the send path can seal straight into an
+    /// outbound batch buffer.
+    pub fn seal_into(&mut self, payload: &[u8], out: &mut Vec<u8>) -> Result<(), CodecError> {
+        let key = self.session_key.ok_or(CodecError::HandshakeIncomplete)?;
+        seal_frame(key, self.send_counter, payload, out);
+        self.send_counter += 1;
+        Ok(())
     }
 
     /// Verify-and-decrypt a sealed frame.
     pub fn open(&mut self, sealed: &[u8]) -> Result<Vec<u8>, CodecError> {
         let key = self.session_key.ok_or(CodecError::HandshakeIncomplete)?;
-        let Some((cipher, mac_bytes)) = sealed.split_last_chunk::<MAC_LEN>() else {
-            return Err(CodecError::Truncated { context: "sealed" });
-        };
-        let mac = u64::from_le_bytes(*mac_bytes);
-        if fnv1a64(key ^ self.recv_counter, cipher) != mac {
-            return Err(CodecError::MacMismatch);
-        }
-        let mut plain = cipher.to_vec();
-        KeyStream::new(key, self.recv_counter).apply(&mut plain);
+        let plain = open_frame(key, self.recv_counter, sealed)?;
         self.recv_counter += 1;
         Ok(plain)
+    }
+
+    /// Tear an established channel into its two directions so a reader and
+    /// a writer thread can each own one without a lock. Counter state
+    /// carries over, so frames sealed before the split still open on the
+    /// peer and vice versa.
+    pub fn into_halves(self) -> Result<(SealHalf, OpenHalf), CodecError> {
+        let key = self.session_key.ok_or(CodecError::HandshakeIncomplete)?;
+        Ok((
+            SealHalf {
+                key,
+                counter: self.send_counter,
+            },
+            OpenHalf {
+                key,
+                counter: self.recv_counter,
+            },
+        ))
     }
 }
 
@@ -234,6 +316,42 @@ mod tests {
         let mut c = SecureChannel::new(1, 1);
         assert_eq!(c.seal(b"x"), Err(CodecError::HandshakeIncomplete));
         assert_eq!(c.open(b"xxxxxxxxx"), Err(CodecError::HandshakeIncomplete));
+    }
+
+    #[test]
+    fn seal_into_appends_identically_to_seal() {
+        let (mut a, mut a2) = (established_pair(42, 1, 2).0, established_pair(42, 1, 2).0);
+        let owned = a.seal(b"payload bytes").unwrap();
+        let mut appended = vec![0xAA, 0xBB];
+        a2.seal_into(b"payload bytes", &mut appended).unwrap();
+        assert_eq!(&appended[..2], &[0xAA, 0xBB], "prefix untouched");
+        assert_eq!(&appended[2..], &owned[..]);
+    }
+
+    #[test]
+    fn split_halves_interoperate_with_whole_channel() {
+        let (mut a, mut b) = established_pair(42, 1, 2);
+        // Advance both directions before splitting so counters carry over.
+        let pre = a.seal(b"pre-split").unwrap();
+        assert_eq!(b.open(&pre).unwrap(), b"pre-split");
+        let s = b.seal(b"reply").unwrap();
+        assert_eq!(a.open(&s).unwrap(), b"reply");
+
+        let (mut seal, mut open) = a.into_halves().unwrap();
+        let mut framed = Vec::new();
+        seal.seal_into(b"post-split", &mut framed);
+        assert_eq!(b.open(&framed).unwrap(), b"post-split");
+        let s2 = b.seal(b"second reply").unwrap();
+        assert_eq!(open.open(&s2).unwrap(), b"second reply");
+        // Tampering still detected by the split half.
+        let mut bad = b.seal(b"x").unwrap();
+        bad[0] ^= 1;
+        assert_eq!(open.open(&bad), Err(CodecError::MacMismatch));
+    }
+
+    #[test]
+    fn into_halves_requires_handshake() {
+        assert!(SecureChannel::new(1, 1).into_halves().is_err());
     }
 
     #[test]

@@ -167,10 +167,42 @@ pub trait Sink {
 
 /// The standard amortized-growth sink: a plain `Vec<u8>` appends in place,
 /// so a driver-owned scratch buffer can be reused across encodes without
-/// reallocating.
+/// reallocating. Scalar puts are overridden so each compiles to a single
+/// fixed-width store, and `put_bytes` reserves header + payload in one
+/// step so every length-prefixed field costs one growth check, not two.
 impl Sink for Vec<u8> {
+    #[inline]
     fn put(&mut self, data: &[u8]) {
         self.extend_from_slice(data);
+    }
+
+    #[inline]
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    #[inline]
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_i32(&mut self, v: i32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn put_bytes(&mut self, b: &[u8]) {
+        self.reserve(4 + b.len());
+        // `put_len` keeps the MAX_LEN check in one place; its u32 append
+        // and the payload append below both land in the reserved space.
+        self.put_len(b.len());
+        self.extend_from_slice(b);
     }
 }
 

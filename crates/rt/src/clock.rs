@@ -44,7 +44,15 @@ mod tests {
     fn copies_share_origin() {
         let c = Clock::start();
         let d = c;
-        std::thread::sleep(std::time::Duration::from_millis(2));
+        // Let ~2 ms of wall time pass without a cadenced sleep: park on a
+        // Condvar nobody signals, so the wait expires by timeout alone.
+        let gate = std::sync::Mutex::new(());
+        let cv = std::sync::Condvar::new();
+        let guard = gate.lock().unwrap();
+        let (_guard, timed_out) = cv
+            .wait_timeout(guard, std::time::Duration::from_millis(2))
+            .unwrap();
+        assert!(timed_out.timed_out());
         assert!(d.now_us() >= 2_000);
         assert!(c.now_us() >= d.now_us().saturating_sub(1_000));
     }

@@ -244,11 +244,16 @@ fn dispatcher_thread(
     // routing cannot be starved by a firehose of inbound packets.
     const MAX_DRAIN: u32 = 256;
     'main: loop {
-        let timeout = match d.next_deadline() {
-            Some(dl) => Duration::from_micros(dl.saturating_sub(clock.now_us()).max(1)),
-            None => Duration::from_millis(200),
+        // Event-driven wait: a pending replay deadline bounds the sleep;
+        // with nothing outstanding, block until a message arrives — there
+        // is no periodic wake-up.
+        let recv = match d.next_deadline() {
+            Some(dl) => {
+                let timeout = Duration::from_micros(dl.saturating_sub(clock.now_us()).max(1));
+                rx.recv_timeout(timeout)
+            }
+            None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
         };
-        let recv = rx.recv_timeout(timeout);
         // Read the clock after the (possibly long) wait, or deadline checks
         // would be evaluated against a stale pre-wait timestamp.
         let now = clock.now_us();

@@ -7,9 +7,29 @@
 //! deployment the `tcp_cluster` example and the TCP throughput benchmarks
 //! use; it exercises the exact Figure 2 message sequence over a real
 //! network stack (localhost).
+//!
+//! # Event-driven transport (DESIGN.md §10.3)
+//!
+//! Every steady-state wait in this module blocks on readiness — a socket
+//! read, a channel `recv`, or `crossbeam::select!` — never on a fixed
+//! sleep or read-timeout cadence (`falkon-lint`'s `rt_cadence` rule pins
+//! this). Each dispatcher-side connection is split into two threads:
+//!
+//! * a **reader** that blocks in `read()`, decodes frames, and forwards
+//!   typed [`Message`]s to the core channel;
+//! * a **writer** that blocks on the connection's outbound channel, drains
+//!   everything queued into one coalesced buffer, and writes it with a
+//!   single syscall ([`ConnWriter::flush_queued`]).
+//!
+//! The dispatcher core blocks on `select!` over the connection and command
+//! channels, with a timeout only when the machine itself has armed a
+//! deadline. The accept loop blocks in `accept()` and is woken for
+//! shutdown by a self-connect. Executors and clients run the same split:
+//! a reader thread feeding a channel the driving thread blocks on.
 
 use crate::clock::Clock;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::select;
 use falkon_core::client::{Client, ClientAction, ClientEvent};
 use falkon_core::dispatcher::{Dispatcher, DispatcherAction, DispatcherEvent, TaskRecord};
 use falkon_core::executor::{Executor, ExecutorAction, ExecutorConfig, ExecutorEvent};
@@ -17,13 +37,13 @@ use falkon_core::DispatcherConfig;
 use falkon_obs::{Counters, Recorder, WireTap};
 use falkon_proto::bundle::BundleConfig;
 use falkon_proto::codec::{Codec, EfficientCodec};
-use falkon_proto::frame::{write_frame, FrameDecoder};
+use falkon_proto::frame::{begin_frame, end_frame, write_frame, FrameDecoder};
 use falkon_proto::message::{ExecutorId, InstanceId, Message};
-use falkon_proto::security::SecureChannel;
+use falkon_proto::security::{OpenHalf, SealHalf, SecureChannel};
 use falkon_proto::task::TaskSpec;
 use std::collections::HashMap;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -35,27 +55,46 @@ static NONCE: AtomicU64 = AtomicU64::new(0x9E37_79B9);
 /// conversation stand-in on every connection.
 pub type TcpSecurity = Option<u64>;
 
-/// A framed, optionally sealed TCP connection.
+/// Flush the coalesced outbound buffer once it holds this many bytes, so
+/// an unbounded drain cannot grow the buffer without bound.
+const FLUSH_HIGH_WATER: usize = 256 * 1024;
+
+/// A framed, optionally sealed TCP connection: a [`ConnReader`] /
+/// [`ConnWriter`] pair over one stream. [`Conn::establish`] performs the
+/// handshake sequentially; [`Conn::split`] then hands each direction to its
+/// own thread (the secure channel's send/receive counters are independent,
+/// so the halves never need a lock).
 pub struct Conn {
+    reader: ConnReader,
+    writer: ConnWriter,
+}
+
+/// The inbound direction: blocking frame reads, unsealing, decoding.
+pub struct ConnReader {
     stream: TcpStream,
     decoder: FrameDecoder,
-    secure: Option<SecureChannel>,
+    opener: Option<OpenHalf>,
     codec: EfficientCodec,
-    readbuf: [u8; 64 * 1024],
-    /// Encode scratch, reused across sends (no per-message allocation).
-    writebuf: Vec<u8>,
-    /// Coalesced outbound frames awaiting [`Conn::flush_queued`]: an entire
-    /// drain of the outbound channel becomes one `write` syscall instead of
-    /// one per frame (the paper's §3.1 bundling argument applied at the
-    /// syscall layer).
-    batchbuf: Vec<u8>,
+    readbuf: Box<[u8]>,
     clock: Clock,
     wire: WireTap,
 }
 
-/// Flush the coalesced outbound buffer once it holds this many bytes, so
-/// an unbounded drain cannot grow the buffer without bound.
-const FLUSH_HIGH_WATER: usize = 256 * 1024;
+/// The outbound direction: encoding, sealing, coalesced frame writes.
+pub struct ConnWriter {
+    stream: TcpStream,
+    sealer: Option<SealHalf>,
+    codec: EfficientCodec,
+    /// Encode scratch for the secure path, reused across sends.
+    writebuf: Vec<u8>,
+    /// Coalesced outbound frames awaiting [`ConnWriter::flush_queued`]: an
+    /// entire drain of the outbound channel becomes one `write` syscall
+    /// instead of one per frame (the paper's §3.1 bundling argument applied
+    /// at the syscall layer).
+    batchbuf: Vec<u8>,
+    clock: Clock,
+    wire: WireTap,
+}
 
 impl Conn {
     /// Wrap a connected stream, performing the security handshake if asked.
@@ -71,12 +110,19 @@ impl Conn {
         // outbound burst must not wedge this thread (write-write deadlock);
         // on timeout the connection drops and the dispatcher replays.
         stream.set_write_timeout(Some(Duration::from_secs(10))).ok();
-        let mut conn = Conn {
-            stream,
+        let mut reader = ConnReader {
+            stream: stream.try_clone()?,
             decoder: FrameDecoder::new(),
-            secure: None,
+            opener: None,
             codec: EfficientCodec,
-            readbuf: [0; 64 * 1024],
+            readbuf: vec![0u8; 64 * 1024].into_boxed_slice(),
+            clock,
+            wire: WireTap::new(),
+        };
+        let mut writer = ConnWriter {
+            stream,
+            sealer: None,
+            codec: EfficientCodec,
             writebuf: Vec::new(),
             batchbuf: Vec::new(),
             clock,
@@ -84,25 +130,66 @@ impl Conn {
         };
         if let Some(psk) = security {
             // Bound the handshake: a peer that connects and never speaks
-            // must not pin this thread forever.
-            conn.set_read_timeout(Some(Duration::from_secs(10)));
+            // must not pin this thread forever. This is the only read
+            // timeout on the connection — it is cleared before steady state.
+            reader
+                .stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .ok();
             let nonce = NONCE.fetch_add(0x517C_C1B7_2722_0A95, Ordering::Relaxed);
             let mut chan = SecureChannel::new(psk, nonce);
-            conn.write_raw(&chan.handshake_message())?;
-            let peer = conn.read_raw_frame()?;
+            writer.write_raw(&chan.handshake_message())?;
+            let peer = reader.read_raw_frame()?;
             chan.complete_handshake(&peer)
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-            conn.secure = Some(chan);
-            conn.set_read_timeout(None);
+            reader.stream.set_read_timeout(None).ok();
+            let (seal, open) = chan
+                .into_halves()
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            writer.sealer = Some(seal);
+            reader.opener = Some(open);
         }
-        Ok(conn)
+        Ok(Conn { reader, writer })
     }
 
-    fn write_raw(&mut self, payload: &[u8]) -> std::io::Result<()> {
-        write_frame(&mut self.batchbuf, payload);
-        self.flush_queued()
+    /// Tear the connection into its two directions so a reader thread and a
+    /// writer thread can each own one.
+    pub fn split(self) -> (ConnReader, ConnWriter) {
+        (self.reader, self.writer)
     }
 
+    /// Queue one message into the coalesced outbound buffer (see
+    /// [`ConnWriter::queue`]).
+    pub fn queue(&mut self, msg: &Message) -> std::io::Result<()> {
+        self.writer.queue(msg)
+    }
+
+    /// Write every queued frame in one syscall (see
+    /// [`ConnWriter::flush_queued`]).
+    pub fn flush_queued(&mut self) -> std::io::Result<()> {
+        self.writer.flush_queued()
+    }
+
+    /// Send one message immediately (queue + flush).
+    pub fn send(&mut self, msg: &Message) -> std::io::Result<()> {
+        self.writer.send(msg)
+    }
+
+    /// Blocking receive of one message.
+    pub fn recv(&mut self) -> std::io::Result<Message> {
+        self.reader.recv()
+    }
+
+    /// Wire-level observability: one `BundleEncoded`/`BundleDecoded` per
+    /// frame sent/received on this connection, both directions merged.
+    pub fn wire_counters(&self) -> Counters {
+        let mut c = self.writer.wire.probe().clone();
+        c.merge(self.reader.wire.probe());
+        c
+    }
+}
+
+impl ConnReader {
     /// Blocking read of one raw frame.
     fn read_raw_frame(&mut self) -> std::io::Result<Vec<u8>> {
         loop {
@@ -121,33 +208,57 @@ impl Conn {
         }
     }
 
-    /// Queue one message into the coalesced outbound buffer *without*
-    /// writing. The wire tap is charged per frame at queue time (same
-    /// accounting as an immediate send); the bytes hit the socket on the
-    /// next [`Conn::flush_queued`]. Flushes early past the high-water mark
-    /// so a long drain cannot balloon the buffer.
-    pub fn queue(&mut self, msg: &Message) -> std::io::Result<()> {
-        // Encode into the connection's scratch buffer (taken out for the
-        // duration so the framing can borrow `self`), then hand it back.
-        let mut bytes = std::mem::take(&mut self.writebuf);
-        self.codec.encode_into(msg, &mut bytes);
-        let result = match self.secure.as_mut() {
-            Some(chan) => match chan.seal(&bytes) {
-                Ok(sealed) => {
-                    self.wire.encoded(self.clock.now_us(), sealed.len() as u64);
-                    write_frame(&mut self.batchbuf, &sealed);
-                    Ok(())
-                }
-                Err(e) => Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e)),
-            },
-            None => {
-                self.wire.encoded(self.clock.now_us(), bytes.len() as u64);
-                write_frame(&mut self.batchbuf, &bytes);
-                Ok(())
-            }
+    /// Blocking receive of one message.
+    pub fn recv(&mut self) -> std::io::Result<Message> {
+        let frame = self.read_raw_frame()?;
+        self.wire.decoded(self.clock.now_us(), frame.len() as u64);
+        let plain = match self.opener.as_mut() {
+            Some(open) => open
+                .open(&frame)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?,
+            None => frame,
         };
-        self.writebuf = bytes;
-        result?;
+        self.codec
+            .decode(&plain)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Consume the half, yielding its wire-level observability shard.
+    pub fn into_wire(self) -> Counters {
+        self.wire.into_probe()
+    }
+}
+
+impl ConnWriter {
+    fn write_raw(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        write_frame(&mut self.batchbuf, payload);
+        self.flush_queued()
+    }
+
+    /// Queue one message into the coalesced outbound buffer *without*
+    /// writing. The frame is encoded (and sealed) directly into the batch
+    /// buffer — no per-message allocation on either the plain or the secure
+    /// path. The wire tap is charged per frame at queue time (same
+    /// accounting as an immediate send); the bytes hit the socket on the
+    /// next [`ConnWriter::flush_queued`]. Flushes early past the high-water
+    /// mark so a long drain cannot balloon the buffer.
+    pub fn queue(&mut self, msg: &Message) -> std::io::Result<()> {
+        let pos = begin_frame(&mut self.batchbuf);
+        match self.sealer.as_mut() {
+            Some(seal) => {
+                // Sealing needs the plaintext as a separate slice (the
+                // cipher+MAC passes run over the appended copy), so the
+                // secure path encodes into the reusable scratch first.
+                let mut bytes = std::mem::take(&mut self.writebuf);
+                self.codec.encode_into(msg, &mut bytes);
+                seal.seal_into(&bytes, &mut self.batchbuf);
+                self.writebuf = bytes;
+            }
+            None => self.codec.encode_append(msg, &mut self.batchbuf),
+        }
+        end_frame(&mut self.batchbuf, pos);
+        let framed = (self.batchbuf.len() - pos - 4) as u64;
+        self.wire.encoded(self.clock.now_us(), framed);
         if self.batchbuf.len() >= FLUSH_HIGH_WATER {
             self.flush_queued()?;
         }
@@ -171,30 +282,16 @@ impl Conn {
         self.flush_queued()
     }
 
-    /// Blocking receive of one message.
-    pub fn recv(&mut self) -> std::io::Result<Message> {
-        let frame = self.read_raw_frame()?;
-        self.wire.decoded(self.clock.now_us(), frame.len() as u64);
-        let plain = match self.secure.as_mut() {
-            Some(chan) => chan
-                .open(&frame)
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?,
-            None => frame,
-        };
-        self.codec
-            .decode(&plain)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    /// Close both directions of the underlying stream. The peer sees EOF,
+    /// and — crucially — so does this connection's own blocked reader
+    /// thread, which is how a writer going away unblocks its reader.
+    pub fn shutdown(&self) {
+        self.stream.shutdown(Shutdown::Both).ok();
     }
 
-    /// Set a read timeout for subsequent `recv` calls.
-    pub fn set_read_timeout(&mut self, d: Option<Duration>) {
-        self.stream.set_read_timeout(d).ok();
-    }
-
-    /// Wire-level observability shard: one `BundleEncoded`/`BundleDecoded`
-    /// per frame sent/received on this connection, with sealed byte sizes.
-    pub fn wire_counters(&self) -> &Counters {
-        self.wire.probe()
+    /// Consume the half, yielding its wire-level observability shard.
+    pub fn into_wire(self) -> Counters {
+        self.wire.into_probe()
     }
 }
 
@@ -203,6 +300,7 @@ pub struct DispatcherServer {
     /// The bound address (connect executors/clients here).
     pub addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    cmd_tx: Sender<Command>,
     accept_handle: Option<JoinHandle<()>>,
     core_handle: Option<
         JoinHandle<(
@@ -218,8 +316,18 @@ struct ConnId(u64);
 
 enum CoreIn {
     Msg(ConnId, Message),
-    ConnClosed(ConnId, Box<Counters>),
+    /// A connection finished its handshake; `Sender` is its outbound queue.
     NewConn(ConnId, Sender<Message>),
+    /// A reader thread exited, with its wire shard. Implies the peer (or
+    /// our own writer) closed the stream.
+    ReaderClosed(ConnId, Box<Counters>),
+    /// A writer thread exited, with its wire shard.
+    WriterClosed(Box<Counters>),
+}
+
+/// Control-plane commands, on their own channel so `select!` can wake the
+/// core for shutdown without racing the data path.
+enum Command {
     Stop,
 }
 
@@ -228,54 +336,52 @@ impl DispatcherServer {
     pub fn start(config: DispatcherConfig, security: TcpSecurity) -> std::io::Result<Self> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let (core_tx, core_rx) = unbounded::<CoreIn>();
+        let (cmd_tx, cmd_rx) = unbounded::<Command>();
         // One clock origin shared by every connection thread, so their wire
         // tap timestamps are mutually comparable.
         let clock = Clock::start();
 
         let accept_stop = stop.clone();
-        let accept_tx = core_tx.clone();
         let accept_handle = thread::spawn(move || {
             let mut next_conn = 0u64;
-            while !accept_stop.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        stream.set_nonblocking(false).ok();
-                        let id = ConnId(next_conn);
-                        next_conn += 1;
-                        let tx = accept_tx.clone();
-                        let conn_stop = accept_stop.clone();
-                        thread::spawn(move || {
-                            serve_conn(id, stream, security, clock, tx, conn_stop)
-                        });
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => break,
+            let mut conn_threads = Vec::new();
+            // Block in accept(); shutdown() sets the stop flag and then
+            // self-connects to deliver one wake-up.
+            while let Ok((stream, _)) = listener.accept() {
+                if accept_stop.load(Ordering::Relaxed) {
+                    break;
                 }
+                let id = ConnId(next_conn);
+                next_conn += 1;
+                let tx = core_tx.clone();
+                conn_threads.push(thread::spawn(move || {
+                    serve_conn(id, stream, security, clock, tx)
+                }));
+            }
+            // Drop our core sender before joining, so the core's channel can
+            // disconnect once the last connection unwinds.
+            drop(core_tx);
+            for h in conn_threads {
+                h.join().ok();
             }
         });
 
-        let core_handle = thread::spawn(move || dispatcher_core(config, core_rx));
-        // Keep a sender alive inside the server for Stop.
-        let server = DispatcherServer {
+        let core_handle = thread::spawn(move || dispatcher_core(config, core_rx, cmd_rx));
+        Ok(DispatcherServer {
             addr,
             stop,
+            cmd_tx,
             accept_handle: Some(accept_handle),
             core_handle: Some(core_handle),
-        };
-        // Stash the stop sender via a thread-local trick is overkill; store
-        // it in a once-cell style field instead.
-        STOP_SENDERS.lock().unwrap().insert(addr, core_tx);
-        Ok(server)
+        })
     }
 
-    /// Stop the server, returning dispatcher records, stats, and the
-    /// merged observability recorder (lifecycle events plus wire shards
-    /// from every connection that closed before shutdown).
+    /// Stop the server, returning dispatcher records, stats, and the merged
+    /// observability recorder — lifecycle events plus the wire shards of
+    /// *every* connection, collected as the core releases the writers and
+    /// the reader threads unwind and report in.
     pub fn shutdown(
         mut self,
     ) -> (
@@ -284,15 +390,16 @@ impl DispatcherServer {
         Recorder,
     ) {
         self.stop.store(true, Ordering::Relaxed);
-        if let Some(tx) = STOP_SENDERS.lock().unwrap().remove(&self.addr) {
-            tx.send(CoreIn::Stop).ok();
-        }
+        self.cmd_tx.send(Command::Stop).ok();
         let result = self
             .core_handle
             .take()
             .expect("not yet shut down")
             .join()
             .expect("core thread");
+        // Wake the accept loop out of its blocking accept() so it can see
+        // the stop flag; it then joins every connection thread.
+        TcpStream::connect(self.addr).ok();
         if let Some(h) = self.accept_handle.take() {
             h.join().ok();
         }
@@ -300,98 +407,74 @@ impl DispatcherServer {
     }
 }
 
-static STOP_SENDERS: std::sync::LazyLock<std::sync::Mutex<HashMap<SocketAddr, Sender<CoreIn>>>> =
-    std::sync::LazyLock::new(|| std::sync::Mutex::new(HashMap::new()));
-
-/// Per-connection: handshake, then pump frames into the core and messages
-/// back out.
+/// Per-connection entry point: handshake, then split into the blocking
+/// reader (this thread) and a writer thread draining the outbound channel.
 fn serve_conn(
     id: ConnId,
     stream: TcpStream,
     security: TcpSecurity,
     clock: Clock,
     core_tx: Sender<CoreIn>,
-    stop: Arc<AtomicBool>,
 ) {
-    let Ok(mut conn) = Conn::establish(stream, security, clock) else {
-        core_tx
-            .send(CoreIn::ConnClosed(id, Box::new(Counters::new())))
-            .ok();
+    // A failed handshake never announced itself to the core, so it owes no
+    // shard and sends nothing.
+    let Ok(conn) = Conn::establish(stream, security, clock) else {
         return;
     };
+    let (mut reader, writer) = conn.split();
     let (out_tx, out_rx) = unbounded::<Message>();
     if core_tx.send(CoreIn::NewConn(id, out_tx)).is_err() {
         return;
     }
-    // Writer: sealing must happen where the security state lives, so the
-    // reader thread owns `conn` and the writer sends pre-encoded frames…
-    // which conflicts with counter-ordered sealing. Instead the single
-    // connection thread alternates: block on the socket with a short
-    // timeout, drain outbound messages between reads. Each drain is
-    // *batched*: every queued message coalesces into one buffer and one
-    // write syscall (`Conn::flush_queued`), and the poll cadence adapts —
-    // tight while traffic flows, backed off once the connection idles.
-    const ACTIVE_TIMEOUT: Duration = Duration::from_micros(500);
-    const IDLE_TIMEOUT: Duration = Duration::from_millis(2);
-    /// Consecutive quiet polls before backing off to the idle cadence.
-    const QUIET_POLLS: u32 = 64;
-    let mut quiet = 0u32;
-    conn.set_read_timeout(Some(ACTIVE_TIMEOUT));
-    while !stop.load(Ordering::Relaxed) {
-        // Batch-drain outbound: queue everything, flush once.
-        let mut sent_any = false;
-        let mut closed = false;
-        while let Ok(msg) = out_rx.try_recv() {
-            sent_any = true;
-            if conn.queue(&msg).is_err() {
-                closed = true;
-                break;
-            }
-        }
-        if closed || conn.flush_queued().is_err() {
+    let writer_core = core_tx.clone();
+    let writer_handle = thread::spawn(move || writer_loop(writer, out_rx, writer_core));
+    while let Ok(msg) = reader.recv() {
+        if core_tx.send(CoreIn::Msg(id, msg)).is_err() {
             break;
-        }
-        match conn.recv() {
-            Ok(msg) => {
-                if quiet >= QUIET_POLLS {
-                    conn.set_read_timeout(Some(ACTIVE_TIMEOUT));
-                }
-                quiet = 0;
-                if core_tx.send(CoreIn::Msg(id, msg)).is_err() {
-                    break;
-                }
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if sent_any {
-                    if quiet >= QUIET_POLLS {
-                        conn.set_read_timeout(Some(ACTIVE_TIMEOUT));
-                    }
-                    quiet = 0;
-                } else {
-                    quiet = quiet.saturating_add(1);
-                    if quiet == QUIET_POLLS {
-                        conn.set_read_timeout(Some(IDLE_TIMEOUT));
-                    }
-                }
-            }
-            Err(_) => break,
         }
     }
     core_tx
-        .send(CoreIn::ConnClosed(
-            id,
-            Box::new(conn.wire_counters().clone()),
-        ))
+        .send(CoreIn::ReaderClosed(id, Box::new(reader.into_wire())))
+        .ok();
+    writer_handle.join().ok();
+}
+
+/// Writer side of a dispatcher connection: block until the core queues
+/// something, drain everything queued into the coalesced buffer, write it
+/// with one syscall, repeat. Exits when the core drops the channel (conn
+/// removed or shutdown) or the socket errors; on exit it closes the stream,
+/// which wakes this connection's blocked reader with EOF.
+fn writer_loop(mut writer: ConnWriter, out_rx: Receiver<Message>, core_tx: Sender<CoreIn>) {
+    'conn: while let Ok(msg) = out_rx.recv() {
+        let mut next = Some(msg);
+        while let Some(m) = next.take() {
+            if writer.queue(&m).is_err() {
+                break 'conn;
+            }
+            next = out_rx.try_recv().ok();
+        }
+        if writer.flush_queued().is_err() {
+            break;
+        }
+    }
+    let _ = writer.flush_queued();
+    writer.shutdown();
+    core_tx
+        .send(CoreIn::WriterClosed(Box::new(writer.into_wire())))
         .ok();
 }
 
-/// The dispatcher state machine driven by connection events.
+/// Upper bound on messages absorbed per wakeup before routing, so one
+/// chatty connection cannot starve deadline checks.
+const MAX_DRAIN: usize = 256;
+
+/// The dispatcher state machine driven by connection events. Blocks on
+/// `select!` over the data and command channels; the only timed wait is the
+/// machine's own next deadline.
 fn dispatcher_core(
     config: DispatcherConfig,
     rx: Receiver<CoreIn>,
+    cmd_rx: Receiver<Command>,
 ) -> (
     Vec<TaskRecord>,
     falkon_core::dispatcher::DispatcherStats,
@@ -406,68 +489,133 @@ fn dispatcher_core(
     let mut inst_conn: HashMap<InstanceId, ConnId> = HashMap::new();
     let mut conn_execs: HashMap<ConnId, Vec<ExecutorId>> = HashMap::new();
     let mut out = Vec::new();
+    // Reader + writer threads that have announced themselves (via NewConn)
+    // and not yet reported their wire shard back.
+    let mut live_halves = 0u64;
     loop {
-        let timeout = match d.next_deadline() {
-            Some(dl) => Duration::from_micros(dl.saturating_sub(clock.now_us()).max(1)),
-            None => Duration::from_millis(100),
-        };
-        let recv = rx.recv_timeout(timeout);
-        // Clock read must follow the wait (deadline checks compare to now).
-        let now = clock.now_us();
-        let (from, ev) = match recv {
-            Ok(CoreIn::Stop) | Err(RecvTimeoutError::Disconnected) => break,
-            Ok(CoreIn::NewConn(id, tx)) => {
-                conns.insert(id, tx);
-                continue;
+        let first = match d.next_deadline() {
+            Some(dl) => {
+                let timeout = Duration::from_micros(dl.saturating_sub(clock.now_us()).max(1));
+                select! {
+                    recv(rx) -> m => match m {
+                        Ok(m) => Some(m),
+                        Err(_) => break,
+                    },
+                    recv(cmd_rx) -> _ => break,
+                    default(timeout) => None,
+                }
             }
-            Ok(CoreIn::ConnClosed(id, shard)) => {
-                wire.merge(&shard);
-                conns.remove(&id);
-                // Any executors on this connection are lost.
-                for exec in conn_execs.remove(&id).unwrap_or_default() {
-                    exec_conn.remove(&exec);
-                    d.on_event(
-                        now,
-                        DispatcherEvent::ExecutorLost { executor: exec },
+            None => {
+                select! {
+                    recv(rx) -> m => match m {
+                        Ok(m) => Some(m),
+                        Err(_) => break,
+                    },
+                    recv(cmd_rx) -> _ => break,
+                }
+            }
+        };
+        // Clock read must follow the wait (deadline checks compare to now);
+        // one read covers the whole drained batch.
+        let now = clock.now_us();
+        let Some(first) = first else {
+            d.on_event(now, DispatcherEvent::CheckDeadlines, &mut out);
+            route(
+                &mut d,
+                &mut out,
+                &mut records,
+                &conns,
+                &mut exec_conn,
+                &mut inst_conn,
+                None,
+            );
+            continue;
+        };
+        let mut next = Some(first);
+        let mut drained = 0usize;
+        while let Some(cin) = next.take() {
+            match cin {
+                CoreIn::NewConn(id, tx) => {
+                    conns.insert(id, tx);
+                    live_halves += 2;
+                }
+                CoreIn::ReaderClosed(id, shard) => {
+                    wire.merge(&shard);
+                    live_halves = live_halves.saturating_sub(1);
+                    conns.remove(&id);
+                    // Any executors on this connection are lost.
+                    for exec in conn_execs.remove(&id).unwrap_or_default() {
+                        exec_conn.remove(&exec);
+                        d.on_event(
+                            now,
+                            DispatcherEvent::ExecutorLost { executor: exec },
+                            &mut out,
+                        );
+                    }
+                    route(
+                        &mut d,
                         &mut out,
+                        &mut records,
+                        &conns,
+                        &mut exec_conn,
+                        &mut inst_conn,
+                        None,
                     );
                 }
-                route(
-                    &mut d,
-                    &mut out,
-                    &mut records,
-                    &conns,
-                    &mut exec_conn,
-                    &mut inst_conn,
-                    None,
-                );
-                continue;
-            }
-            Ok(CoreIn::Msg(id, msg)) => {
-                // Remember which connection each executor registered on.
-                if let Message::Register { executor, .. } = &msg {
-                    exec_conn.insert(*executor, id);
-                    conn_execs.entry(id).or_default().push(*executor);
+                CoreIn::WriterClosed(shard) => {
+                    wire.merge(&shard);
+                    live_halves = live_halves.saturating_sub(1);
                 }
-                let ev = falkon_core::mapping::executor_message_to_dispatcher_event(msg.clone())
-                    .or_else(|| falkon_core::mapping::client_message_to_dispatcher_event(msg));
-                match ev {
-                    Some(ev) => (Some(id), ev),
-                    None => continue,
+                CoreIn::Msg(id, msg) => {
+                    // Remember which connection each executor registered on.
+                    if let Message::Register { executor, .. } = &msg {
+                        exec_conn.insert(*executor, id);
+                        conn_execs.entry(id).or_default().push(*executor);
+                    }
+                    let ev =
+                        falkon_core::mapping::executor_message_to_dispatcher_event(msg.clone())
+                            .or_else(|| {
+                                falkon_core::mapping::client_message_to_dispatcher_event(msg)
+                            });
+                    if let Some(ev) = ev {
+                        d.on_event(now, ev, &mut out);
+                        route(
+                            &mut d,
+                            &mut out,
+                            &mut records,
+                            &conns,
+                            &mut exec_conn,
+                            &mut inst_conn,
+                            Some(id),
+                        );
+                    }
                 }
             }
-            Err(RecvTimeoutError::Timeout) => (None, DispatcherEvent::CheckDeadlines),
-        };
-        d.on_event(now, ev, &mut out);
-        route(
-            &mut d,
-            &mut out,
-            &mut records,
-            &conns,
-            &mut exec_conn,
-            &mut inst_conn,
-            from,
-        );
+            drained += 1;
+            if drained < MAX_DRAIN {
+                next = rx.try_recv().ok();
+            }
+        }
+    }
+    // Shutdown: dropping every outbound sender releases the writer threads;
+    // each flushes, closes its socket (waking its reader with EOF), and both
+    // halves report their wire shards back before exiting. Absorb them all
+    // so no connection's byte counts are lost. The timeout only guards
+    // against a wedged peer; a clean shutdown never waits it out.
+    drop(conns);
+    while live_halves > 0 {
+        match rx.recv_timeout(Duration::from_secs(10)) {
+            Ok(CoreIn::ReaderClosed(_, shard)) | Ok(CoreIn::WriterClosed(shard)) => {
+                wire.merge(&shard);
+                live_halves -= 1;
+            }
+            // A handshake that completed after we left the main loop: drop
+            // its sender immediately so the connection unwinds, and expect
+            // its two shards.
+            Ok(CoreIn::NewConn(_, _tx)) => live_halves += 2,
+            Ok(CoreIn::Msg(..)) => {}
+            Err(_) => break,
+        }
     }
     let stats = d.stats();
     let mut obs = d.probe().clone();
@@ -513,6 +661,52 @@ fn route<P: falkon_obs::Probe>(
     }
 }
 
+/// What a finished TCP peer observed: work done plus the merged wire-level
+/// counters from both directions of its connection — enough for a test to
+/// balance byte totals against the dispatcher's shards.
+pub struct TcpRunOutcome {
+    /// Tasks this executor ran.
+    pub tasks: u64,
+    /// Frame counts and sealed byte totals, reader + writer merged.
+    pub wire: Counters,
+}
+
+/// A TCP client run's result with its wire-level counters.
+pub struct TcpClientOutcome {
+    /// Completions observed before the workload-complete edge.
+    pub done: u64,
+    /// Wall time from first submit to workload completion.
+    pub elapsed_us: u64,
+    /// Frame counts and sealed byte totals, reader + writer merged.
+    pub wire: Counters,
+}
+
+/// How a peer's driving loop ended.
+enum PumpEnd {
+    /// The machine shut itself down (idle release / deregistration).
+    Clean(u64),
+    /// The inbound channel disconnected: the reader saw EOF or an error.
+    Disconnected(u64),
+}
+
+/// Reader thread shared by executor and client runs: block on the socket,
+/// forward decoded messages, and report the wire shard plus any non-EOF
+/// terminal error on exit.
+fn reader_pump(mut reader: ConnReader, tx: Sender<Message>) -> (Counters, Option<std::io::Error>) {
+    let err = loop {
+        match reader.recv() {
+            Ok(msg) => {
+                if tx.send(msg).is_err() {
+                    break None;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => break None,
+            Err(e) => break Some(e),
+        }
+    };
+    (reader.into_wire(), err)
+}
+
 /// Run an executor against a TCP dispatcher until the connection closes or
 /// the idle-release policy fires. Returns tasks executed.
 pub fn run_executor(
@@ -521,20 +715,61 @@ pub fn run_executor(
     config: ExecutorConfig,
     security: TcpSecurity,
 ) -> std::io::Result<u64> {
+    run_executor_obs(addr, id, config, security).map(|o| o.tasks)
+}
+
+/// [`run_executor`], additionally returning the connection's merged
+/// wire-level counters.
+pub fn run_executor_obs(
+    addr: SocketAddr,
+    id: ExecutorId,
+    config: ExecutorConfig,
+    security: TcpSecurity,
+) -> std::io::Result<TcpRunOutcome> {
     let clock = Clock::start();
     let stream = TcpStream::connect(addr)?;
-    let mut conn = Conn::establish(stream, security, clock)?;
+    let conn = Conn::establish(stream, security, clock)?;
+    let (reader, mut writer) = conn.split();
+    let (in_tx, in_rx) = unbounded::<Message>();
+    let reader_handle = thread::spawn(move || reader_pump(reader, in_tx));
+    let result = executor_pump(&clock, &mut writer, &in_rx, id, config);
+    // Unblock the reader (EOF on our own socket) and collect its shard.
+    writer.shutdown();
+    let (reader_wire, reader_err) = match reader_handle.join() {
+        Ok(r) => r,
+        Err(_) => (Counters::new(), None),
+    };
+    let mut wire = writer.into_wire();
+    wire.merge(&reader_wire);
+    match result? {
+        PumpEnd::Clean(tasks) => Ok(TcpRunOutcome { tasks, wire }),
+        // The dispatcher closing on us is a normal end-of-run; surface any
+        // real socket error the reader hit instead.
+        PumpEnd::Disconnected(tasks) => match reader_err {
+            None => Ok(TcpRunOutcome { tasks, wire }),
+            Some(e) => Err(e),
+        },
+    }
+}
+
+fn executor_pump(
+    clock: &Clock,
+    writer: &mut ConnWriter,
+    in_rx: &Receiver<Message>,
+    id: ExecutorId,
+    config: ExecutorConfig,
+) -> std::io::Result<PumpEnd> {
     let mut machine = Executor::new(id, "tcp-exec", config);
     let mut actions = Vec::new();
     machine.on_event(clock.now_us(), ExecutorEvent::Start, &mut actions);
     let mut queue: Vec<ExecutorEvent> = Vec::new();
     loop {
-        // Pump the machine: sends *queue* into the coalesced buffer and hit
-        // the socket in one write when the pump goes quiet (or returns).
+        // Pump the machine: sends go into the coalesced buffer and hit the
+        // socket in one write when the pump goes quiet (or returns).
         while !actions.is_empty() || !queue.is_empty() {
             for act in std::mem::take(&mut actions) {
                 match act {
-                    ExecutorAction::Send(msg) => conn.queue(&msg)?,
+                    ExecutorAction::Send(msg) => writer.queue(&msg)?,
                     ExecutorAction::Run(spec) => {
                         let t0 = clock.now_us();
                         let mut result = crate::exec::execute_builtin(&spec);
@@ -542,8 +777,8 @@ pub fn run_executor(
                         queue.push(ExecutorEvent::TaskCompleted { result });
                     }
                     ExecutorAction::Shutdown => {
-                        conn.flush_queued()?;
-                        return Ok(machine.tasks_run);
+                        writer.flush_queued()?;
+                        return Ok(PumpEnd::Clean(machine.tasks_run));
                     }
                 }
             }
@@ -551,30 +786,32 @@ pub fn run_executor(
                 machine.on_event(clock.now_us(), ev, &mut actions);
             }
         }
-        conn.flush_queued()?;
-        // Wait for the next message, respecting the idle deadline.
-        match machine.idle_deadline_us() {
+        writer.flush_queued()?;
+        // Block for the next inbound message; the only timed wait is the
+        // machine's own idle-release deadline, when it has armed one.
+        let received = match machine.idle_deadline_us() {
             Some(deadline) => {
-                let wait = deadline.saturating_sub(clock.now_us()).max(1_000);
-                conn.set_read_timeout(Some(Duration::from_micros(wait)));
+                let wait = Duration::from_micros(deadline.saturating_sub(clock.now_us()).max(1));
+                match in_rx.recv_timeout(wait) {
+                    Ok(msg) => Some(msg),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Ok(PumpEnd::Disconnected(machine.tasks_run))
+                    }
+                }
             }
-            None => conn.set_read_timeout(None),
-        }
-        match conn.recv() {
-            Ok(msg) => {
-                let Some(ev) = falkon_core::mapping::message_to_executor_event(msg) else {
-                    continue;
-                };
-                machine.on_event(clock.now_us(), ev, &mut actions);
+            None => match in_rx.recv() {
+                Ok(msg) => Some(msg),
+                Err(_) => return Ok(PumpEnd::Disconnected(machine.tasks_run)),
+            },
+        };
+        match received {
+            Some(msg) => {
+                if let Some(ev) = falkon_core::mapping::message_to_executor_event(msg) {
+                    machine.on_event(clock.now_us(), ev, &mut actions);
+                }
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                machine.on_event(clock.now_us(), ExecutorEvent::IdleTimeout, &mut actions);
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(machine.tasks_run),
-            Err(e) => return Err(e),
+            None => machine.on_event(clock.now_us(), ExecutorEvent::IdleTimeout, &mut actions),
         }
     }
 }
@@ -587,21 +824,64 @@ pub fn run_client(
     bundle: BundleConfig,
     security: TcpSecurity,
 ) -> std::io::Result<(u64, u64)> {
+    run_client_obs(addr, tasks, bundle, security).map(|o| (o.done, o.elapsed_us))
+}
+
+/// [`run_client`], additionally returning the connection's merged
+/// wire-level counters.
+pub fn run_client_obs(
+    addr: SocketAddr,
+    tasks: Vec<TaskSpec>,
+    bundle: BundleConfig,
+    security: TcpSecurity,
+) -> std::io::Result<TcpClientOutcome> {
     let clock = Clock::start();
     let stream = TcpStream::connect(addr)?;
-    let mut conn = Conn::establish(stream, security, clock)?;
+    let conn = Conn::establish(stream, security, clock)?;
+    let (reader, mut writer) = conn.split();
+    let (in_tx, in_rx) = unbounded::<Message>();
+    let reader_handle = thread::spawn(move || reader_pump(reader, in_tx));
+    let result = client_pump(&clock, &mut writer, &in_rx, tasks, bundle);
+    writer.shutdown();
+    let (reader_wire, reader_err) = match reader_handle.join() {
+        Ok(r) => r,
+        Err(_) => (Counters::new(), None),
+    };
+    let mut wire = writer.into_wire();
+    wire.merge(&reader_wire);
+    match result? {
+        Some((done, elapsed_us)) => Ok(TcpClientOutcome {
+            done,
+            elapsed_us,
+            wire,
+        }),
+        // Disconnected before the workload completed: a dead dispatcher is
+        // an error for a client (unlike an executor, which it releases).
+        None => Err(reader_err.unwrap_or_else(|| std::io::ErrorKind::UnexpectedEof.into())),
+    }
+}
+
+fn client_pump(
+    clock: &Clock,
+    writer: &mut ConnWriter,
+    in_rx: &Receiver<Message>,
+    tasks: Vec<TaskSpec>,
+    bundle: BundleConfig,
+) -> std::io::Result<Option<(u64, u64)>> {
     let mut client = Client::new(bundle);
     let n = tasks.len() as u64;
     let mut actions = Vec::new();
     client.on_event(clock.now_us(), ClientEvent::Start, &mut actions);
     let t0 = clock.now_us();
     client.enqueue(t0, tasks, &mut actions);
-    flush_client(&mut conn, &mut actions)?;
+    flush_client(writer, &mut actions)?;
     if n == 0 {
-        return Ok((0, 0));
+        return Ok(Some((0, 0)));
     }
     loop {
-        let msg = conn.recv()?;
+        let Ok(msg) = in_rx.recv() else {
+            return Ok(None);
+        };
         let Some(ev) = falkon_core::mapping::message_to_client_event(msg) else {
             continue;
         };
@@ -609,21 +889,24 @@ pub fn run_client(
         let complete = actions
             .iter()
             .any(|a| matches!(a, ClientAction::WorkloadComplete));
-        flush_client(&mut conn, &mut actions)?;
+        flush_client(writer, &mut actions)?;
         if complete {
-            return Ok((client.completions().len() as u64, clock.now_us() - t0));
+            return Ok(Some((
+                client.completions().len() as u64,
+                clock.now_us() - t0,
+            )));
         }
     }
 }
 
-fn flush_client(conn: &mut Conn, actions: &mut Vec<ClientAction>) -> std::io::Result<()> {
+fn flush_client(writer: &mut ConnWriter, actions: &mut Vec<ClientAction>) -> std::io::Result<()> {
     // Queue every outbound message, then write the whole batch once.
     for act in actions.drain(..) {
         if let ClientAction::Send(msg) = act {
-            conn.queue(&msg)?;
+            writer.queue(&msg)?;
         }
     }
-    conn.flush_queued()
+    writer.flush_queued()
 }
 
 #[cfg(test)]

@@ -30,24 +30,24 @@ impl CounterServer {
     pub fn start() -> std::io::Result<CounterServer> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let counter = Arc::new(AtomicU64::new(0));
         let tstop = stop.clone();
         let tcounter = counter.clone();
         let handle = thread::spawn(move || {
-            while !tstop.load(Ordering::Relaxed) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let c = tcounter.clone();
-                        let s = tstop.clone();
-                        thread::spawn(move || serve(stream, c, s));
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        thread::sleep(Duration::from_millis(2));
-                    }
-                    Err(_) => break,
+            // Event-driven accept: block in `accept()` until a client
+            // arrives. `shutdown()` sets the stop flag and then self-connects
+            // to deliver exactly one wake-up, observed right after `Ok`.
+            let mut conns = Vec::new();
+            while let Ok((stream, _)) = listener.accept() {
+                if tstop.load(Ordering::Relaxed) {
+                    break;
                 }
+                let c = tcounter.clone();
+                conns.push(thread::spawn(move || serve(stream, c)));
+            }
+            for c in conns {
+                c.join().ok();
             }
         });
         Ok(CounterServer {
@@ -66,22 +66,22 @@ impl CounterServer {
     /// Stop the server.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        // Wake the accept thread out of its blocking `accept()`.
+        TcpStream::connect(self.addr).ok();
         if let Some(h) = self.handle.take() {
             h.join().ok();
         }
     }
 }
 
-fn serve(mut stream: TcpStream, counter: Arc<AtomicU64>, stop: Arc<AtomicBool>) {
+fn serve(mut stream: TcpStream, counter: Arc<AtomicU64>) {
     stream.set_nodelay(true).ok();
-    stream
-        .set_read_timeout(Some(Duration::from_millis(100)))
-        .ok();
     let mut dec = FrameDecoder::new();
     let mut buf = [0u8; 4096];
-    while !stop.load(Ordering::Relaxed) {
+    // Blocking reads; the connection ends on EOF when the client hangs up.
+    loop {
         match stream.read(&mut buf) {
-            Ok(0) => break,
+            Ok(0) | Err(_) => break,
             Ok(n) => {
                 dec.feed(&buf[..n]);
                 loop {
@@ -101,10 +101,6 @@ fn serve(mut stream: TcpStream, counter: Arc<AtomicU64>, stop: Arc<AtomicBool>) 
                     }
                 }
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
-            Err(_) => break,
         }
     }
 }

@@ -1,61 +1,274 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! `falkon-rt` uses only MPSC unbounded channels (one consumer per
-//! receiver), so `std::sync::mpsc` provides identical semantics for the API
-//! subset exposed here. Error types are re-used from std directly so match
-//! arms on `RecvTimeoutError`/`TryRecvError` compile unchanged.
+//! `falkon-rt` needs unbounded MPSC channels plus `select!` over several
+//! receivers (the event-driven TCP dispatcher blocks on data + command
+//! channels at once). `std::sync::mpsc` cannot be selected on, so the
+//! channel here is a small Mutex+Condvar queue with one extension: a
+//! `select!` session parks on a [`channel::Signal`] that every registered
+//! channel fires on send *and* on disconnect. Error types are re-used from
+//! std directly so match arms on `RecvTimeoutError`/`TryRecvError` compile
+//! unchanged against the real crate.
 
 pub mod channel {
-    use std::sync::mpsc;
-    use std::time::Duration;
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
 
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receiver_alive: bool,
+        /// Threads blocked in `recv`/`recv_timeout`.
+        sleepers: usize,
+        /// `select!` sessions parked on this channel.
+        waiters: Vec<Arc<Signal>>,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    impl<T> Chan<T> {
+        /// Wake everyone who may be waiting for this channel's state to
+        /// change: one blocked `recv` plus every parked `select!` session.
+        fn wake(state: &State<T>, ready: &Condvar) {
+            if state.sleepers > 0 {
+                ready.notify_all();
+            }
+            for w in &state.waiters {
+                w.fire();
+            }
+        }
+    }
+
     /// Sending half of an unbounded channel.
-    pub struct Sender<T>(mpsc::Sender<T>);
+    pub struct Sender<T>(Arc<Chan<T>>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
+            let mut st = self.0.state.lock().unwrap();
+            st.senders += 1;
+            drop(st);
             Sender(self.0.clone())
         }
     }
 
     impl<T> Sender<T> {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.0.send(value)
+            let mut st = self.0.state.lock().unwrap();
+            if !st.receiver_alive {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            Chan::wake(&st, &self.0.ready);
+            Ok(())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap();
+            st.senders -= 1;
+            if st.senders == 0 {
+                // Disconnection is a readiness event: blocked receivers
+                // return `Disconnected`, selects fire their disconnect arm.
+                Chan::wake(&st, &self.0.ready);
+            }
         }
     }
 
     /// Receiving half of an unbounded channel.
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    pub struct Receiver<T>(Arc<Chan<T>>);
 
     impl<T> Receiver<T> {
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.0.recv()
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st.sleepers += 1;
+                st = self.0.ready.wait(st).unwrap();
+                st.sleepers -= 1;
+            }
         }
 
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.0.try_recv()
+            let mut st = self.0.state.lock().unwrap();
+            match st.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
         }
 
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.0.recv_timeout(timeout)
+            let Some(deadline) = Instant::now().checked_add(timeout) else {
+                // Effectively infinite timeout.
+                return self.recv().map_err(|_| RecvTimeoutError::Disconnected);
+            };
+            let mut st = self.0.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                st.sleepers += 1;
+                let (guard, _) = self.0.ready.wait_timeout(st, deadline - now).unwrap();
+                st = guard;
+                st.sleepers -= 1;
+            }
         }
 
-        pub fn iter(&self) -> mpsc::Iter<'_, T> {
-            self.0.iter()
+        /// Blocking iterator over received values, ending on disconnect.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+
+        // -- `select!` support (used by the macro; not part of the real
+        //    crossbeam public API, which hides the equivalent machinery
+        //    behind its own macro). --
+
+        #[doc(hidden)]
+        pub fn select_register(&self, signal: &Arc<Signal>) {
+            let mut st = self.0.state.lock().unwrap();
+            st.waiters.push(signal.clone());
+        }
+
+        #[doc(hidden)]
+        pub fn select_unregister(&self, signal: &Arc<Signal>) {
+            let mut st = self.0.state.lock().unwrap();
+            st.waiters.retain(|w| !Arc::ptr_eq(w, signal));
+        }
+
+        /// Ready = a value is queued or the channel is disconnected (both
+        /// make a `recv` arm runnable, the latter with `Err`).
+        #[doc(hidden)]
+        pub fn select_ready(&self) -> bool {
+            let st = self.0.state.lock().unwrap();
+            !st.queue.is_empty() || st.senders == 0
+        }
+
+        /// Complete a select on this channel after `select_ready()`. Falls
+        /// back to a blocking `recv` in the (single-consumer: impossible)
+        /// case that the readiness was consumed by another receiver.
+        #[doc(hidden)]
+        pub fn select_recv(&self) -> Result<T, RecvError> {
+            match self.try_recv() {
+                Ok(v) => Ok(v),
+                Err(TryRecvError::Disconnected) => Err(RecvError),
+                Err(TryRecvError::Empty) => self.recv(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().unwrap();
+            st.receiver_alive = false;
+            st.queue.clear();
+        }
+    }
+
+    /// See [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
         }
     }
 
     /// Create an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receiver_alive: true,
+                sleepers: 0,
+                waiters: Vec::new(),
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender(chan.clone()), Receiver(chan))
+    }
+
+    /// One `select!` session's parking spot: fired by any registered
+    /// channel on send or disconnect, consumed by the selecting thread.
+    pub struct Signal {
+        fired: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl Signal {
+        #[doc(hidden)]
+        #[allow(clippy::new_ret_no_self)]
+        pub fn new() -> Arc<Signal> {
+            Arc::new(Signal {
+                fired: Mutex::new(false),
+                cv: Condvar::new(),
+            })
+        }
+
+        /// Convert a `default(timeout)` duration into an absolute deadline.
+        /// Lives here (not in the macro expansion) so callers under a
+        /// `disallowed-methods` clippy wall never spell a clock read.
+        #[doc(hidden)]
+        pub fn deadline_after(timeout: Duration) -> Option<Instant> {
+            Instant::now().checked_add(timeout)
+        }
+
+        pub(crate) fn fire(&self) {
+            let mut fired = self.fired.lock().unwrap();
+            *fired = true;
+            self.cv.notify_all();
+        }
+
+        /// Park until fired (consuming the edge) or `deadline`. Returns
+        /// `false` on timeout, `true` when fired.
+        #[doc(hidden)]
+        pub fn wait(&self, deadline: Option<Instant>) -> bool {
+            let mut fired = self.fired.lock().unwrap();
+            loop {
+                if *fired {
+                    *fired = false;
+                    return true;
+                }
+                match deadline {
+                    None => fired = self.cv.wait(fired).unwrap(),
+                    Some(dl) => {
+                        let now = Instant::now();
+                        if now >= dl {
+                            return false;
+                        }
+                        let (guard, _) = self.cv.wait_timeout(fired, dl - now).unwrap();
+                        fired = guard;
+                    }
+                }
+            }
+        }
     }
 
     #[cfg(test)]
     mod tests {
         use super::*;
+        use std::thread;
 
         #[test]
         fn roundtrip_and_timeout() {
@@ -72,5 +285,209 @@ pub mod channel {
                 Err(RecvTimeoutError::Disconnected)
             ));
         }
+
+        #[test]
+        fn try_recv_and_clone_semantics() {
+            let (tx, rx) = unbounded::<u32>();
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Empty)));
+            let tx2 = tx.clone();
+            drop(tx);
+            tx2.send(1).unwrap();
+            assert_eq!(rx.try_recv().unwrap(), 1);
+            drop(tx2);
+            assert!(matches!(rx.try_recv(), Err(TryRecvError::Disconnected)));
+        }
+
+        #[test]
+        fn send_to_dropped_receiver_errors() {
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert!(tx.send(9).is_err());
+        }
+
+        #[test]
+        fn blocking_recv_wakes_on_send() {
+            let (tx, rx) = unbounded::<u32>();
+            let h = thread::spawn(move || rx.recv().unwrap());
+            tx.send(42).unwrap();
+            assert_eq!(h.join().unwrap(), 42);
+        }
+
+        #[test]
+        fn select_takes_ready_channel() {
+            let (tx_a, rx_a) = unbounded::<u32>();
+            let (_tx_b, rx_b) = unbounded::<u32>();
+            tx_a.send(5).unwrap();
+            let got = crate::select! {
+                recv(rx_a) -> m => m.unwrap(),
+                recv(rx_b) -> m => m.unwrap() + 100,
+            };
+            assert_eq!(got, 5);
+        }
+
+        #[test]
+        fn select_wakes_on_cross_thread_send() {
+            let (tx_a, rx_a) = unbounded::<u32>();
+            let (_tx_b, rx_b) = unbounded::<u32>();
+            let h = thread::spawn(move || {
+                crate::select! {
+                    recv(rx_a) -> m => m.unwrap(),
+                    recv(rx_b) -> m => m.unwrap() + 100,
+                }
+            });
+            tx_a.send(9).unwrap();
+            assert_eq!(h.join().unwrap(), 9);
+        }
+
+        #[test]
+        fn select_default_fires_on_timeout() {
+            let (_tx_a, rx_a) = unbounded::<u32>();
+            let (_tx_b, rx_b) = unbounded::<u32>();
+            let got = crate::select! {
+                recv(rx_a) -> m => m.unwrap(),
+                recv(rx_b) -> m => m.unwrap(),
+                default(Duration::from_millis(5)) => 777,
+            };
+            assert_eq!(got, 777);
+        }
+
+        #[test]
+        fn select_sees_disconnect_as_ready() {
+            let (tx_a, rx_a) = unbounded::<u32>();
+            let (_tx_b, rx_b) = unbounded::<u32>();
+            drop(tx_a);
+            let got = crate::select! {
+                recv(rx_a) -> m => m.is_err(),
+                recv(rx_b) -> _m => false,
+            };
+            assert!(got);
+        }
+
+        #[test]
+        fn select_body_break_targets_caller_loop() {
+            let (tx, rx) = unbounded::<u32>();
+            let (_tx_b, rx_b) = unbounded::<u32>();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            drop(tx);
+            let mut seen = Vec::new();
+            loop {
+                crate::select! {
+                    recv(rx) -> m => match m {
+                        Ok(v) => seen.push(v),
+                        Err(_) => break,
+                    },
+                    recv(rx_b) -> _m => continue,
+                }
+            }
+            assert_eq!(seen, vec![1, 2]);
+        }
+
+        #[test]
+        fn signal_unregister_leaves_no_waiters() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(1).unwrap();
+            let _ = crate::select! {
+                recv(rx) -> m => m.unwrap(),
+                default(Duration::from_millis(1)) => 0,
+            };
+            assert!(rx.0.state.lock().unwrap().waiters.is_empty());
+        }
     }
+}
+
+/// Block on several channels at once, in the style of `crossbeam::select!`.
+///
+/// Supported forms — one or two `recv(receiver) -> pattern => body` arms,
+/// optionally followed by `default(timeout) => body`:
+///
+/// ```ignore
+/// select! {
+///     recv(rx) -> msg => match msg { Ok(m) => handle(m), Err(_) => break },
+///     recv(cmd_rx) -> _cmd => break,
+///     default(timeout) => on_deadline(),
+/// }
+/// ```
+///
+/// A disconnected channel counts as ready and its arm runs with `Err(_)`,
+/// matching the real crate. Arm bodies execute *outside* the internal wait
+/// loop, so `break`/`continue` inside a body target the caller's loop.
+#[macro_export]
+macro_rules! select {
+    ( recv($r1:expr) -> $p1:pat => $b1:expr, recv($r2:expr) -> $p2:pat => $b2:expr $(,)? ) => {{
+        let __sel_sig = $crate::channel::Signal::new();
+        let __sel_r1 = &$r1;
+        let __sel_r2 = &$r2;
+        __sel_r1.select_register(&__sel_sig);
+        __sel_r2.select_register(&__sel_sig);
+        let __sel_choice: u8 = loop {
+            if __sel_r1.select_ready() {
+                break 1;
+            }
+            if __sel_r2.select_ready() {
+                break 2;
+            }
+            __sel_sig.wait(None);
+        };
+        __sel_r1.select_unregister(&__sel_sig);
+        __sel_r2.select_unregister(&__sel_sig);
+        if __sel_choice == 1 {
+            let $p1 = __sel_r1.select_recv();
+            $b1
+        } else {
+            let $p2 = __sel_r2.select_recv();
+            $b2
+        }
+    }};
+    ( recv($r1:expr) -> $p1:pat => $b1:expr, recv($r2:expr) -> $p2:pat => $b2:expr, default($t:expr) => $bd:expr $(,)? ) => {{
+        let __sel_sig = $crate::channel::Signal::new();
+        let __sel_r1 = &$r1;
+        let __sel_r2 = &$r2;
+        __sel_r1.select_register(&__sel_sig);
+        __sel_r2.select_register(&__sel_sig);
+        let __sel_deadline = $crate::channel::Signal::deadline_after($t);
+        let __sel_choice: u8 = loop {
+            if __sel_r1.select_ready() {
+                break 1;
+            }
+            if __sel_r2.select_ready() {
+                break 2;
+            }
+            if !__sel_sig.wait(__sel_deadline) {
+                break 0;
+            }
+        };
+        __sel_r1.select_unregister(&__sel_sig);
+        __sel_r2.select_unregister(&__sel_sig);
+        if __sel_choice == 1 {
+            let $p1 = __sel_r1.select_recv();
+            $b1
+        } else if __sel_choice == 2 {
+            let $p2 = __sel_r2.select_recv();
+            $b2
+        } else {
+            $bd
+        }
+    }};
+    ( recv($r1:expr) -> $p1:pat => $b1:expr, default($t:expr) => $bd:expr $(,)? ) => {{
+        let __sel_sig = $crate::channel::Signal::new();
+        let __sel_r1 = &$r1;
+        __sel_r1.select_register(&__sel_sig);
+        let __sel_deadline = $crate::channel::Signal::deadline_after($t);
+        let __sel_ready: bool = loop {
+            if __sel_r1.select_ready() {
+                break true;
+            }
+            if !__sel_sig.wait(__sel_deadline) {
+                break false;
+            }
+        };
+        __sel_r1.select_unregister(&__sel_sig);
+        if __sel_ready {
+            let $p1 = __sel_r1.select_recv();
+            $b1
+        } else {
+            $bd
+        }
+    }};
 }
