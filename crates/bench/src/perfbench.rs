@@ -1,4 +1,4 @@
-//! `repro bench` — the tracked performance baseline behind `BENCH_0005.json`.
+//! `repro bench` — the tracked performance baseline behind `BENCH_0006.json`.
 //!
 //! Runs a fixed set of hot-path scenarios (event engine, simulated
 //! deployment, dispatcher state machine, in-process runtime, TCP runtime,
@@ -21,16 +21,17 @@ use falkon_proto::codec::{Codec, EfficientCodec};
 use falkon_proto::message::{ExecutorId, InstanceId, Message};
 use falkon_proto::task::{TaskResult, TaskSpec};
 use falkon_rt::inproc::{run_sleep_workload, InprocConfig};
-use falkon_rt::tcp::{run_client, run_executor, DispatcherServer, TcpSecurity};
+use falkon_rt::muxpeer::run_executors_mux;
+use falkon_rt::tcp::{run_client, run_executor, DispatcherServer, ServerConfig, TcpSecurity};
 use falkon_rt::{Clock, WireMode};
 use falkon_sim::{Engine, SimDuration};
 use std::hint::black_box;
 
 /// The commit whose build produced every `baseline` rate below (the state
-/// of the tree immediately before the event-driven TCP transport rewrite;
-/// both columns re-measured on one machine per DESIGN.md §10's baseline
-/// discipline).
-pub const BASELINE_COMMIT: &str = "6cefbd9";
+/// of the tree immediately before the sharded connection-multiplexed
+/// transport; both columns re-measured on one machine per DESIGN.md §10's
+/// baseline discipline).
+pub const BASELINE_COMMIT: &str = "f7d8e91";
 
 /// Keep sampling until a scenario has accumulated this much measured time.
 const MIN_SAMPLE_US: u64 = 300_000;
@@ -264,11 +265,15 @@ fn tcp_sleep0(security: TcpSecurity) -> f64 {
     const N: u64 = 1_000;
     const EXECS: usize = 4;
     let us = time_us(|| {
-        let config = DispatcherConfig {
-            client_notify_batch: 1_000,
-            ..DispatcherConfig::default()
-        };
-        let server = DispatcherServer::start(config, security).expect("bind dispatcher");
+        let config = ServerConfig::builder()
+            .dispatcher(DispatcherConfig {
+                client_notify_batch: 1_000,
+                ..DispatcherConfig::default()
+            })
+            .security(security)
+            .build()
+            .expect("valid config");
+        let server = DispatcherServer::start(config).expect("bind dispatcher");
         let addr = server.addr;
         let execs: Vec<_> = (0..EXECS)
             .map(|i| {
@@ -283,15 +288,60 @@ fn tcp_sleep0(security: TcpSecurity) -> f64 {
             })
             .collect();
         let tasks: Vec<TaskSpec> = (0..N).map(|i| TaskSpec::sleep(i, 0)).collect();
-        let (done, _) =
-            run_client(addr, tasks, BundleConfig::of(300), security).expect("client run");
-        assert_eq!(done, N, "all tasks complete over TCP");
+        let client = run_client(addr, tasks, BundleConfig::of(300), security).expect("client run");
+        assert_eq!(client.done, N, "all tasks complete over TCP");
         black_box(server.shutdown());
         for e in execs {
             e.join().expect("executor thread").ok();
         }
     });
     rate(N as f64, us)
+}
+
+/// Connection fan-out: a sharded dispatcher (4 shards) holding 1000
+/// concurrent executor connections — the paper's many-executors regime on
+/// real sockets. The 1000 peers are multiplexed on a single OS thread by
+/// [`run_executors_mux`], so both sides of the measurement run with O(1)
+/// threads per process and the scenario fits on a small CI box.
+///
+/// The reported rate is dispatch throughput measured by the client clock —
+/// first submit to workload completion — so the 1000 serial handshakes of
+/// each iteration's setup are excluded. Methodology deviates from
+/// [`time_us`] only in that per-iteration cost: a fixed 3 timed iterations
+/// (plus warm-up) instead of a 300 ms accumulation target, because each
+/// iteration's setup dwarfs its measured window.
+fn tcp_conn_fanout() -> f64 {
+    const CONNS: usize = 1_000;
+    const SHARDS: usize = 4;
+    const N: u64 = 2_000;
+    let run_once = || {
+        let config = ServerConfig::builder()
+            .dispatcher(DispatcherConfig {
+                client_notify_batch: 1_000,
+                ..DispatcherConfig::default()
+            })
+            .sharded(SHARDS)
+            .build()
+            .expect("valid config");
+        let server = DispatcherServer::start(config).expect("bind dispatcher");
+        let addr = server.addr;
+        let mux = std::thread::spawn(move || {
+            run_executors_mux(addr, 0, CONNS, ExecutorConfig::default(), None)
+        });
+        let tasks: Vec<TaskSpec> = (0..N).map(|i| TaskSpec::sleep(i, 0)).collect();
+        let client = run_client(addr, tasks, BundleConfig::of(300), None).expect("client run");
+        assert_eq!(client.done, N, "all tasks complete at 1000-conn fan-out");
+        black_box(server.shutdown());
+        let out = mux.join().expect("mux thread").expect("mux run");
+        assert_eq!(out.tasks, N, "executors ran every task exactly once");
+        client.elapsed_us.max(1)
+    };
+    run_once(); // warm-up
+    let mut best = u64::MAX;
+    for _ in 0..3 {
+        best = best.min(run_once());
+    }
+    rate(N as f64, best as f64)
 }
 
 fn codec_bundle(k: u64) -> Message {
@@ -342,76 +392,80 @@ pub fn run_benches() -> Vec<BenchResult> {
         "sim/chained_timer_events",
         "events/s",
         sim_chained(),
-        98.62e6,
+        104.38e6,
     );
     push(
         "sim/outstanding_50k_timers",
         "events/s",
         sim_outstanding(),
-        9.64e6,
+        9.79e6,
     );
     push(
         "sim/same_instant_bursts",
         "events/s",
         sim_same_instant(),
-        194.17e6,
+        187.27e6,
     );
     push(
         "sim/deployment_sleep0_1000",
         "tasks/s",
         sim_deployment(),
-        0.975e6,
+        0.978e6,
     );
     push(
         "dispatcher/lifecycle_1000",
         "tasks/s",
         dispatcher_lifecycle(),
-        3.18e6,
+        3.10e6,
     );
     push(
         "inproc/sleep0_plain",
         "tasks/s",
         inproc(WireMode::Plain),
-        257.0e3,
+        242.8e3,
     );
     push(
         "inproc/sleep0_encoded",
         "tasks/s",
         inproc(WireMode::Encoded),
-        179.4e3,
+        183.6e3,
     );
     push(
         "inproc/sleep0_secure",
         "tasks/s",
         inproc(WireMode::Secure),
-        156.8e3,
+        148.2e3,
     );
-    push("tcp/sleep0_plain", "tasks/s", tcp_sleep0(None), 523.0);
+    push("tcp/sleep0_plain", "tasks/s", tcp_sleep0(None), 41.9e3);
     push(
         "tcp/sleep0_secure",
         "tasks/s",
         tcp_sleep0(Some(0xFA1C0)),
-        561.9,
+        40.7e3,
     );
+    // New in BENCH_0006: no baseline exists at BASELINE_COMMIT (the
+    // thread-per-conn transport cannot hold this scenario's 1000
+    // connections on the reference box), so `before` is 0.
+    push("tcp/conn_fanout", "tasks/s", tcp_conn_fanout(), 0.0);
     push(
         "codec/encode_efficient_1000",
         "MB/s",
         codec_encode(),
-        2762.5,
+        2703.4,
     );
-    push("codec/decode_efficient_1000", "MB/s", codec_decode(), 391.6);
+    push("codec/decode_efficient_1000", "MB/s", codec_decode(), 336.6);
     out
 }
 
 /// Serial quick-scale `repro all` wall time at [`BASELINE_COMMIT`] on the
 /// reference machine (the "before" of the `repro_all_quick` row).
-pub const REPRO_ALL_QUICK_BASELINE_S: f64 = 1.54;
+pub const REPRO_ALL_QUICK_BASELINE_S: f64 = 1.92;
 
 /// Render the results as the committed JSON report. `jobs` is the worker
 /// count the `repro_all_quick` wall time was measured with.
 pub fn render_json(results: &[BenchResult], repro_all_quick_s: Option<f64>, jobs: usize) -> String {
     let mut s = String::from("{\n");
-    s.push_str("  \"bench\": \"BENCH_0005\",\n");
+    s.push_str("  \"bench\": \"BENCH_0006\",\n");
     s.push_str(&format!("  \"baseline_commit\": \"{BASELINE_COMMIT}\",\n"));
     if let Some(wall) = repro_all_quick_s {
         s.push_str(&format!(
@@ -488,7 +542,7 @@ mod tests {
             },
         ];
         let json = render_json(&results, Some(1.5), 4);
-        assert!(json.contains("\"bench\": \"BENCH_0005\""));
+        assert!(json.contains("\"bench\": \"BENCH_0006\""));
         assert!(json.contains("\"speedup\": 2.00"));
         assert!(json.contains("\"repro_all_quick\""));
         assert!(json.contains("\"jobs\": 4"));

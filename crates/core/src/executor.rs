@@ -194,6 +194,12 @@ impl<P: Probe> Executor<P> {
         &self.probe
     }
 
+    /// Consume the machine, yielding the mounted probe (drivers collect a
+    /// finished run's recorder this way).
+    pub fn into_probe(self) -> P {
+        self.probe
+    }
+
     /// Whether the executor has shut down.
     pub fn is_done(&self) -> bool {
         self.phase == Phase::Done

@@ -13,7 +13,9 @@ use falkon_proto::bundle::BundleConfig;
 use falkon_proto::message::ExecutorId;
 use falkon_proto::task::TaskSpec;
 use falkon_rt::inproc::{run_sleep_workload, InprocConfig};
-use falkon_rt::tcp::{run_client, run_executor, DispatcherServer, TcpSecurity};
+use falkon_rt::tcp::{
+    run_client, run_executor, DispatcherServer, ServerConfig, TcpSecurity, TransportKind,
+};
 use falkon_rt::wscounter::{measure_call_rate, CounterServer};
 use falkon_rt::WireMode;
 use std::time::Duration;
@@ -60,10 +62,12 @@ pub struct TcpMeasuredRow {
 pub struct Measured {
     /// One row per wire mode.
     pub rows: Vec<MeasuredRow>,
-    /// One row per security mode of the full TCP deployment: dispatcher
-    /// server, 4 executor threads, and a client on real loopback sockets,
-    /// driven by the event-driven transport (blocking reads, channel-woken
-    /// writers — no polling cadence).
+    /// One row per (security, transport) arm of the full TCP deployment:
+    /// dispatcher server, 4 executor threads, and a client on real loopback
+    /// sockets, driven by the event-driven transport (no polling cadence).
+    /// Covers thread-per-connection and the sharded connection-multiplexed
+    /// transport, so both paths of the `Transport` API get a measured
+    /// number.
     pub tcp_rows: Vec<TcpMeasuredRow>,
     /// The GT4-counter-service analog: raw request/response over TCP,
     /// calls/sec with 8 concurrent clients.
@@ -71,13 +75,25 @@ pub struct Measured {
 }
 
 /// One full TCP deployment run: `n` sleep-0 tasks over 4 executors.
-fn tcp_arm(label: &'static str, n: u64, security: TcpSecurity) -> TcpMeasuredRow {
+fn tcp_arm(
+    label: &'static str,
+    n: u64,
+    security: TcpSecurity,
+    transport: TransportKind,
+) -> TcpMeasuredRow {
     const EXECS: u64 = 4;
-    let config = DispatcherConfig {
-        client_notify_batch: 1_000,
-        ..DispatcherConfig::default()
+    let mut builder = ServerConfig::builder()
+        .dispatcher(DispatcherConfig {
+            client_notify_batch: 1_000,
+            ..DispatcherConfig::default()
+        })
+        .security(security);
+    builder = match transport {
+        TransportKind::ThreadPerConn => builder.thread_per_conn(),
+        TransportKind::Sharded { shards } => builder.sharded(shards),
     };
-    let server = DispatcherServer::start(config, security).expect("bind tcp dispatcher");
+    let config = builder.build().expect("valid tcp server config");
+    let server = DispatcherServer::start(config).expect("bind tcp dispatcher");
     let addr = server.addr;
     let execs: Vec<_> = (0..EXECS)
         .map(|i| {
@@ -87,16 +103,15 @@ fn tcp_arm(label: &'static str, n: u64, security: TcpSecurity) -> TcpMeasuredRow
         })
         .collect();
     let tasks: Vec<TaskSpec> = (0..n).map(|i| TaskSpec::sleep(i, 0)).collect();
-    let (done, elapsed_us) =
-        run_client(addr, tasks, BundleConfig::of(300), security).expect("tcp client run");
+    let client = run_client(addr, tasks, BundleConfig::of(300), security).expect("tcp client run");
     server.shutdown();
     for e in execs {
         e.join().expect("executor thread").ok();
     }
     TcpMeasuredRow {
         label,
-        tasks: done,
-        throughput: done as f64 / (elapsed_us.max(1) as f64 / 1e6),
+        tasks: client.done,
+        throughput: client.done as f64 / (client.elapsed_us.max(1) as f64 / 1e6),
     }
 }
 
@@ -142,11 +157,23 @@ pub fn run(scale: Scale) -> Measured {
     .collect();
     let n_tcp = scale.pick(2_000, 20_000);
     let tcp_rows = vec![
-        tcp_arm("plain (no security)", n_tcp, None),
+        tcp_arm(
+            "plain (no security)",
+            n_tcp,
+            None,
+            TransportKind::ThreadPerConn,
+        ),
         tcp_arm(
             "secure (GSISecureConversation analog)",
             n_tcp,
             Some(0xFA1C0),
+            TransportKind::ThreadPerConn,
+        ),
+        tcp_arm(
+            "plain (sharded transport, 2 shards)",
+            n_tcp,
+            None,
+            TransportKind::Sharded { shards: 2 },
         ),
     ];
     let server = CounterServer::start().expect("bind counter service");
@@ -205,7 +232,7 @@ mod tests {
             assert!(r.overhead.p90_us <= r.overhead.p99_us);
             assert!(r.overhead.p99_us <= r.overhead.max_us);
         }
-        assert_eq!(m.tcp_rows.len(), 2);
+        assert_eq!(m.tcp_rows.len(), 3);
         for r in &m.tcp_rows {
             assert!(r.tasks > 0, "{}: no tasks completed over TCP", r.label);
             assert!(r.throughput > 0.0, "{}: no TCP throughput", r.label);

@@ -11,7 +11,12 @@
 //!   WS stack.
 //! * [`tcp`] — the same deployment over real localhost TCP sockets with
 //!   length-delimited frames (the custom TCP notification path of Figure 2,
-//!   extended to all messages).
+//!   extended to all messages). The dispatcher side is built on a
+//!   [`tcp::Transport`] abstraction with two implementations: thread-per-
+//!   connection, and the [`shard`] module's connection-multiplexed event
+//!   loops (O(shards) OS threads for thousands of connections).
+//! * [`muxpeer`] — the peer-side counterpart: many executor machines
+//!   multiplexed on one thread, for fan-out harnesses.
 //! * [`wscounter`] — the paper's GT4 "counter service" baseline: a trivial
 //!   request/response server whose call rate upper-bounds achievable
 //!   dispatch throughput on the same transport.
@@ -26,6 +31,8 @@
 pub mod clock;
 pub mod exec;
 pub mod inproc;
+pub mod muxpeer;
+pub mod shard;
 pub mod tcp;
 pub mod transport;
 pub mod wscounter;

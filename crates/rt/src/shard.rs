@@ -1,0 +1,531 @@
+//! Sharded connection-multiplexed TCP transport (DESIGN.md §10.4).
+//!
+//! N shard threads, each multiplexing many connections behind `poll(2)`:
+//! a shard owns a slab of connection tokens, and one loop services both
+//! directions of every connection it owns. Readable sockets are serviced
+//! straight off the poll set; outbound traffic arrives on the shard's op
+//! channel, whose registered [`SelectWake`] watcher writes a wake pipe —
+//! so a channel send *is* an I/O readiness event, and the loop has exactly
+//! one blocking point (the `poll` call) with no timed cadence.
+//!
+//! Wake paths:
+//!
+//! * **Inbound bytes** — the connection's socket turns readable; `poll`
+//!   returns; the shard does nonblocking reads (bounded per wake for
+//!   fairness) and forwards decoded messages as [`TransportEvent::Msg`].
+//! * **Outbound message** — the core calls [`ConnHandle::send`]; the op
+//!   lands in the shard's channel and the channel's watcher writes one
+//!   byte into the wake pipe; `poll` returns; the shard drains the op
+//!   queue, encoding into per-connection coalesced buffers, then drains
+//!   those with nonblocking writes (registering `POLLOUT` only while bytes
+//!   remain).
+//! * **Close** — dropping a [`ConnHandle`] queues a close op; the shard
+//!   finishes the final flush, shuts the socket down, and recycles the
+//!   token (bumping its generation so stale ops for the old connection are
+//!   ignored).
+//!
+//! Connections are assigned to shards round-robin at accept time; the
+//! handshake runs serially in the accept thread so the shard loops only
+//! ever see established, nonblocking connections. OS thread count is
+//! 1 accept + N shards, independent of connection count.
+#![cfg(unix)]
+
+use crate::clock::Clock;
+use crate::tcp::{
+    Conn, ConnHandle, ConnId, ConnReader, ConnWriter, TcpSecurity, Transport, TransportEvent,
+};
+use crossbeam::channel::{unbounded, Receiver, SelectWake, Sender, TryRecvError};
+use falkon_obs::Counters;
+use falkon_proto::message::Message;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+/// Minimal `poll(2)` binding. `std` already links libc on every unix
+/// target, so declaring the one symbol we need avoids a dependency.
+pub(crate) mod sys {
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    #[cfg(target_os = "linux")]
+    type NfdsT = std::os::raw::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    type NfdsT = u32;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: std::os::raw::c_int) -> i32;
+    }
+
+    /// Block until a registered fd is ready (`timeout_ms < 0` = forever),
+    /// retrying on `EINTR`.
+    pub fn poll_wait(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
+        loop {
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = std::io::Error::last_os_error();
+            if err.kind() != std::io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}
+
+/// Generation-counted slab index for one shard-owned connection. The
+/// generation guards token reuse: ops carrying a stale token (their
+/// connection already closed, the slot recycled) are ignored instead of
+/// hitting the wrong peer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Token {
+    idx: u32,
+    gen: u32,
+}
+
+/// Ops on a shard's input channel.
+pub(crate) enum ShardOp {
+    /// An established connection from the accept thread (boxed: a `Conn`
+    /// is ~1 KiB of buffers, the other variants a few dozen bytes).
+    Add(ConnId, Box<Conn>),
+    /// Queue one outbound message.
+    Send(Token, Message),
+    /// Final-flush and release the connection (core dropped its handle).
+    Close(Token),
+    /// Finish every connection and exit the shard thread.
+    Stop,
+}
+
+/// Cloneable sender half of a shard's op channel; [`ConnHandle`]s hold one
+/// plus their token.
+#[derive(Clone)]
+pub struct ShardSender {
+    tx: Sender<ShardOp>,
+}
+
+impl ShardSender {
+    pub(crate) fn send_msg(&self, token: Token, msg: Message) {
+        self.tx.send(ShardOp::Send(token, msg)).ok();
+    }
+
+    pub(crate) fn close(&self, token: Token) {
+        self.tx.send(ShardOp::Close(token)).ok();
+    }
+}
+
+/// The watcher registered on a shard's op channel: every send writes one
+/// byte into the shard's wake pipe, turning channel traffic into `poll`
+/// readiness. Writes are nonblocking and failures are ignored — a full
+/// pipe already guarantees a pending wake-up.
+struct PipeWaker {
+    tx: UnixStream,
+}
+
+impl SelectWake for PipeWaker {
+    fn wake(&self) {
+        let _ = (&self.tx).write(&[1u8]);
+    }
+}
+
+/// Per-wake cap on `read()` calls per connection, so one firehose peer
+/// cannot starve its shard-mates. `poll` is level-triggered: leftover
+/// bytes re-arm the fd on the next loop iteration.
+const READ_BUDGET: usize = 8;
+
+struct ShardConn {
+    id: ConnId,
+    reader: ConnReader,
+    writer: ConnWriter,
+    /// Core dropped the handle: stop reading, drain the final flush, free.
+    closing: bool,
+}
+
+struct Shard {
+    ops: Receiver<ShardOp>,
+    /// Our own op sender, for minting [`ConnHandle`]s.
+    handle_tx: ShardSender,
+    wake_rx: UnixStream,
+    events: Sender<TransportEvent>,
+    high_water: usize,
+    slots: Vec<Option<ShardConn>>,
+    /// Current generation per slot; bumped when a slot is freed.
+    gens: Vec<u32>,
+    free: Vec<u32>,
+    /// Wire counters of connections already finished.
+    wire: Counters,
+    stopping: bool,
+}
+
+impl Shard {
+    fn valid(&self, token: Token) -> bool {
+        let idx = token.idx as usize;
+        idx < self.slots.len() && self.gens[idx] == token.gen && self.slots[idx].is_some()
+    }
+
+    fn handle_op(&mut self, op: ShardOp) {
+        match op {
+            ShardOp::Add(id, mut conn) => {
+                if conn.set_nonblocking().is_err() {
+                    return;
+                }
+                conn.set_high_water(self.high_water);
+                let (reader, writer) = conn.split();
+                let idx = match self.free.pop() {
+                    Some(idx) => idx as usize,
+                    None => {
+                        self.slots.push(None);
+                        self.gens.push(0);
+                        self.slots.len() - 1
+                    }
+                };
+                self.slots[idx] = Some(ShardConn {
+                    id,
+                    reader,
+                    writer,
+                    closing: false,
+                });
+                let token = Token {
+                    idx: idx as u32,
+                    gen: self.gens[idx],
+                };
+                let handle = ConnHandle::shard(self.handle_tx.clone(), token);
+                // If the core is gone the SendError drops the handle, which
+                // queues a Close op back to us; the next drain frees the slot.
+                self.events.send(TransportEvent::Connected(id, handle)).ok();
+            }
+            ShardOp::Send(token, msg) => {
+                if !self.valid(token) {
+                    return;
+                }
+                let idx = token.idx as usize;
+                let conn = self.slots[idx].as_mut().expect("valid token");
+                if conn.closing {
+                    return;
+                }
+                if conn.writer.enqueue(&msg).is_err() {
+                    self.close_conn(idx, true);
+                }
+            }
+            ShardOp::Close(token) => {
+                if !self.valid(token) {
+                    return;
+                }
+                let idx = token.idx as usize;
+                let conn = self.slots[idx].as_mut().expect("valid token");
+                conn.closing = true;
+                // Nothing left to drain: free immediately. Otherwise the
+                // slot stays registered for POLLOUT until the flush lands.
+                if conn.writer.pending() == 0 {
+                    self.close_conn(idx, false);
+                }
+            }
+            ShardOp::Stop => self.stopping = true,
+        }
+    }
+
+    /// Finish a connection: final blocking flush, socket shutdown, wire
+    /// shard merged, slot recycled with a fresh generation. `emit` reports
+    /// the loss to the core (peer/error closes, not core-initiated ones).
+    fn close_conn(&mut self, idx: usize, emit: bool) {
+        let conn = self.slots[idx].take().expect("live slot");
+        self.gens[idx] = self.gens[idx].wrapping_add(1);
+        self.free.push(idx as u32);
+        let mut writer = conn.writer;
+        // Final inbound drain — while the socket is still nonblocking, so
+        // an open connection stops at WouldBlock instead of parking the
+        // shard. Decode (and tap-charge) every complete frame already
+        // delivered to our socket buffer: without this, an idle peer's
+        // last in-flight response (say a late GetWork) would be charged as
+        // encoded on its side but never as decoded on ours, breaking the
+        // exact wire balance the soak tests pin. The messages themselves
+        // are discarded — the core already dropped this connection.
+        let mut reader = conn.reader;
+        loop {
+            match reader.poll_msg() {
+                Ok(Some(_)) => continue,
+                Ok(None) => {}
+                Err(_) => break,
+            }
+            match reader.fill() {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        // Then the final flush, blocking (bounded by the 10 s write
+        // timeout set at establish).
+        writer.set_blocking();
+        let _ = writer.flush();
+        writer.shutdown();
+        self.wire.merge(&writer.into_wire());
+        self.wire.merge(&reader.into_wire());
+        if emit {
+            self.events.send(TransportEvent::Closed(conn.id)).ok();
+        }
+    }
+
+    /// Drain readable bytes (bounded) and forward decoded messages.
+    fn service_read(&mut self, idx: usize) {
+        // The close decision is made under the slot borrow and acted on
+        // after it ends (close_conn needs the whole shard mutably).
+        let mut close = false;
+        'serviced: {
+            let Some(conn) = self.slots[idx].as_mut() else {
+                return;
+            };
+            if conn.closing {
+                return;
+            }
+            let mut budget = READ_BUDGET;
+            loop {
+                loop {
+                    match conn.reader.poll_msg() {
+                        Ok(Some(msg)) => {
+                            self.events.send(TransportEvent::Msg(conn.id, msg)).ok();
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            close = true;
+                            break 'serviced;
+                        }
+                    }
+                }
+                if budget == 0 {
+                    break 'serviced;
+                }
+                budget -= 1;
+                match conn.reader.fill() {
+                    Ok(0) => {
+                        close = true;
+                        break 'serviced;
+                    }
+                    Ok(_) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break 'serviced,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        close = true;
+                        break 'serviced;
+                    }
+                }
+            }
+        }
+        if close {
+            self.close_conn(idx, true);
+        }
+    }
+
+    /// Drain the coalesced outbound buffer as far as the socket allows.
+    fn service_write(&mut self, idx: usize) {
+        let Some(conn) = self.slots[idx].as_mut() else {
+            return;
+        };
+        match conn.writer.try_flush() {
+            Ok(true) if conn.closing => self.close_conn(idx, false),
+            Ok(_) => {}
+            Err(_) => {
+                let emit = !conn.closing;
+                self.close_conn(idx, emit);
+            }
+        }
+    }
+
+    fn run(mut self) -> Counters {
+        let mut pollfds: Vec<sys::PollFd> = Vec::new();
+        // pollfds[i] (i ≥ 1) → slot index; [0] is the wake pipe.
+        let mut poll_slots: Vec<usize> = Vec::new();
+        let mut wakebuf = [0u8; 256];
+        loop {
+            loop {
+                match self.ops.try_recv() {
+                    Ok(op) => self.handle_op(op),
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        self.stopping = true;
+                        break;
+                    }
+                }
+            }
+            if self.stopping {
+                break;
+            }
+            pollfds.clear();
+            poll_slots.clear();
+            pollfds.push(sys::PollFd {
+                fd: self.wake_rx.as_raw_fd(),
+                events: sys::POLLIN,
+                revents: 0,
+            });
+            for (idx, slot) in self.slots.iter().enumerate() {
+                let Some(conn) = slot else { continue };
+                let mut events = 0i16;
+                if !conn.closing {
+                    events |= sys::POLLIN;
+                }
+                if conn.writer.pending() > 0 {
+                    events |= sys::POLLOUT;
+                }
+                if events == 0 {
+                    continue;
+                }
+                pollfds.push(sys::PollFd {
+                    fd: conn.reader.raw_fd(),
+                    events,
+                    revents: 0,
+                });
+                poll_slots.push(idx);
+            }
+            if sys::poll_wait(&mut pollfds, -1).is_err() {
+                break;
+            }
+            if pollfds[0].revents != 0 {
+                // Drain the wake pipe completely: each queued op wrote at
+                // most one byte, and the op drain at the top of the loop
+                // runs *after* this, so no wake-up can be lost.
+                loop {
+                    match (&self.wake_rx).read(&mut wakebuf) {
+                        Ok(0) => break,
+                        Ok(_) => {}
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                        Err(_) => break,
+                    }
+                }
+            }
+            for i in 1..pollfds.len() {
+                let revents = pollfds[i].revents;
+                if revents == 0 {
+                    continue;
+                }
+                let idx = poll_slots[i - 1];
+                if revents & sys::POLLOUT != 0 {
+                    self.service_write(idx);
+                }
+                if revents & (sys::POLLIN | sys::POLLERR | sys::POLLHUP) != 0 {
+                    self.service_read(idx);
+                }
+            }
+        }
+        // Stop: finish every live connection (final blocking flush included).
+        for idx in 0..self.slots.len() {
+            if self.slots[idx].is_some() {
+                self.close_conn(idx, false);
+            }
+        }
+        self.wire
+    }
+}
+
+pub(crate) struct Sharded {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    shards: Vec<(Sender<ShardOp>, JoinHandle<Counters>)>,
+}
+
+/// Bind the sharded transport on an ephemeral port with `n_shards`
+/// event-loop threads.
+pub(crate) fn bind_sharded(
+    security: TcpSecurity,
+    high_water: usize,
+    n_shards: usize,
+) -> std::io::Result<(Box<dyn Transport>, Receiver<TransportEvent>)> {
+    debug_assert!(n_shards >= 1, "ServerConfig::build rejects zero shards");
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let (ev_tx, ev_rx) = unbounded::<TransportEvent>();
+
+    let mut shards = Vec::with_capacity(n_shards);
+    let mut shard_txs = Vec::with_capacity(n_shards);
+    for _ in 0..n_shards {
+        let (op_tx, op_rx) = unbounded::<ShardOp>();
+        let (pipe_tx, pipe_rx) = UnixStream::pair()?;
+        pipe_tx.set_nonblocking(true)?;
+        pipe_rx.set_nonblocking(true)?;
+        op_rx.watch(Arc::new(PipeWaker { tx: pipe_tx }));
+        let shard = Shard {
+            ops: op_rx,
+            handle_tx: ShardSender { tx: op_tx.clone() },
+            wake_rx: pipe_rx,
+            events: ev_tx.clone(),
+            high_water,
+            slots: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            wire: Counters::new(),
+            stopping: false,
+        };
+        let handle = thread::spawn(move || shard.run());
+        shard_txs.push(op_tx.clone());
+        shards.push((op_tx, handle));
+    }
+
+    let accept_stop = stop.clone();
+    let clock = Clock::start();
+    let accept_handle = thread::spawn(move || {
+        let mut next_conn = 0u64;
+        // Round-robin shard assignment at accept time.
+        let mut rr = 0usize;
+        while let Ok((stream, _)) = listener.accept() {
+            if accept_stop.load(Ordering::Relaxed) {
+                break;
+            }
+            // Handshake serially here so shards only see established,
+            // nonblocking connections.
+            let Ok(conn) = Conn::establish(stream, security, clock) else {
+                continue;
+            };
+            let id = ConnId(next_conn);
+            next_conn += 1;
+            shard_txs[rr].send(ShardOp::Add(id, Box::new(conn))).ok();
+            rr = (rr + 1) % shard_txs.len();
+        }
+    });
+
+    Ok((
+        Box::new(Sharded {
+            addr,
+            stop,
+            accept_handle: Some(accept_handle),
+            shards,
+        }),
+        ev_rx,
+    ))
+}
+
+impl Transport for Sharded {
+    fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn shutdown(mut self: Box<Self>) -> Counters {
+        self.stop.store(true, Ordering::Relaxed);
+        // Wake the accept loop out of its blocking accept().
+        TcpStream::connect(self.addr).ok();
+        if let Some(h) = self.accept_handle.take() {
+            h.join().ok();
+        }
+        // Close ops from the core's dropped ConnHandles were sent before
+        // this Stop on the same channels, so each shard finishes (and
+        // final-flushes) every connection before it exits.
+        let mut wire = Counters::new();
+        for (tx, handle) in self.shards.drain(..) {
+            tx.send(ShardOp::Stop).ok();
+            if let Ok(shard_wire) = handle.join() {
+                wire.merge(&shard_wire);
+            }
+        }
+        wire
+    }
+}

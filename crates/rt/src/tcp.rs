@@ -8,24 +8,39 @@
 //! use; it exercises the exact Figure 2 message sequence over a real
 //! network stack (localhost).
 //!
-//! # Event-driven transport (DESIGN.md §10.3)
+//! # The `Transport` API (DESIGN.md §10.3–§10.4)
+//!
+//! The dispatcher core is transport-agnostic: it blocks on a stream of
+//! [`TransportEvent`]s and routes replies through per-connection
+//! [`ConnHandle`]s. *How* those events are produced is a construction
+//! choice made once, in [`ServerConfig`]:
+//!
+//! * [`TransportKind::ThreadPerConn`] — every connection gets a blocking
+//!   reader thread and a channel-woken writer thread (the PR 5 design).
+//!   Lowest latency per connection, but 2 OS threads per peer.
+//! * [`TransportKind::Sharded`] — N shard threads, each multiplexing many
+//!   connections behind `poll(2)` with a wake-pipe for outbound traffic
+//!   (see [`crate::shard`]). OS thread count is O(shards), not
+//!   O(connections): this is the configuration that holds thousands of
+//!   executor connections on one box.
 //!
 //! Every steady-state wait in this module blocks on readiness — a socket
-//! read, a channel `recv`, or `crossbeam::select!` — never on a fixed
-//! sleep or read-timeout cadence (`falkon-lint`'s `rt_cadence` rule pins
-//! this). Each dispatcher-side connection is split into two threads:
+//! read, a channel `recv`, `crossbeam::select!`, or `poll(2)` — never on a
+//! fixed sleep or read-timeout cadence (`falkon-lint`'s `rt_cadence` rule
+//! pins this). The dispatcher core blocks on `select!` over the transport
+//! event and command channels, with a timeout only when the machine itself
+//! has armed a deadline. Accept loops block in `accept()` and are woken
+//! for shutdown by a self-connect.
 //!
-//! * a **reader** that blocks in `read()`, decodes frames, and forwards
-//!   typed [`Message`]s to the core channel;
-//! * a **writer** that blocks on the connection's outbound channel, drains
-//!   everything queued into one coalesced buffer, and writes it with a
-//!   single syscall ([`ConnWriter::flush_queued`]).
+//! # Write path
 //!
-//! The dispatcher core blocks on `select!` over the connection and command
-//! channels, with a timeout only when the machine itself has armed a
-//! deadline. The accept loop blocks in `accept()` and is woken for
-//! shutdown by a self-connect. Executors and clients run the same split:
-//! a reader thread feeding a channel the driving thread blocks on.
+//! There is exactly one outbound path: [`Conn::enqueue`] encodes (and
+//! seals) a frame into the connection's coalesced batch buffer, charging
+//! the [`WireTap`] once per frame *at enqueue time*, and [`Conn::flush`]
+//! writes everything queued with a single syscall (the paper's §3.1
+//! bundling argument applied at the syscall layer). There is no separate
+//! immediate-send entry point, so a frame can never be charged twice or
+//! race a partially flushed batch.
 
 use crate::clock::Clock;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -34,7 +49,7 @@ use falkon_core::client::{Client, ClientAction, ClientEvent};
 use falkon_core::dispatcher::{Dispatcher, DispatcherAction, DispatcherEvent, TaskRecord};
 use falkon_core::executor::{Executor, ExecutorAction, ExecutorConfig, ExecutorEvent};
 use falkon_core::DispatcherConfig;
-use falkon_obs::{Counters, Recorder, WireTap};
+use falkon_obs::{Counters, NoopProbe, Probe, Recorder, WireTap};
 use falkon_proto::bundle::BundleConfig;
 use falkon_proto::codec::{Codec, EfficientCodec};
 use falkon_proto::frame::{begin_frame, end_frame, write_frame, FrameDecoder};
@@ -55,21 +70,24 @@ static NONCE: AtomicU64 = AtomicU64::new(0x9E37_79B9);
 /// conversation stand-in on every connection.
 pub type TcpSecurity = Option<u64>;
 
-/// Flush the coalesced outbound buffer once it holds this many bytes, so
-/// an unbounded drain cannot grow the buffer without bound.
-const FLUSH_HIGH_WATER: usize = 256 * 1024;
+/// Default for [`ServerConfigBuilder::flush_high_water`]: flush the
+/// coalesced outbound buffer once it holds this many bytes, so an
+/// unbounded drain cannot grow the buffer without bound.
+pub const DEFAULT_FLUSH_HIGH_WATER: usize = 256 * 1024;
 
 /// A framed, optionally sealed TCP connection: a [`ConnReader`] /
 /// [`ConnWriter`] pair over one stream. [`Conn::establish`] performs the
 /// handshake sequentially; [`Conn::split`] then hands each direction to its
-/// own thread (the secure channel's send/receive counters are independent,
-/// so the halves never need a lock).
+/// own owner (the secure channel's send/receive counters are independent,
+/// so the halves never need a lock). The thread-per-conn transport gives
+/// each half its own thread; a shard services both halves of many
+/// connections from one thread.
 pub struct Conn {
     reader: ConnReader,
     writer: ConnWriter,
 }
 
-/// The inbound direction: blocking frame reads, unsealing, decoding.
+/// The inbound direction: frame reads, unsealing, decoding.
 pub struct ConnReader {
     stream: TcpStream,
     decoder: FrameDecoder,
@@ -87,11 +105,17 @@ pub struct ConnWriter {
     codec: EfficientCodec,
     /// Encode scratch for the secure path, reused across sends.
     writebuf: Vec<u8>,
-    /// Coalesced outbound frames awaiting [`ConnWriter::flush_queued`]: an
-    /// entire drain of the outbound channel becomes one `write` syscall
-    /// instead of one per frame (the paper's §3.1 bundling argument applied
-    /// at the syscall layer).
+    /// Coalesced outbound frames awaiting [`ConnWriter::flush`]: an entire
+    /// drain of the outbound queue becomes one `write` syscall instead of
+    /// one per frame.
     batchbuf: Vec<u8>,
+    /// Bytes of `batchbuf` already written by a partial nonblocking flush.
+    batch_pos: usize,
+    /// Flush early once `batchbuf` exceeds this many bytes.
+    high_water: usize,
+    /// Nonblocking mode (shard-owned connections): `enqueue` must never
+    /// block, so the high-water flush becomes a best-effort partial write.
+    nonblocking: bool,
     clock: Clock,
     wire: WireTap,
 }
@@ -125,6 +149,9 @@ impl Conn {
             codec: EfficientCodec,
             writebuf: Vec::new(),
             batchbuf: Vec::new(),
+            batch_pos: 0,
+            high_water: DEFAULT_FLUSH_HIGH_WATER,
+            nonblocking: false,
             clock,
             wire: WireTap::new(),
         };
@@ -152,27 +179,36 @@ impl Conn {
         Ok(Conn { reader, writer })
     }
 
-    /// Tear the connection into its two directions so a reader thread and a
-    /// writer thread can each own one.
+    /// Tear the connection into its two directions so a reader and a writer
+    /// can each be owned independently.
     pub fn split(self) -> (ConnReader, ConnWriter) {
         (self.reader, self.writer)
     }
 
+    /// Switch both directions to nonblocking mode (the two halves share one
+    /// open file description, so one call covers both). Shard loops call
+    /// this before registering the socket with `poll(2)`.
+    pub(crate) fn set_nonblocking(&mut self) -> std::io::Result<()> {
+        self.reader.stream.set_nonblocking(true)?;
+        self.writer.nonblocking = true;
+        Ok(())
+    }
+
+    /// Override the coalesced-flush high-water mark (see
+    /// [`ServerConfigBuilder::flush_high_water`]).
+    pub(crate) fn set_high_water(&mut self, bytes: usize) {
+        self.writer.high_water = bytes;
+    }
+
     /// Queue one message into the coalesced outbound buffer (see
-    /// [`ConnWriter::queue`]).
-    pub fn queue(&mut self, msg: &Message) -> std::io::Result<()> {
-        self.writer.queue(msg)
+    /// [`ConnWriter::enqueue`]).
+    pub fn enqueue(&mut self, msg: &Message) -> std::io::Result<()> {
+        self.writer.enqueue(msg)
     }
 
-    /// Write every queued frame in one syscall (see
-    /// [`ConnWriter::flush_queued`]).
-    pub fn flush_queued(&mut self) -> std::io::Result<()> {
-        self.writer.flush_queued()
-    }
-
-    /// Send one message immediately (queue + flush).
-    pub fn send(&mut self, msg: &Message) -> std::io::Result<()> {
-        self.writer.send(msg)
+    /// Write every queued frame in one syscall (see [`ConnWriter::flush`]).
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.flush()
     }
 
     /// Blocking receive of one message.
@@ -208,9 +244,18 @@ impl ConnReader {
         }
     }
 
-    /// Blocking receive of one message.
-    pub fn recv(&mut self) -> std::io::Result<Message> {
-        let frame = self.read_raw_frame()?;
+    /// Decode one already-buffered message, if a complete frame is queued.
+    /// Never touches the socket: shard loops interleave `poll_msg` with
+    /// [`ConnReader::fill`] so a nonblocking read can't be mistaken for
+    /// end-of-stream.
+    pub(crate) fn poll_msg(&mut self) -> std::io::Result<Option<Message>> {
+        let Some(frame) = self
+            .decoder
+            .next_frame()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
+        else {
+            return Ok(None);
+        };
         self.wire.decoded(self.clock.now_us(), frame.len() as u64);
         let plain = match self.opener.as_mut() {
             Some(open) => open
@@ -221,6 +266,34 @@ impl ConnReader {
         self.codec
             .decode(&plain)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+            .map(Some)
+    }
+
+    /// One `read()` into the frame decoder. Returns the byte count (0 =
+    /// EOF); `WouldBlock` surfaces as an error for nonblocking sockets.
+    pub(crate) fn fill(&mut self) -> std::io::Result<usize> {
+        let n = self.stream.read(&mut self.readbuf)?;
+        self.decoder.feed(&self.readbuf[..n]);
+        Ok(n)
+    }
+
+    /// Blocking receive of one message.
+    pub fn recv(&mut self) -> std::io::Result<Message> {
+        loop {
+            if let Some(msg) = self.poll_msg()? {
+                return Ok(msg);
+            }
+            if self.fill()? == 0 {
+                return Err(std::io::ErrorKind::UnexpectedEof.into());
+            }
+        }
+    }
+
+    /// The raw socket fd, for readiness registration.
+    #[cfg(unix)]
+    pub(crate) fn raw_fd(&self) -> i32 {
+        use std::os::fd::AsRawFd;
+        self.stream.as_raw_fd()
     }
 
     /// Consume the half, yielding its wire-level observability shard.
@@ -232,17 +305,19 @@ impl ConnReader {
 impl ConnWriter {
     fn write_raw(&mut self, payload: &[u8]) -> std::io::Result<()> {
         write_frame(&mut self.batchbuf, payload);
-        self.flush_queued()
+        self.flush()
     }
 
     /// Queue one message into the coalesced outbound buffer *without*
     /// writing. The frame is encoded (and sealed) directly into the batch
     /// buffer — no per-message allocation on either the plain or the secure
-    /// path. The wire tap is charged per frame at queue time (same
-    /// accounting as an immediate send); the bytes hit the socket on the
-    /// next [`ConnWriter::flush_queued`]. Flushes early past the high-water
-    /// mark so a long drain cannot balloon the buffer.
-    pub fn queue(&mut self, msg: &Message) -> std::io::Result<()> {
+    /// path. The wire tap is charged exactly once per frame, here, at
+    /// enqueue time; the bytes hit the socket on the next
+    /// [`ConnWriter::flush`] (or a partial nonblocking flush). Flushes
+    /// early past the high-water mark so a long drain cannot balloon the
+    /// buffer; in nonblocking mode that early flush is best-effort and the
+    /// buffer may transiently exceed the mark.
+    pub fn enqueue(&mut self, msg: &Message) -> std::io::Result<()> {
         let pos = begin_frame(&mut self.batchbuf);
         match self.sealer.as_mut() {
             Some(seal) => {
@@ -259,27 +334,58 @@ impl ConnWriter {
         end_frame(&mut self.batchbuf, pos);
         let framed = (self.batchbuf.len() - pos - 4) as u64;
         self.wire.encoded(self.clock.now_us(), framed);
-        if self.batchbuf.len() >= FLUSH_HIGH_WATER {
-            self.flush_queued()?;
+        if self.batchbuf.len() - self.batch_pos >= self.high_water {
+            if self.nonblocking {
+                self.try_flush()?;
+            } else {
+                self.flush()?;
+            }
         }
         Ok(())
     }
 
-    /// Write every queued frame in one syscall. No-op when nothing is
-    /// queued, so callers flush unconditionally before blocking.
-    pub fn flush_queued(&mut self) -> std::io::Result<()> {
-        if self.batchbuf.is_empty() {
+    /// Write every queued frame in one (blocking) syscall. No-op when
+    /// nothing is queued, so callers flush unconditionally before blocking.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if self.batchbuf.len() == self.batch_pos {
+            self.batchbuf.clear();
+            self.batch_pos = 0;
             return Ok(());
         }
-        let result = self.stream.write_all(&self.batchbuf);
+        let result = self.stream.write_all(&self.batchbuf[self.batch_pos..]);
         self.batchbuf.clear();
+        self.batch_pos = 0;
         result
     }
 
-    /// Send one message immediately (queue + flush).
-    pub fn send(&mut self, msg: &Message) -> std::io::Result<()> {
-        self.queue(msg)?;
-        self.flush_queued()
+    /// Nonblocking drain of the queued frames: writes as much as the socket
+    /// accepts. Returns `Ok(true)` once the buffer is empty, `Ok(false)` if
+    /// bytes remain (the socket would block — poll for writability).
+    pub(crate) fn try_flush(&mut self) -> std::io::Result<bool> {
+        while self.batch_pos < self.batchbuf.len() {
+            match self.stream.write(&self.batchbuf[self.batch_pos..]) {
+                Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.batch_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.batchbuf.clear();
+        self.batch_pos = 0;
+        Ok(true)
+    }
+
+    /// Bytes queued and not yet written.
+    pub(crate) fn pending(&self) -> usize {
+        self.batchbuf.len() - self.batch_pos
+    }
+
+    /// Restore blocking mode for a final drain (shard teardown).
+    #[cfg(unix)]
+    pub(crate) fn set_blocking(&mut self) {
+        self.stream.set_nonblocking(false).ok();
+        self.nonblocking = false;
     }
 
     /// Close both directions of the underlying stream. The peer sees EOF,
@@ -295,115 +401,317 @@ impl ConnWriter {
     }
 }
 
-/// Handle to a running TCP dispatcher.
-pub struct DispatcherServer {
-    /// The bound address (connect executors/clients here).
-    pub addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    cmd_tx: Sender<Command>,
-    accept_handle: Option<JoinHandle<()>>,
-    core_handle: Option<
-        JoinHandle<(
-            Vec<TaskRecord>,
-            falkon_core::dispatcher::DispatcherStats,
-            Recorder,
-        )>,
-    >,
-}
+// ---------------------------------------------------------------------------
+// The unified transport surface
+// ---------------------------------------------------------------------------
 
+/// Identifier of one accepted dispatcher-side connection.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-struct ConnId(u64);
+pub struct ConnId(pub u64);
 
-enum CoreIn {
+/// What a transport reports to the dispatcher core. Wire-byte shards never
+/// travel here: each transport merges its connections' [`WireTap`]
+/// counters internally and surrenders the total from
+/// [`Transport::shutdown`].
+pub enum TransportEvent {
+    /// A connection completed its handshake; route replies via the handle.
+    Connected(ConnId, ConnHandle),
+    /// One decoded inbound message.
     Msg(ConnId, Message),
-    /// A connection finished its handshake; `Sender` is its outbound queue.
-    NewConn(ConnId, Sender<Message>),
-    /// A reader thread exited, with its wire shard. Implies the peer (or
-    /// our own writer) closed the stream.
-    ReaderClosed(ConnId, Box<Counters>),
-    /// A writer thread exited, with its wire shard.
-    WriterClosed(Box<Counters>),
+    /// The peer (or an I/O error) ended the connection. Not emitted for
+    /// closes the core itself initiated by dropping the [`ConnHandle`].
+    Closed(ConnId),
 }
 
-/// Control-plane commands, on their own channel so `select!` can wake the
-/// core for shutdown without racing the data path.
-enum Command {
-    Stop,
+/// Outbound handle to one established connection. [`ConnHandle::send`]
+/// queues a message and wakes whoever owns the socket — a writer thread's
+/// channel or a shard's op queue; either way the frames coalesce into one
+/// write syscall per wake. Dropping the handle closes the connection after
+/// a final flush.
+pub struct ConnHandle(HandleInner);
+
+enum HandleInner {
+    /// Thread-per-conn: the writer thread's queue. Dropping the sender
+    /// disconnects the channel, which releases the writer thread.
+    Chan(Sender<Message>),
+    /// Sharded: a slab token on a shard's op queue.
+    #[cfg(unix)]
+    Shard(crate::shard::ShardSender, crate::shard::Token),
 }
 
-impl DispatcherServer {
-    /// Bind and start a dispatcher on `127.0.0.1:0` (ephemeral port).
-    pub fn start(config: DispatcherConfig, security: TcpSecurity) -> std::io::Result<Self> {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
-        let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let (core_tx, core_rx) = unbounded::<CoreIn>();
-        let (cmd_tx, cmd_rx) = unbounded::<Command>();
-        // One clock origin shared by every connection thread, so their wire
-        // tap timestamps are mutually comparable.
-        let clock = Clock::start();
-
-        let accept_stop = stop.clone();
-        let accept_handle = thread::spawn(move || {
-            let mut next_conn = 0u64;
-            let mut conn_threads = Vec::new();
-            // Block in accept(); shutdown() sets the stop flag and then
-            // self-connects to deliver one wake-up.
-            while let Ok((stream, _)) = listener.accept() {
-                if accept_stop.load(Ordering::Relaxed) {
-                    break;
-                }
-                let id = ConnId(next_conn);
-                next_conn += 1;
-                let tx = core_tx.clone();
-                conn_threads.push(thread::spawn(move || {
-                    serve_conn(id, stream, security, clock, tx)
-                }));
-            }
-            // Drop our core sender before joining, so the core's channel can
-            // disconnect once the last connection unwinds.
-            drop(core_tx);
-            for h in conn_threads {
-                h.join().ok();
-            }
-        });
-
-        let core_handle = thread::spawn(move || dispatcher_core(config, core_rx, cmd_rx));
-        Ok(DispatcherServer {
-            addr,
-            stop,
-            cmd_tx,
-            accept_handle: Some(accept_handle),
-            core_handle: Some(core_handle),
-        })
+impl ConnHandle {
+    pub(crate) fn chan(tx: Sender<Message>) -> ConnHandle {
+        ConnHandle(HandleInner::Chan(tx))
     }
 
-    /// Stop the server, returning dispatcher records, stats, and the merged
-    /// observability recorder — lifecycle events plus the wire shards of
-    /// *every* connection, collected as the core releases the writers and
-    /// the reader threads unwind and report in.
-    pub fn shutdown(
-        mut self,
-    ) -> (
-        Vec<TaskRecord>,
-        falkon_core::dispatcher::DispatcherStats,
-        Recorder,
-    ) {
+    #[cfg(unix)]
+    pub(crate) fn shard(tx: crate::shard::ShardSender, token: crate::shard::Token) -> ConnHandle {
+        ConnHandle(HandleInner::Shard(tx, token))
+    }
+
+    /// Queue one message for this connection. Silently drops the message if
+    /// the connection is already gone (the transport reports the loss via
+    /// [`TransportEvent::Closed`] and the dispatcher replays the task).
+    pub fn send(&self, msg: Message) {
+        match &self.0 {
+            HandleInner::Chan(tx) => {
+                tx.send(msg).ok();
+            }
+            #[cfg(unix)]
+            HandleInner::Shard(tx, token) => tx.send_msg(*token, msg),
+        }
+    }
+}
+
+impl Drop for ConnHandle {
+    fn drop(&mut self) {
+        // Chan: dropping the sender is the close signal. Shard: tell the
+        // shard to flush and release the token.
+        #[cfg(unix)]
+        if let HandleInner::Shard(tx, token) = &self.0 {
+            tx.close(*token);
+        }
+    }
+}
+
+/// A running dispatcher-side transport: everything between the listening
+/// socket and the core's [`TransportEvent`] stream. Implementations own
+/// their accept loop and connection servicing threads.
+pub trait Transport: Send {
+    /// The bound address (connect executors/clients here).
+    fn addr(&self) -> SocketAddr;
+
+    /// Stop accepting, close every connection (flushing queued frames),
+    /// join every owned thread, and return the merged wire counters of all
+    /// connections that ever completed a handshake. Callers must drop
+    /// their [`ConnHandle`]s and the event receiver first, or
+    /// thread-per-conn writer threads (released by sender disconnect)
+    /// cannot exit.
+    fn shutdown(self: Box<Self>) -> Counters;
+}
+
+// ---------------------------------------------------------------------------
+// Server configuration
+// ---------------------------------------------------------------------------
+
+/// Which transport a [`DispatcherServer`] mounts (see module docs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TransportKind {
+    /// Two OS threads per connection: a blocking reader and a channel-woken
+    /// writer. Fine for a handful of executors.
+    ThreadPerConn,
+    /// `shards` event-loop threads multiplexing all connections (round-robin
+    /// assignment at accept time). OS thread count stays O(shards).
+    Sharded {
+        /// Number of shard threads (must be ≥ 1).
+        shards: usize,
+    },
+}
+
+/// Validated configuration for [`DispatcherServer::start`]. Build one with
+/// [`ServerConfig::builder`]; nonsense values (zero shards, zero high-water)
+/// are rejected with a typed [`ConfigError`] instead of panicking at
+/// runtime.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    dispatcher: DispatcherConfig,
+    security: TcpSecurity,
+    transport: TransportKind,
+    flush_high_water: usize,
+}
+
+impl ServerConfig {
+    /// Start building a config. Defaults: default [`DispatcherConfig`], no
+    /// security, [`TransportKind::ThreadPerConn`],
+    /// [`DEFAULT_FLUSH_HIGH_WATER`].
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            dispatcher: DispatcherConfig::default(),
+            security: None,
+            transport: TransportKind::ThreadPerConn,
+            flush_high_water: DEFAULT_FLUSH_HIGH_WATER,
+        }
+    }
+
+    /// The configured transport kind.
+    pub fn transport(&self) -> TransportKind {
+        self.transport
+    }
+
+    /// The configured security setting.
+    pub fn security(&self) -> TcpSecurity {
+        self.security
+    }
+}
+
+/// Builder for [`ServerConfig`].
+#[derive(Clone, Debug)]
+pub struct ServerConfigBuilder {
+    dispatcher: DispatcherConfig,
+    security: TcpSecurity,
+    transport: TransportKind,
+    flush_high_water: usize,
+}
+
+impl ServerConfigBuilder {
+    /// The sans-io dispatcher machine's tunables.
+    pub fn dispatcher(mut self, config: DispatcherConfig) -> Self {
+        self.dispatcher = config;
+        self
+    }
+
+    /// `Some(psk)` enables the GSISecureConversation stand-in on every
+    /// connection (previously a separate `start` argument).
+    pub fn security(mut self, security: TcpSecurity) -> Self {
+        self.security = security;
+        self
+    }
+
+    /// Mount the thread-per-connection transport.
+    pub fn thread_per_conn(mut self) -> Self {
+        self.transport = TransportKind::ThreadPerConn;
+        self
+    }
+
+    /// Mount the sharded transport with `shards` event-loop threads.
+    pub fn sharded(mut self, shards: usize) -> Self {
+        self.transport = TransportKind::Sharded { shards };
+        self
+    }
+
+    /// Flush a connection's coalesced outbound buffer early once it holds
+    /// this many bytes.
+    pub fn flush_high_water(mut self, bytes: usize) -> Self {
+        self.flush_high_water = bytes;
+        self
+    }
+
+    /// Validate and finish.
+    pub fn build(self) -> Result<ServerConfig, ConfigError> {
+        if let TransportKind::Sharded { shards: 0 } = self.transport {
+            return Err(ConfigError::ZeroShards);
+        }
+        if self.flush_high_water == 0 {
+            return Err(ConfigError::ZeroHighWater);
+        }
+        Ok(ServerConfig {
+            dispatcher: self.dispatcher,
+            security: self.security,
+            transport: self.transport,
+            flush_high_water: self.flush_high_water,
+        })
+    }
+}
+
+/// Rejected [`ServerConfig`] values.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConfigError {
+    /// `sharded(0)`: a sharded transport needs at least one shard thread.
+    ZeroShards,
+    /// `flush_high_water(0)`: every enqueue would trigger a flush of an
+    /// empty buffer and nothing would ever coalesce.
+    ZeroHighWater,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroShards => write!(f, "sharded transport needs at least 1 shard"),
+            ConfigError::ZeroHighWater => {
+                write!(f, "flush high-water mark must be at least 1 byte")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+// ---------------------------------------------------------------------------
+// Thread-per-connection transport
+// ---------------------------------------------------------------------------
+
+struct ThreadPerConn {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    /// Our copy of the shard-reporting sender; dropped in `shutdown` so the
+    /// drain below can observe disconnect once every conn thread exits.
+    wire_tx: Option<Sender<Counters>>,
+    wire_rx: Receiver<Counters>,
+}
+
+/// Bind the thread-per-connection transport on an ephemeral port.
+fn bind_thread_per_conn(
+    security: TcpSecurity,
+    high_water: usize,
+) -> std::io::Result<(Box<dyn Transport>, Receiver<TransportEvent>)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let (ev_tx, ev_rx) = unbounded::<TransportEvent>();
+    let (wire_tx, wire_rx) = unbounded::<Counters>();
+    // One clock origin shared by every connection thread, so their wire
+    // tap timestamps are mutually comparable.
+    let clock = Clock::start();
+
+    let accept_stop = stop.clone();
+    let accept_wire = wire_tx.clone();
+    let accept_handle = thread::spawn(move || {
+        let mut next_conn = 0u64;
+        let mut conn_threads = Vec::new();
+        // Block in accept(); shutdown() sets the stop flag and then
+        // self-connects to deliver one wake-up.
+        while let Ok((stream, _)) = listener.accept() {
+            if accept_stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let id = ConnId(next_conn);
+            next_conn += 1;
+            let ev = ev_tx.clone();
+            let wire = accept_wire.clone();
+            conn_threads.push(thread::spawn(move || {
+                serve_conn(id, stream, security, high_water, clock, ev, wire)
+            }));
+        }
+        for h in conn_threads {
+            h.join().ok();
+        }
+    });
+
+    Ok((
+        Box::new(ThreadPerConn {
+            addr,
+            stop,
+            accept_handle: Some(accept_handle),
+            wire_tx: Some(wire_tx),
+            wire_rx,
+        }),
+        ev_rx,
+    ))
+}
+
+impl Transport for ThreadPerConn {
+    fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn shutdown(mut self: Box<Self>) -> Counters {
         self.stop.store(true, Ordering::Relaxed);
-        self.cmd_tx.send(Command::Stop).ok();
-        let result = self
-            .core_handle
-            .take()
-            .expect("not yet shut down")
-            .join()
-            .expect("core thread");
         // Wake the accept loop out of its blocking accept() so it can see
-        // the stop flag; it then joins every connection thread.
+        // the stop flag; it then joins every connection thread (each of
+        // which joined its own writer).
         TcpStream::connect(self.addr).ok();
         if let Some(h) = self.accept_handle.take() {
             h.join().ok();
         }
-        result
+        // All conn threads have exited and reported their shards; drop our
+        // sender so the drain terminates on disconnect instead of a timeout.
+        drop(self.wire_tx.take());
+        let mut wire = Counters::new();
+        while let Ok(shard) = self.wire_rx.recv() {
+            wire.merge(&shard);
+        }
+        wire
     }
 }
 
@@ -413,67 +721,147 @@ fn serve_conn(
     id: ConnId,
     stream: TcpStream,
     security: TcpSecurity,
+    high_water: usize,
     clock: Clock,
-    core_tx: Sender<CoreIn>,
+    events: Sender<TransportEvent>,
+    wire_tx: Sender<Counters>,
 ) {
     // A failed handshake never announced itself to the core, so it owes no
     // shard and sends nothing.
-    let Ok(conn) = Conn::establish(stream, security, clock) else {
+    let Ok(mut conn) = Conn::establish(stream, security, clock) else {
         return;
     };
+    conn.set_high_water(high_water);
     let (mut reader, writer) = conn.split();
     let (out_tx, out_rx) = unbounded::<Message>();
-    if core_tx.send(CoreIn::NewConn(id, out_tx)).is_err() {
+    if events
+        .send(TransportEvent::Connected(id, ConnHandle::chan(out_tx)))
+        .is_err()
+    {
         return;
     }
-    let writer_core = core_tx.clone();
-    let writer_handle = thread::spawn(move || writer_loop(writer, out_rx, writer_core));
+    let writer_wire = wire_tx.clone();
+    let writer_handle = thread::spawn(move || writer_loop(writer, out_rx, writer_wire));
     while let Ok(msg) = reader.recv() {
-        if core_tx.send(CoreIn::Msg(id, msg)).is_err() {
+        if events.send(TransportEvent::Msg(id, msg)).is_err() {
             break;
         }
     }
-    core_tx
-        .send(CoreIn::ReaderClosed(id, Box::new(reader.into_wire())))
-        .ok();
+    events.send(TransportEvent::Closed(id)).ok();
+    wire_tx.send(reader.into_wire()).ok();
     writer_handle.join().ok();
 }
 
 /// Writer side of a dispatcher connection: block until the core queues
 /// something, drain everything queued into the coalesced buffer, write it
-/// with one syscall, repeat. Exits when the core drops the channel (conn
+/// with one syscall, repeat. Exits when the core drops the handle (conn
 /// removed or shutdown) or the socket errors; on exit it closes the stream,
 /// which wakes this connection's blocked reader with EOF.
-fn writer_loop(mut writer: ConnWriter, out_rx: Receiver<Message>, core_tx: Sender<CoreIn>) {
+fn writer_loop(mut writer: ConnWriter, out_rx: Receiver<Message>, wire_tx: Sender<Counters>) {
     'conn: while let Ok(msg) = out_rx.recv() {
         let mut next = Some(msg);
         while let Some(m) = next.take() {
-            if writer.queue(&m).is_err() {
+            if writer.enqueue(&m).is_err() {
                 break 'conn;
             }
             next = out_rx.try_recv().ok();
         }
-        if writer.flush_queued().is_err() {
+        if writer.flush().is_err() {
             break;
         }
     }
-    let _ = writer.flush_queued();
+    let _ = writer.flush();
     writer.shutdown();
-    core_tx
-        .send(CoreIn::WriterClosed(Box::new(writer.into_wire())))
-        .ok();
+    wire_tx.send(writer.into_wire()).ok();
+}
+
+// ---------------------------------------------------------------------------
+// The dispatcher server and core
+// ---------------------------------------------------------------------------
+
+/// Handle to a running TCP dispatcher.
+pub struct DispatcherServer {
+    /// The bound address (connect executors/clients here).
+    pub addr: SocketAddr,
+    cmd_tx: Sender<Command>,
+    core_handle: Option<
+        JoinHandle<(
+            Vec<TaskRecord>,
+            falkon_core::dispatcher::DispatcherStats,
+            Recorder,
+        )>,
+    >,
+}
+
+/// Control-plane commands, on their own channel so `select!` can wake the
+/// core for shutdown without racing the data path.
+enum Command {
+    Stop,
+}
+
+impl DispatcherServer {
+    /// Bind and start a dispatcher on `127.0.0.1:0` (ephemeral port) with
+    /// the transport `config` selects.
+    pub fn start(config: ServerConfig) -> std::io::Result<Self> {
+        let (transport, ev_rx) = match config.transport {
+            TransportKind::ThreadPerConn => {
+                bind_thread_per_conn(config.security, config.flush_high_water)?
+            }
+            #[cfg(unix)]
+            TransportKind::Sharded { shards } => {
+                crate::shard::bind_sharded(config.security, config.flush_high_water, shards)?
+            }
+            #[cfg(not(unix))]
+            TransportKind::Sharded { .. } => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "sharded transport requires poll(2)",
+                ))
+            }
+        };
+        let addr = transport.addr();
+        let (cmd_tx, cmd_rx) = unbounded::<Command>();
+        let dispatcher = config.dispatcher;
+        let core_handle =
+            thread::spawn(move || dispatcher_core(dispatcher, transport, ev_rx, cmd_rx));
+        Ok(DispatcherServer {
+            addr,
+            cmd_tx,
+            core_handle: Some(core_handle),
+        })
+    }
+
+    /// Stop the server, returning dispatcher records, stats, and the merged
+    /// observability recorder — lifecycle events plus the wire shards of
+    /// *every* connection, surrendered by [`Transport::shutdown`] as the
+    /// transport's threads unwind.
+    pub fn shutdown(
+        mut self,
+    ) -> (
+        Vec<TaskRecord>,
+        falkon_core::dispatcher::DispatcherStats,
+        Recorder,
+    ) {
+        self.cmd_tx.send(Command::Stop).ok();
+        self.core_handle
+            .take()
+            .expect("not yet shut down")
+            .join()
+            .expect("core thread")
+    }
 }
 
 /// Upper bound on messages absorbed per wakeup before routing, so one
 /// chatty connection cannot starve deadline checks.
 const MAX_DRAIN: usize = 256;
 
-/// The dispatcher state machine driven by connection events. Blocks on
-/// `select!` over the data and command channels; the only timed wait is the
-/// machine's own next deadline.
+/// The dispatcher state machine driven by transport events. Blocks on
+/// `select!` over the event and command channels; the only timed wait is
+/// the machine's own next deadline.
 fn dispatcher_core(
     config: DispatcherConfig,
-    rx: Receiver<CoreIn>,
+    transport: Box<dyn Transport>,
+    rx: Receiver<TransportEvent>,
     cmd_rx: Receiver<Command>,
 ) -> (
     Vec<TaskRecord>,
@@ -482,16 +870,12 @@ fn dispatcher_core(
 ) {
     let clock = Clock::start();
     let mut d = Dispatcher::with_probe(config, Recorder::new());
-    let mut wire = Counters::new();
     let mut records = Vec::new();
-    let mut conns: HashMap<ConnId, Sender<Message>> = HashMap::new();
+    let mut conns: HashMap<ConnId, ConnHandle> = HashMap::new();
     let mut exec_conn: HashMap<ExecutorId, ConnId> = HashMap::new();
     let mut inst_conn: HashMap<InstanceId, ConnId> = HashMap::new();
     let mut conn_execs: HashMap<ConnId, Vec<ExecutorId>> = HashMap::new();
     let mut out = Vec::new();
-    // Reader + writer threads that have announced themselves (via NewConn)
-    // and not yet reported their wire shard back.
-    let mut live_halves = 0u64;
     loop {
         let first = match d.next_deadline() {
             Some(dl) => {
@@ -533,15 +917,12 @@ fn dispatcher_core(
         };
         let mut next = Some(first);
         let mut drained = 0usize;
-        while let Some(cin) = next.take() {
-            match cin {
-                CoreIn::NewConn(id, tx) => {
-                    conns.insert(id, tx);
-                    live_halves += 2;
+        while let Some(ev) = next.take() {
+            match ev {
+                TransportEvent::Connected(id, handle) => {
+                    conns.insert(id, handle);
                 }
-                CoreIn::ReaderClosed(id, shard) => {
-                    wire.merge(&shard);
-                    live_halves = live_halves.saturating_sub(1);
+                TransportEvent::Closed(id) => {
                     conns.remove(&id);
                     // Any executors on this connection are lost.
                     for exec in conn_execs.remove(&id).unwrap_or_default() {
@@ -562,11 +943,7 @@ fn dispatcher_core(
                         None,
                     );
                 }
-                CoreIn::WriterClosed(shard) => {
-                    wire.merge(&shard);
-                    live_halves = live_halves.saturating_sub(1);
-                }
-                CoreIn::Msg(id, msg) => {
+                TransportEvent::Msg(id, msg) => {
                     // Remember which connection each executor registered on.
                     if let Message::Register { executor, .. } = &msg {
                         exec_conn.insert(*executor, id);
@@ -597,26 +974,13 @@ fn dispatcher_core(
             }
         }
     }
-    // Shutdown: dropping every outbound sender releases the writer threads;
-    // each flushes, closes its socket (waking its reader with EOF), and both
-    // halves report their wire shards back before exiting. Absorb them all
-    // so no connection's byte counts are lost. The timeout only guards
-    // against a wedged peer; a clean shutdown never waits it out.
+    // Shutdown. Ordering matters: dropping every ConnHandle (and the event
+    // receiver, whose queue may hold not-yet-seen handles) releases the
+    // transport's writers; only then can `Transport::shutdown` join its
+    // threads and surrender the merged wire counters of every connection.
     drop(conns);
-    while live_halves > 0 {
-        match rx.recv_timeout(Duration::from_secs(10)) {
-            Ok(CoreIn::ReaderClosed(_, shard)) | Ok(CoreIn::WriterClosed(shard)) => {
-                wire.merge(&shard);
-                live_halves -= 1;
-            }
-            // A handshake that completed after we left the main loop: drop
-            // its sender immediately so the connection unwinds, and expect
-            // its two shards.
-            Ok(CoreIn::NewConn(_, _tx)) => live_halves += 2,
-            Ok(CoreIn::Msg(..)) => {}
-            Err(_) => break,
-        }
-    }
+    drop(rx);
+    let wire = transport.shutdown();
     let stats = d.stats();
     let mut obs = d.probe().clone();
     obs.merge_counters(&wire);
@@ -628,7 +992,7 @@ fn route<P: falkon_obs::Probe>(
     _d: &mut Dispatcher<P>,
     out: &mut Vec<DispatcherAction>,
     records: &mut Vec<TaskRecord>,
-    conns: &HashMap<ConnId, Sender<Message>>,
+    conns: &HashMap<ConnId, ConnHandle>,
     exec_conn: &mut HashMap<ExecutorId, ConnId>,
     inst_conn: &mut HashMap<InstanceId, ConnId>,
     current: Option<ConnId>,
@@ -637,8 +1001,8 @@ fn route<P: falkon_obs::Probe>(
         match act {
             DispatcherAction::ToExecutor { executor, msg } => {
                 if let Some(conn) = exec_conn.get(&executor) {
-                    if let Some(tx) = conns.get(conn) {
-                        tx.send(msg).ok();
+                    if let Some(handle) = conns.get(conn) {
+                        handle.send(msg);
                     }
                 }
             }
@@ -650,8 +1014,8 @@ fn route<P: falkon_obs::Probe>(
                     }
                 }
                 if let Some(conn) = inst_conn.get(&instance) {
-                    if let Some(tx) = conns.get(conn) {
-                        tx.send(msg).ok();
+                    if let Some(handle) = conns.get(conn) {
+                        handle.send(msg);
                     }
                 }
             }
@@ -660,6 +1024,10 @@ fn route<P: falkon_obs::Probe>(
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Peers
+// ---------------------------------------------------------------------------
 
 /// What a finished TCP peer observed: work done plus the merged wire-level
 /// counters from both directions of its connection — enough for a test to
@@ -708,31 +1076,36 @@ fn reader_pump(mut reader: ConnReader, tx: Sender<Message>) -> (Counters, Option
 }
 
 /// Run an executor against a TCP dispatcher until the connection closes or
-/// the idle-release policy fires. Returns tasks executed.
+/// the idle-release policy fires, with the default `NoopProbe` mounted on
+/// the machine. See [`run_executor_probe`] to mount a real probe.
 pub fn run_executor(
     addr: SocketAddr,
     id: ExecutorId,
     config: ExecutorConfig,
     security: TcpSecurity,
-) -> std::io::Result<u64> {
-    run_executor_obs(addr, id, config, security).map(|o| o.tasks)
+) -> std::io::Result<TcpRunOutcome> {
+    run_executor_probe(addr, id, config, security, NoopProbe).map(|(outcome, _)| outcome)
 }
 
-/// [`run_executor`], additionally returning the connection's merged
-/// wire-level counters.
-pub fn run_executor_obs(
+/// Run an executor with `probe` mounted on the sans-io machine, returning
+/// the run outcome (tasks + merged wire counters) alongside the probe.
+/// This is the single executor entry point; [`run_executor`] is the
+/// `NoopProbe` convenience wrapper.
+pub fn run_executor_probe<P: Probe>(
     addr: SocketAddr,
     id: ExecutorId,
     config: ExecutorConfig,
     security: TcpSecurity,
-) -> std::io::Result<TcpRunOutcome> {
+    probe: P,
+) -> std::io::Result<(TcpRunOutcome, P)> {
     let clock = Clock::start();
     let stream = TcpStream::connect(addr)?;
     let conn = Conn::establish(stream, security, clock)?;
     let (reader, mut writer) = conn.split();
     let (in_tx, in_rx) = unbounded::<Message>();
     let reader_handle = thread::spawn(move || reader_pump(reader, in_tx));
-    let result = executor_pump(&clock, &mut writer, &in_rx, id, config);
+    let mut machine = Executor::with_probe(id, "tcp-exec", config, probe);
+    let result = executor_pump(&clock, &mut writer, &in_rx, &mut machine);
     // Unblock the reader (EOF on our own socket) and collect its shard.
     writer.shutdown();
     let (reader_wire, reader_err) = match reader_handle.join() {
@@ -741,25 +1114,24 @@ pub fn run_executor_obs(
     };
     let mut wire = writer.into_wire();
     wire.merge(&reader_wire);
+    let probe = machine.into_probe();
     match result? {
-        PumpEnd::Clean(tasks) => Ok(TcpRunOutcome { tasks, wire }),
+        PumpEnd::Clean(tasks) => Ok((TcpRunOutcome { tasks, wire }, probe)),
         // The dispatcher closing on us is a normal end-of-run; surface any
         // real socket error the reader hit instead.
         PumpEnd::Disconnected(tasks) => match reader_err {
-            None => Ok(TcpRunOutcome { tasks, wire }),
+            None => Ok((TcpRunOutcome { tasks, wire }, probe)),
             Some(e) => Err(e),
         },
     }
 }
 
-fn executor_pump(
+fn executor_pump<P: Probe>(
     clock: &Clock,
     writer: &mut ConnWriter,
     in_rx: &Receiver<Message>,
-    id: ExecutorId,
-    config: ExecutorConfig,
+    machine: &mut Executor<P>,
 ) -> std::io::Result<PumpEnd> {
-    let mut machine = Executor::new(id, "tcp-exec", config);
     let mut actions = Vec::new();
     machine.on_event(clock.now_us(), ExecutorEvent::Start, &mut actions);
     let mut queue: Vec<ExecutorEvent> = Vec::new();
@@ -769,7 +1141,7 @@ fn executor_pump(
         while !actions.is_empty() || !queue.is_empty() {
             for act in std::mem::take(&mut actions) {
                 match act {
-                    ExecutorAction::Send(msg) => writer.queue(&msg)?,
+                    ExecutorAction::Send(msg) => writer.enqueue(&msg)?,
                     ExecutorAction::Run(spec) => {
                         let t0 = clock.now_us();
                         let mut result = crate::exec::execute_builtin(&spec);
@@ -777,7 +1149,7 @@ fn executor_pump(
                         queue.push(ExecutorEvent::TaskCompleted { result });
                     }
                     ExecutorAction::Shutdown => {
-                        writer.flush_queued()?;
+                        writer.flush()?;
                         return Ok(PumpEnd::Clean(machine.tasks_run));
                     }
                 }
@@ -786,7 +1158,7 @@ fn executor_pump(
                 machine.on_event(clock.now_us(), ev, &mut actions);
             }
         }
-        writer.flush_queued()?;
+        writer.flush()?;
         // Block for the next inbound message; the only timed wait is the
         // machine's own idle-release deadline, when it has armed one.
         let received = match machine.idle_deadline_us() {
@@ -816,20 +1188,11 @@ fn executor_pump(
     }
 }
 
-/// Run a client workload against a TCP dispatcher; returns the completion
-/// count and elapsed µs.
+/// Run a client workload against a TCP dispatcher, returning completions,
+/// elapsed µs, and the connection's merged wire counters. (The client
+/// machine mounts no probe — its observable behaviour is the completion
+/// records the dispatcher keeps.)
 pub fn run_client(
-    addr: SocketAddr,
-    tasks: Vec<TaskSpec>,
-    bundle: BundleConfig,
-    security: TcpSecurity,
-) -> std::io::Result<(u64, u64)> {
-    run_client_obs(addr, tasks, bundle, security).map(|o| (o.done, o.elapsed_us))
-}
-
-/// [`run_client`], additionally returning the connection's merged
-/// wire-level counters.
-pub fn run_client_obs(
     addr: SocketAddr,
     tasks: Vec<TaskSpec>,
     bundle: BundleConfig,
@@ -903,22 +1266,33 @@ fn flush_client(writer: &mut ConnWriter, actions: &mut Vec<ClientAction>) -> std
     // Queue every outbound message, then write the whole batch once.
     for act in actions.drain(..) {
         if let ClientAction::Send(msg) = act {
-            writer.queue(&msg)?;
+            writer.enqueue(&msg)?;
         }
     }
-    writer.flush_queued()
+    writer.flush()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn deploy(n_exec: usize, security: TcpSecurity, n_tasks: u64) -> (u64, u64) {
-        let config = DispatcherConfig {
-            client_notify_batch: 64,
-            ..DispatcherConfig::default()
+    fn deploy(
+        n_exec: usize,
+        security: TcpSecurity,
+        n_tasks: u64,
+        transport: TransportKind,
+    ) -> (u64, u64) {
+        let mut builder = ServerConfig::builder()
+            .dispatcher(DispatcherConfig {
+                client_notify_batch: 64,
+                ..DispatcherConfig::default()
+            })
+            .security(security);
+        builder = match transport {
+            TransportKind::ThreadPerConn => builder.thread_per_conn(),
+            TransportKind::Sharded { shards } => builder.sharded(shards),
         };
-        let server = DispatcherServer::start(config, security).expect("bind");
+        let server = DispatcherServer::start(builder.build().expect("valid config")).expect("bind");
         let addr = server.addr;
         let mut execs = Vec::new();
         for i in 0..n_exec {
@@ -928,8 +1302,7 @@ mod tests {
             }));
         }
         let tasks: Vec<TaskSpec> = (0..n_tasks).map(|i| TaskSpec::sleep(i, 0)).collect();
-        let (done, elapsed) =
-            run_client(addr, tasks, BundleConfig::of(50), security).expect("client run");
+        let client = run_client(addr, tasks, BundleConfig::of(50), security).expect("client run");
         let (records, stats, obs) = server.shutdown();
         for e in execs {
             e.join().expect("executor thread").ok();
@@ -940,24 +1313,63 @@ mod tests {
             obs.counters.count(falkon_obs::ObsEventKind::TaskCompleted),
             n_tasks
         );
-        (done, elapsed)
+        (client.done, client.elapsed_us)
     }
 
     #[test]
     fn tcp_plain_roundtrip() {
-        let (done, _) = deploy(2, None, 100);
+        let (done, _) = deploy(2, None, 100, TransportKind::ThreadPerConn);
         assert_eq!(done, 100);
     }
 
     #[test]
     fn tcp_secure_roundtrip() {
-        let (done, _) = deploy(2, Some(0xFA1C0), 100);
+        let (done, _) = deploy(2, Some(0xFA1C0), 100, TransportKind::ThreadPerConn);
         assert_eq!(done, 100);
     }
 
     #[test]
     fn tcp_many_executors() {
-        let (done, _) = deploy(8, None, 400);
+        let (done, _) = deploy(8, None, 400, TransportKind::ThreadPerConn);
         assert_eq!(done, 400);
+    }
+
+    #[test]
+    fn tcp_sharded_plain_roundtrip() {
+        let (done, _) = deploy(4, None, 200, TransportKind::Sharded { shards: 2 });
+        assert_eq!(done, 200);
+    }
+
+    #[test]
+    fn tcp_sharded_secure_roundtrip() {
+        let (done, _) = deploy(3, Some(0xFA1C0), 150, TransportKind::Sharded { shards: 2 });
+        assert_eq!(done, 150);
+    }
+
+    #[test]
+    fn tcp_sharded_single_shard() {
+        let (done, _) = deploy(4, None, 120, TransportKind::Sharded { shards: 1 });
+        assert_eq!(done, 120);
+    }
+
+    #[test]
+    fn builder_rejects_zero_shards() {
+        assert_eq!(
+            ServerConfig::builder().sharded(0).build().unwrap_err(),
+            ConfigError::ZeroShards
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_high_water() {
+        assert_eq!(
+            ServerConfig::builder()
+                .flush_high_water(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroHighWater
+        );
+        let err = ServerConfig::builder().flush_high_water(0).build();
+        assert!(format!("{}", err.unwrap_err()).contains("high-water"));
     }
 }

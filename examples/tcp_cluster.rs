@@ -16,19 +16,24 @@ use falkon::core::DispatcherConfig;
 use falkon::proto::bundle::BundleConfig;
 use falkon::proto::message::ExecutorId;
 use falkon::proto::task::TaskSpec;
-use falkon::rt::tcp::{run_client, run_executor, DispatcherServer};
+use falkon::rt::tcp::{run_client, run_executor, DispatcherServer, ServerConfig};
 use std::thread;
 
 fn main() -> std::io::Result<()> {
     // Security on: every connection handshakes and seals all frames.
     let security = Some(0xFA1C0);
-    let server = DispatcherServer::start(
-        DispatcherConfig {
+    // Mount the sharded transport: two event-loop threads multiplex every
+    // connection (swap `.sharded(2)` for `.thread_per_conn()` to compare).
+    let config = ServerConfig::builder()
+        .dispatcher(DispatcherConfig {
             client_notify_batch: 100,
             ..DispatcherConfig::default()
-        },
-        security,
-    )?;
+        })
+        .security(security)
+        .sharded(2)
+        .build()
+        .expect("valid config");
+    let server = DispatcherServer::start(config)?;
     let addr = server.addr;
     println!("dispatcher listening on {addr}");
 
@@ -44,17 +49,18 @@ fn main() -> std::io::Result<()> {
     }
 
     let tasks: Vec<TaskSpec> = (0..2_000).map(|i| TaskSpec::sleep(i, 0)).collect();
-    let (done, elapsed_us) = run_client(addr, tasks, BundleConfig::of(100), security)?;
+    let client = run_client(addr, tasks, BundleConfig::of(100), security)?;
     println!(
-        "client: {done} tasks complete in {:.2}s  ({:.0} tasks/s over real sockets)",
-        elapsed_us as f64 / 1e6,
-        done as f64 / (elapsed_us as f64 / 1e6)
+        "client: {} tasks complete in {:.2}s  ({:.0} tasks/s over real sockets)",
+        client.done,
+        client.elapsed_us as f64 / 1e6,
+        client.done as f64 / (client.elapsed_us as f64 / 1e6)
     );
 
     // Idle release: executors deregister themselves and exit.
     let mut total_run = 0;
     for e in executors {
-        total_run += e.join().expect("executor thread")?;
+        total_run += e.join().expect("executor thread")?.tasks;
     }
     println!("executors self-released after idling; tasks run per pool: {total_run}");
 

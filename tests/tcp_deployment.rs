@@ -11,7 +11,7 @@ use falkon::core::DispatcherConfig;
 use falkon::proto::bundle::BundleConfig;
 use falkon::proto::message::ExecutorId;
 use falkon::proto::task::TaskSpec;
-use falkon::rt::tcp::{run_client, run_executor, DispatcherServer};
+use falkon::rt::tcp::{run_client, run_executor, DispatcherServer, ServerConfig};
 use std::thread;
 
 fn tasks(n: u64) -> Vec<TaskSpec> {
@@ -20,14 +20,14 @@ fn tasks(n: u64) -> Vec<TaskSpec> {
 
 #[test]
 fn tcp_plain_end_to_end() {
-    let server = DispatcherServer::start(
-        DispatcherConfig {
+    let config = ServerConfig::builder()
+        .dispatcher(DispatcherConfig {
             client_notify_batch: 50,
             ..DispatcherConfig::default()
-        },
-        None,
-    )
-    .expect("bind");
+        })
+        .build()
+        .expect("valid config");
+    let server = DispatcherServer::start(config).expect("bind");
     let addr = server.addr;
     let execs: Vec<_> = (0..4)
         .map(|i| {
@@ -36,8 +36,8 @@ fn tcp_plain_end_to_end() {
             })
         })
         .collect();
-    let (done, _) = run_client(addr, tasks(300), BundleConfig::of(50), None).expect("client");
-    assert_eq!(done, 300);
+    let client = run_client(addr, tasks(300), BundleConfig::of(50), None).expect("client");
+    assert_eq!(client.done, 300);
     let (records, stats, _obs) = server.shutdown();
     assert_eq!(records.len(), 300);
     assert_eq!(stats.completed, 300);
@@ -49,14 +49,15 @@ fn tcp_plain_end_to_end() {
 #[test]
 fn tcp_secure_with_idle_release() {
     let psk = Some(0xFA1C0);
-    let server = DispatcherServer::start(
-        DispatcherConfig {
+    let config = ServerConfig::builder()
+        .dispatcher(DispatcherConfig {
             client_notify_batch: 50,
             ..DispatcherConfig::default()
-        },
-        psk,
-    )
-    .expect("bind");
+        })
+        .security(psk)
+        .build()
+        .expect("valid config");
+    let server = DispatcherServer::start(config).expect("bind");
     let addr = server.addr;
     let execs: Vec<_> = (0..3)
         .map(|i| {
@@ -73,12 +74,12 @@ fn tcp_secure_with_idle_release() {
             })
         })
         .collect();
-    let (done, _) = run_client(addr, tasks(200), BundleConfig::of(40), psk).expect("client");
-    assert_eq!(done, 200);
+    let client = run_client(addr, tasks(200), BundleConfig::of(40), psk).expect("client");
+    assert_eq!(client.done, 200);
     // Executors self-release once idle: their threads terminate on their own.
     let mut ran = 0;
     for e in execs {
-        ran += e.join().expect("join").expect("clean exit");
+        ran += e.join().expect("join").expect("clean exit").tasks;
     }
     assert_eq!(ran, 200, "every task ran exactly once across the pool");
     server.shutdown();
@@ -86,7 +87,11 @@ fn tcp_secure_with_idle_release() {
 
 #[test]
 fn tcp_wrong_psk_executor_cannot_join() {
-    let server = DispatcherServer::start(DispatcherConfig::default(), Some(1)).expect("bind");
+    let config = ServerConfig::builder()
+        .security(Some(1))
+        .build()
+        .expect("valid config");
+    let server = DispatcherServer::start(config).expect("bind");
     let addr = server.addr;
     let r = run_executor(addr, ExecutorId(9), ExecutorConfig::default(), Some(2));
     assert!(r.is_err(), "handshake with wrong PSK must fail");
@@ -95,14 +100,14 @@ fn tcp_wrong_psk_executor_cannot_join() {
 
 #[test]
 fn tcp_executor_joining_late_still_gets_work() {
-    let server = DispatcherServer::start(
-        DispatcherConfig {
+    let config = ServerConfig::builder()
+        .dispatcher(DispatcherConfig {
             client_notify_batch: 10,
             ..DispatcherConfig::default()
-        },
-        None,
-    )
-    .expect("bind");
+        })
+        .build()
+        .expect("valid config");
+    let server = DispatcherServer::start(config).expect("bind");
     let addr = server.addr;
     // Client submits first; executor arrives afterwards.
     let client = thread::spawn(move || run_client(addr, tasks(50), BundleConfig::of(10), None));
@@ -118,8 +123,8 @@ fn tcp_executor_joining_late_still_gets_work() {
             None,
         )
     });
-    let (done, _) = client.join().expect("client thread").expect("client io");
-    assert_eq!(done, 50);
-    assert_eq!(exec.join().expect("join").expect("io"), 50);
+    let out = client.join().expect("client thread").expect("client io");
+    assert_eq!(out.done, 50);
+    assert_eq!(exec.join().expect("join").expect("io").tasks, 50);
     server.shutdown();
 }

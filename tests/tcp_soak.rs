@@ -21,7 +21,7 @@ use falkon::obs::{Counters, ObsEventKind};
 use falkon::proto::bundle::BundleConfig;
 use falkon::proto::message::ExecutorId;
 use falkon::proto::task::TaskSpec;
-use falkon::rt::tcp::{run_client_obs, run_executor_obs, DispatcherServer, TcpSecurity};
+use falkon::rt::tcp::{run_client, run_executor, DispatcherServer, ServerConfig, TcpSecurity};
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::thread;
@@ -50,24 +50,25 @@ fn wire_total(c: &Counters, kind: ObsEventKind) -> (u64, u64) {
 /// Run `n_exec` executors × `n_tasks` mixed-size tasks to completion and
 /// check completion exactness plus both directions of the byte balance.
 fn soak(n_exec: u64, n_tasks: u64, security: TcpSecurity) {
-    let server = DispatcherServer::start(
-        DispatcherConfig {
+    let config = ServerConfig::builder()
+        .dispatcher(DispatcherConfig {
             client_notify_batch: 64,
             ..DispatcherConfig::default()
-        },
-        security,
-    )
-    .expect("bind");
+        })
+        .security(security)
+        .build()
+        .expect("valid config");
+    let server = DispatcherServer::start(config).expect("bind");
     let addr = server.addr;
     let execs: Vec<_> = (0..n_exec)
         .map(|i| {
             thread::spawn(move || {
-                run_executor_obs(addr, ExecutorId(i), ExecutorConfig::default(), security)
+                run_executor(addr, ExecutorId(i), ExecutorConfig::default(), security)
             })
         })
         .collect();
 
-    let client = run_client_obs(
+    let client = run_client(
         addr,
         mixed_size_tasks(n_tasks),
         BundleConfig::of(50),
@@ -136,19 +137,20 @@ fn soak_secure_wire_bytes_balance() {
 /// stay consistent (nothing recorded twice, nothing half-recorded).
 #[test]
 fn shutdown_under_load_joins_cleanly() {
-    let server = DispatcherServer::start(DispatcherConfig::default(), None).expect("bind");
+    let config = ServerConfig::builder().build().expect("valid config");
+    let server = DispatcherServer::start(config).expect("bind");
     let addr = server.addr;
     let execs: Vec<_> = (0..4)
         .map(|i| {
             thread::spawn(move || {
-                run_executor_obs(addr, ExecutorId(i), ExecutorConfig::default(), None)
+                run_executor(addr, ExecutorId(i), ExecutorConfig::default(), None)
             })
         })
         .collect();
     // 2000 × 1 ms tasks on 4 executors ≈ 500 ms of work: the shutdown below
     // lands while submits, dispatches, and results are all in flight.
     let client = thread::spawn(move || {
-        run_client_obs(
+        run_client(
             addr,
             (0..2000).map(|i| TaskSpec::sleep_us(i, 1_000)).collect(),
             BundleConfig::of(100),

@@ -22,8 +22,11 @@ pub mod channel {
         receiver_alive: bool,
         /// Threads blocked in `recv`/`recv_timeout`.
         sleepers: usize,
-        /// `select!` sessions parked on this channel.
-        waiters: Vec<Arc<Signal>>,
+        /// Readiness waiters: `select!` sessions parked on this channel
+        /// (one-shot [`Signal`]s) plus persistent [`SelectWake`] watchers
+        /// registered with [`Receiver::watch`]. Every send and the final
+        /// disconnect fire all of them.
+        waiters: Vec<Arc<dyn SelectWake>>,
     }
 
     struct Chan<T> {
@@ -39,7 +42,7 @@ pub mod channel {
                 ready.notify_all();
             }
             for w in &state.waiters {
-                w.fire();
+                w.wake();
             }
         }
     }
@@ -137,6 +140,27 @@ pub mod channel {
             Iter { rx: self }
         }
 
+        /// Register a persistent readiness watcher: `w.wake()` fires on
+        /// every send into this channel and once on disconnect. Unlike a
+        /// `select!` session's one-shot [`Signal`], a watcher stays
+        /// registered until [`Receiver::unwatch`]. This is the event-loop
+        /// integration point: a transport shard parks in `poll(2)` on a
+        /// wake pipe and registers a pipe-writing watcher here, so a plain
+        /// channel `send` doubles as an I/O readiness event (the eventfd
+        /// idiom, without an async runtime).
+        pub fn watch(&self, w: Arc<dyn SelectWake>) {
+            let mut st = self.0.state.lock().unwrap();
+            st.waiters.push(w);
+        }
+
+        /// Remove a watcher registered with [`Receiver::watch`].
+        pub fn unwatch(&self, w: &Arc<dyn SelectWake>) {
+            let mut st = self.0.state.lock().unwrap();
+            let target = Arc::as_ptr(w) as *const ();
+            st.waiters
+                .retain(|x| Arc::as_ptr(x) as *const () != target);
+        }
+
         // -- `select!` support (used by the macro; not part of the real
         //    crossbeam public API, which hides the equivalent machinery
         //    behind its own macro). --
@@ -150,7 +174,9 @@ pub mod channel {
         #[doc(hidden)]
         pub fn select_unregister(&self, signal: &Arc<Signal>) {
             let mut st = self.0.state.lock().unwrap();
-            st.waiters.retain(|w| !Arc::ptr_eq(w, signal));
+            let target = Arc::as_ptr(signal) as *const ();
+            st.waiters
+                .retain(|w| Arc::as_ptr(w) as *const () != target);
         }
 
         /// Ready = a value is queued or the channel is disconnected (both
@@ -207,6 +233,23 @@ pub mod channel {
             ready: Condvar::new(),
         });
         (Sender(chan.clone()), Receiver(chan))
+    }
+
+    /// A readiness sink a channel can fire: implemented by [`Signal`] (park
+    /// a `select!` session) and by external notifiers such as a transport
+    /// shard's wake pipe (turn a channel send into an I/O readiness event a
+    /// `poll(2)` loop observes). `wake` must be cheap, non-blocking, and
+    /// idempotent — it runs under the channel lock on every send.
+    pub trait SelectWake: Send + Sync {
+        /// Called on every send into a watched channel, and once when the
+        /// channel disconnects.
+        fn wake(&self);
+    }
+
+    impl SelectWake for Signal {
+        fn wake(&self) {
+            self.fire();
+        }
     }
 
     /// One `select!` session's parking spot: fired by any registered
@@ -381,6 +424,30 @@ pub mod channel {
                 }
             }
             assert_eq!(seen, vec![1, 2]);
+        }
+
+        #[test]
+        fn watch_fires_on_send_and_disconnect() {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            struct CountWake(AtomicUsize);
+            impl SelectWake for CountWake {
+                fn wake(&self) {
+                    self.0.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            let (tx, rx) = unbounded::<u32>();
+            let counter = Arc::new(CountWake(AtomicUsize::new(0)));
+            let watcher: Arc<dyn SelectWake> = counter.clone();
+            rx.watch(watcher.clone());
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(counter.0.load(Ordering::SeqCst), 2);
+            rx.unwatch(&watcher);
+            tx.send(3).unwrap();
+            assert_eq!(counter.0.load(Ordering::SeqCst), 2, "unwatched");
+            rx.watch(watcher);
+            drop(tx);
+            assert_eq!(counter.0.load(Ordering::SeqCst), 3, "disconnect fires");
         }
 
         #[test]
