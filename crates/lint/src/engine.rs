@@ -1,6 +1,14 @@
 //! Workspace walking and rule orchestration.
+//!
+//! Every source file is read and lexed exactly once; each file visit runs
+//! all selected rules over the shared [`SourceFile`] before moving on, so
+//! adding a rule costs one pure function call per file, not another pass
+//! over the tree. Two rules need cross-file state and run after the pass:
+//! registry completeness (rule 5) and lock-order cycle detection (rule 9's
+//! graph half).
 
 use crate::allow::{AllowParseError, Allowlist};
+use crate::conc::{self, LockEdge};
 use crate::diag::{Diagnostic, Rule};
 use crate::lexer::SourceFile;
 use crate::rules;
@@ -41,9 +49,14 @@ impl std::error::Error for EngineError {}
 /// Lint the workspace rooted at `root` using the allowlists under
 /// `root/crates/lint/allow/`.
 pub fn lint_workspace(root: &Path) -> Result<LintReport, EngineError> {
+    lint_workspace_filtered(root, &Rule::ALL)
+}
+
+/// [`lint_workspace`] restricted to `selected` rules (`--rule` filters).
+pub fn lint_workspace_filtered(root: &Path, selected: &[Rule]) -> Result<LintReport, EngineError> {
     let files = collect_sources(root)?;
     let allow_dir = root.join("crates/lint/allow");
-    lint_files(&files, Some(&allow_dir))
+    lint_files_filtered(&files, Some(&allow_dir), selected)
 }
 
 /// Lint pre-lexed sources (the fixture tests call this directly).
@@ -52,23 +65,68 @@ pub fn lint_files(
     files: &[SourceFile],
     allow_dir: Option<&Path>,
 ) -> Result<LintReport, EngineError> {
+    lint_files_filtered(files, allow_dir, &Rule::ALL)
+}
+
+/// [`lint_files`] restricted to `selected` rules. One pass over `files`:
+/// each file's diagnostics for all selected rules are gathered in a single
+/// visit, then the cross-file rules (registry, lock cycles) and per-rule
+/// allowlists are applied.
+pub fn lint_files_filtered(
+    files: &[SourceFile],
+    allow_dir: Option<&Path>,
+    selected: &[Rule],
+) -> Result<LintReport, EngineError> {
     let mut report = LintReport {
         files_scanned: files.len(),
         ..LintReport::default()
     };
-    for rule in Rule::ALL {
-        let raw: Vec<Diagnostic> = match rule {
-            Rule::SansIo => files.iter().flat_map(rules::check_sans_io).collect(),
-            Rule::DecodePanic => files.iter().flat_map(rules::check_decode_panic).collect(),
-            Rule::ProbeProvenance => files
-                .iter()
-                .flat_map(rules::check_probe_provenance)
-                .collect(),
-            Rule::Calibration => files.iter().flat_map(rules::check_calibration).collect(),
-            Rule::Registry => registry_diags(files),
-            Rule::RtCadence => files.iter().flat_map(rules::check_rt_cadence).collect(),
-            Rule::StaleAllow => Vec::new(),
-        };
+    let on = |r: Rule| selected.contains(&r);
+    // Bucket diagnostics per rule so each allowlist applies only to its
+    // own rule's findings.
+    let mut buckets: Vec<(Rule, Vec<Diagnostic>)> =
+        selected.iter().map(|&r| (r, Vec::new())).collect();
+    let mut push = |rule: Rule, diags: Vec<Diagnostic>| {
+        if let Some((_, b)) = buckets.iter_mut().find(|(r, _)| *r == rule) {
+            b.extend(diags);
+        }
+    };
+    let mut lock_edges: Vec<LockEdge> = Vec::new();
+    for f in files {
+        if on(Rule::SansIo) {
+            push(Rule::SansIo, rules::check_sans_io(f));
+        }
+        if on(Rule::DecodePanic) {
+            push(Rule::DecodePanic, rules::check_decode_panic(f));
+        }
+        if on(Rule::ProbeProvenance) {
+            push(Rule::ProbeProvenance, rules::check_probe_provenance(f));
+        }
+        if on(Rule::Calibration) {
+            push(Rule::Calibration, rules::check_calibration(f));
+        }
+        if on(Rule::RtCadence) {
+            push(Rule::RtCadence, rules::check_rt_cadence(f));
+        }
+        if on(Rule::UnsafeSafety) {
+            push(Rule::UnsafeSafety, conc::check_unsafe_safety(f));
+        }
+        if on(Rule::AtomicProtocol) {
+            push(Rule::AtomicProtocol, conc::check_atomic_protocol(f));
+        }
+        if on(Rule::LockDiscipline) {
+            let (edges, diags) = conc::lock_edges_and_blocking(f);
+            lock_edges.extend(edges);
+            push(Rule::LockDiscipline, diags);
+        }
+    }
+    if on(Rule::Registry) {
+        push(Rule::Registry, registry_diags(files));
+    }
+    if on(Rule::LockDiscipline) {
+        push(Rule::LockDiscipline, conc::lock_cycle_diags(&lock_edges));
+    }
+    for (rule, raw) in buckets {
         let (allowlist, allow_path) = load_allowlist(allow_dir, rule)?;
         let (kept, suppressed, used) = allowlist.apply(raw);
         report.diags.extend(kept);
@@ -128,24 +186,36 @@ fn load_allowlist(
     }
 }
 
-/// Collect and lex every non-test `.rs` source under `crates/*/src`
-/// (integration `tests/`, `benches/`, and `examples/` trees are exempt by
-/// construction — the invariants govern shipped library code).
+/// Collect and lex every non-test `.rs` source under `crates/*/src`,
+/// `vendor/*/src`, and the root facade `src/` (integration `tests/`,
+/// `benches/`, and `examples/` trees are exempt by construction — the
+/// invariants govern shipped library code). Vendored stand-ins are scanned
+/// because the concurrency rules (7–9) apply to every line the workspace
+/// actually runs, not just the lines it authored.
 pub fn collect_sources(root: &Path) -> Result<Vec<SourceFile>, EngineError> {
-    let crates_dir = root.join("crates");
     let mut files = Vec::new();
-    let entries = fs::read_dir(&crates_dir)
-        .map_err(|e| EngineError(format!("reading {}: {e}", crates_dir.display())))?;
-    let mut crate_dirs: Vec<PathBuf> = entries
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| p.is_dir())
-        .collect();
-    crate_dirs.sort();
-    for crate_dir in crate_dirs {
-        let src = crate_dir.join("src");
-        if src.is_dir() {
-            walk_rs(&src, root, &mut files)?;
+    for tree in ["crates", "vendor"] {
+        let dir = root.join(tree);
+        if !dir.is_dir() {
+            continue;
         }
+        let entries = fs::read_dir(&dir)
+            .map_err(|e| EngineError(format!("reading {}: {e}", dir.display())))?;
+        let mut crate_dirs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for crate_dir in crate_dirs {
+            let src = crate_dir.join("src");
+            if src.is_dir() {
+                walk_rs(&src, root, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        walk_rs(&root_src, root, &mut files)?;
     }
     files.sort_by(|a, b| a.path.cmp(&b.path));
     Ok(files)
@@ -190,5 +260,50 @@ mod tests {
         assert_eq!(r.files_scanned, 2);
         assert_eq!(r.diags.len(), 2);
         assert!(r.diags[0].path < r.diags[1].path);
+    }
+
+    #[test]
+    fn rule_filter_restricts_findings() {
+        let files = vec![
+            SourceFile::parse(
+                "crates/core/src/bad.rs",
+                "fn f() { let t = Instant::now(); }",
+            ),
+            SourceFile::parse("crates/proto/src/wire.rs", "fn g(x: &[u8]) { x[0]; }"),
+        ];
+        let r = lint_files_filtered(&files, None, &[Rule::DecodePanic]).unwrap();
+        assert_eq!(r.diags.len(), 1);
+        assert_eq!(r.diags[0].rule, Rule::DecodePanic);
+    }
+
+    #[test]
+    fn lock_cycles_cross_file_boundaries() {
+        // a→b in one file, b→a in another, same crate: still a cycle.
+        let files = vec![
+            SourceFile::parse(
+                "crates/pool/src/x.rs",
+                "fn f(s: &S) { let g = s.a.lock().unwrap(); s.b.lock().unwrap().push(1); drop(g); }",
+            ),
+            SourceFile::parse(
+                "crates/pool/src/y.rs",
+                "fn f(s: &S) { let g = s.b.lock().unwrap(); s.a.lock().unwrap().push(1); drop(g); }",
+            ),
+        ];
+        let r = lint_files_filtered(&files, None, &[Rule::LockDiscipline]).unwrap();
+        assert_eq!(r.diags.len(), 1, "{:#?}", r.diags);
+        assert!(r.diags[0].message.contains("lock-order cycle"));
+        // Same field names in *different* crates never alias.
+        let files = vec![
+            SourceFile::parse(
+                "crates/pool/src/x.rs",
+                "fn f(s: &S) { let g = s.a.lock().unwrap(); s.b.lock().unwrap().push(1); drop(g); }",
+            ),
+            SourceFile::parse(
+                "vendor/crossbeam/src/y.rs",
+                "fn f(s: &S) { let g = s.b.lock().unwrap(); s.a.lock().unwrap().push(1); drop(g); }",
+            ),
+        ];
+        let r = lint_files_filtered(&files, None, &[Rule::LockDiscipline]).unwrap();
+        assert!(r.diags.is_empty(), "{:#?}", r.diags);
     }
 }

@@ -4,9 +4,13 @@
 //! rules instead run over this purpose-built scanner. It is not a parser —
 //! it produces a flat token stream with comments and literal *contents*
 //! removed (so a forbidden name inside a string or comment never trips a
-//! rule), tracks line/column positions for diagnostics, and marks the
+//! rule), tracks line/column positions for diagnostics, records every `//`
+//! line comment (for the [`crate::syntax`] attachment layer), and marks the
 //! token regions belonging to `#[cfg(test)]` / `#[test]` items so rules can
-//! exempt test code.
+//! exempt test code. The block-structure layer built on top of this stream
+//! (item spans, `unsafe` extents, test regions) lives in [`crate::syntax`].
+
+use crate::syntax::Syntax;
 
 /// Classification of one scanned token.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,9 +55,33 @@ impl Tok {
     }
 }
 
+/// One `//` line comment (doc or plain), recorded for the attachment layer.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// 1-based source line the comment starts on.
+    pub line: usize,
+    /// Full comment text including the leading slashes.
+    pub text: String,
+    /// Whether the comment is the only content on its line (`false` for a
+    /// trailing comment after code).
+    pub own_line: bool,
+}
+
+impl Comment {
+    /// Whether this is a `///` or `//!` doc comment.
+    pub fn is_doc(&self) -> bool {
+        self.text.starts_with("///") || self.text.starts_with("//!")
+    }
+
+    /// Whether this is an inner (`//!`) doc comment — module docs.
+    pub fn is_inner_doc(&self) -> bool {
+        self.text.starts_with("//!")
+    }
+}
+
 /// One lexed source file: raw lines for diagnostics and allowlist matching,
-/// the sanitized token stream, and the doc-comment text per line (used by
-/// the calibration-traceability rule).
+/// the sanitized token stream, every `//` comment, and the block-structure
+/// [`Syntax`] layer (item spans, `unsafe` extents, test regions).
 #[derive(Clone, Debug)]
 pub struct SourceFile {
     /// Repo-relative path with `/` separators (`crates/core/src/lib.rs`).
@@ -62,21 +90,31 @@ pub struct SourceFile {
     pub lines: Vec<String>,
     /// The sanitized token stream.
     pub toks: Vec<Tok>,
-    /// `(line, text)` for every `///` / `//!` doc-comment line.
-    pub doc_lines: Vec<(usize, String)>,
+    /// Every `//` line comment in source order (doc comments included).
+    pub comments: Vec<Comment>,
+    /// The block-structure layer derived from `toks`.
+    pub syntax: Syntax,
 }
 
 impl SourceFile {
-    /// Lex `source` under the given repo-relative path.
+    /// Lex `source` under the given repo-relative path and build the
+    /// block-structure layer. One pass over the bytes, one over the tokens;
+    /// every rule shares the result.
     pub fn parse(path: &str, source: &str) -> SourceFile {
         let lines: Vec<String> = source.lines().map(|l| l.to_string()).collect();
-        let (mut toks, doc_lines) = lex(source);
-        mark_test_regions(&mut toks);
+        let (mut toks, comments) = lex(source);
+        let syntax = Syntax::build(&toks);
+        for &(a, b) in &syntax.test_spans {
+            for t in toks.iter_mut().take(b + 1).skip(a) {
+                t.in_test = true;
+            }
+        }
         SourceFile {
             path: path.to_string(),
             lines,
             toks,
-            doc_lines,
+            comments,
+            syntax,
         }
     }
 
@@ -88,25 +126,69 @@ impl SourceFile {
             .unwrap_or("")
     }
 
-    /// Doc-comment lines (contiguous `///` block) immediately above `line`,
-    /// skipping attribute lines, concatenated into one string.
-    pub fn docs_above(&self, line: usize) -> String {
+    /// The contiguous run of own-line comments directly above 1-based
+    /// `line`, in source order. Attribute lines (`#[...]` / `#![...]`)
+    /// between the comment block and `line` are skipped; a blank or code
+    /// line breaks attachment.
+    fn comments_above(&self, line: usize) -> Vec<&Comment> {
+        let mut collected: Vec<&Comment> = Vec::new();
         let mut at = line;
-        // Skip attribute lines like `#[allow(...)]` between docs and item.
-        while at > 1 && self.line_text(at - 1).trim_start().starts_with("#[") {
-            at -= 1;
-        }
-        let mut collected: Vec<&str> = Vec::new();
         while at > 1 {
-            match self.doc_lines.iter().find(|(l, _)| *l == at - 1) {
-                Some((_, text)) => {
-                    collected.push(text);
-                    at -= 1;
+            let prev = at - 1;
+            let text = self.line_text(prev).trim_start();
+            if text.starts_with("#[") || text.starts_with("#![") {
+                at = prev;
+                continue;
+            }
+            match self.comments.iter().find(|c| c.line == prev && c.own_line) {
+                Some(c) => {
+                    collected.push(c);
+                    at = prev;
                 }
                 None => break,
             }
         }
         collected.reverse();
+        collected
+    }
+
+    /// The trailing comment on 1-based `line` itself (code, then `//`).
+    pub fn trailing_comment(&self, line: usize) -> Option<&Comment> {
+        self.comments.iter().find(|c| c.line == line && !c.own_line)
+    }
+
+    /// The own-line comment on 1-based `line`, if the line is comment-only.
+    pub fn own_line_comment(&self, line: usize) -> Option<&Comment> {
+        self.comments.iter().find(|c| c.line == line && c.own_line)
+    }
+
+    /// The comment text attached to 1-based `line`: the contiguous comment
+    /// block above it plus a trailing comment on the line itself,
+    /// concatenated. This is the attachment primitive the syntax-aware
+    /// rules (SAFETY comments, ordering justifications) are built on.
+    pub fn attached_comment(&self, line: usize) -> String {
+        let mut parts: Vec<&str> = self
+            .comments_above(line)
+            .iter()
+            .map(|c| c.text.as_str())
+            .collect();
+        if let Some(c) = self.trailing_comment(line) {
+            parts.push(&c.text);
+        }
+        parts.join("\n")
+    }
+
+    /// Doc-comment lines (contiguous `///` block) immediately above `line`,
+    /// skipping attribute lines, concatenated into one string. Built on the
+    /// same attachment walk as [`attached_comment`](Self::attached_comment),
+    /// restricted to doc comments.
+    pub fn docs_above(&self, line: usize) -> String {
+        let collected: Vec<&str> = self
+            .comments_above(line)
+            .iter()
+            .filter(|c| c.is_doc())
+            .map(|c| c.text.as_str())
+            .collect();
         collected.join("\n")
     }
 }
@@ -119,14 +201,17 @@ fn is_ident_continue(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
-/// Scan `source` into tokens plus doc-comment lines.
-fn lex(source: &str) -> (Vec<Tok>, Vec<(usize, String)>) {
+/// Scan `source` into tokens plus every `//` line comment.
+fn lex(source: &str) -> (Vec<Tok>, Vec<Comment>) {
     let mut toks = Vec::new();
-    let mut docs = Vec::new();
+    let mut comments: Vec<Comment> = Vec::new();
     let chars: Vec<char> = source.chars().collect();
     let mut i = 0;
     let mut line = 1;
     let mut col = 1;
+    // Last line on which a token *ended* — a comment on the same line is a
+    // trailing comment, not an own-line one.
+    let mut last_code_line = 0usize;
 
     macro_rules! bump {
         () => {{
@@ -142,7 +227,8 @@ fn lex(source: &str) -> (Vec<Tok>, Vec<(usize, String)>) {
 
     while i < chars.len() {
         let c = chars[i];
-        // Line comments (incl. doc comments, which are recorded).
+        // Line comments (incl. doc comments); all are recorded for the
+        // attachment layer.
         if c == '/' && chars.get(i + 1) == Some(&'/') {
             let start = i;
             let at_line = line;
@@ -150,9 +236,11 @@ fn lex(source: &str) -> (Vec<Tok>, Vec<(usize, String)>) {
                 bump!();
             }
             let text: String = chars[start..i].iter().collect();
-            if text.starts_with("///") || text.starts_with("//!") {
-                docs.push((at_line, text));
-            }
+            comments.push(Comment {
+                line: at_line,
+                text,
+                own_line: last_code_line != at_line,
+            });
             continue;
         }
         // Block comments, nested.
@@ -210,6 +298,7 @@ fn lex(source: &str) -> (Vec<Tok>, Vec<(usize, String)>) {
                 col: c0,
                 in_test: false,
             });
+            last_code_line = line;
             continue;
         }
         // Plain and byte strings.
@@ -239,6 +328,7 @@ fn lex(source: &str) -> (Vec<Tok>, Vec<(usize, String)>) {
                 col: c0,
                 in_test: false,
             });
+            last_code_line = line;
             continue;
         }
         // Lifetimes vs char literals.
@@ -271,6 +361,7 @@ fn lex(source: &str) -> (Vec<Tok>, Vec<(usize, String)>) {
                     col: c0,
                     in_test: false,
                 });
+                last_code_line = line;
             } else {
                 // Char literal: consume up to the closing quote.
                 bump!(); // opening '
@@ -292,6 +383,7 @@ fn lex(source: &str) -> (Vec<Tok>, Vec<(usize, String)>) {
                     col: c0,
                     in_test: false,
                 });
+                last_code_line = line;
             }
             continue;
         }
@@ -309,6 +401,7 @@ fn lex(source: &str) -> (Vec<Tok>, Vec<(usize, String)>) {
                 col: c0,
                 in_test: false,
             });
+            last_code_line = line;
             continue;
         }
         // Numbers (suffixes included; `1.5` lexes as `1` `.` `5`, which is
@@ -326,6 +419,7 @@ fn lex(source: &str) -> (Vec<Tok>, Vec<(usize, String)>) {
                 col: c0,
                 in_test: false,
             });
+            last_code_line = line;
             continue;
         }
         // Whitespace.
@@ -341,9 +435,10 @@ fn lex(source: &str) -> (Vec<Tok>, Vec<(usize, String)>) {
             col,
             in_test: false,
         });
+        last_code_line = line;
         bump!();
     }
-    (toks, docs)
+    (toks, comments)
 }
 
 /// If position `i` starts a raw-string opener (`r"`, `r#"`, `br##"`, …),
@@ -366,68 +461,6 @@ fn raw_string_hashes(chars: &[char], i: usize) -> Option<(usize, usize)> {
         Some((hashes, j + 1))
     } else {
         None
-    }
-}
-
-/// Mark tokens inside `#[cfg(test)]` / `#[test]` items as test code.
-///
-/// Heuristic matching this workspace's (conventional) layout: when a `test`
-/// identifier appears inside an outer attribute, the next braced item body
-/// at the same nesting level is exempt, including nested braces. An
-/// attribute that ends in `;` before any `{` (e.g. `#[cfg(test)] mod t;`)
-/// clears the pending exemption.
-fn mark_test_regions(toks: &mut [Tok]) {
-    let mut i = 0;
-    let mut pending = false;
-    while i < toks.len() {
-        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
-            // Scan the attribute body for the `test` ident.
-            let mut depth = 0usize;
-            let mut j = i + 1;
-            while j < toks.len() {
-                if toks[j].is_punct('[') {
-                    depth += 1;
-                } else if toks[j].is_punct(']') {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                } else if toks[j].is_ident("test") {
-                    // `#[cfg(not(test))]` guards *non*-test code.
-                    let negated =
-                        j >= 2 && toks[j - 1].is_punct('(') && toks[j - 2].is_ident("not");
-                    if !negated {
-                        pending = true;
-                    }
-                }
-                j += 1;
-            }
-            i = j + 1;
-            continue;
-        }
-        if pending {
-            if toks[i].is_punct(';') {
-                pending = false;
-            } else if toks[i].is_punct('{') {
-                // Mark through the matching close brace.
-                let mut depth = 0usize;
-                while i < toks.len() {
-                    if toks[i].is_punct('{') {
-                        depth += 1;
-                    } else if toks[i].is_punct('}') {
-                        depth -= 1;
-                    }
-                    toks[i].in_test = true;
-                    i += 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                pending = false;
-                continue;
-            }
-        }
-        i += 1;
     }
 }
 
@@ -503,5 +536,40 @@ mod tests {
         let f = SourceFile::parse("x.rs", "ab\n  cd");
         assert_eq!((f.toks[0].line, f.toks[0].col), (1, 1));
         assert_eq!((f.toks[1].line, f.toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn plain_comments_recorded_with_own_line_flag() {
+        let src = "// above\nlet x = 1; // trailing\n// below\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.comments.len(), 3);
+        assert!(f.comments[0].own_line);
+        assert!(!f.comments[1].own_line);
+        assert!(f.comments[2].own_line);
+        assert_eq!(f.trailing_comment(2).unwrap().text, "// trailing");
+        assert!(f.trailing_comment(1).is_none());
+    }
+
+    #[test]
+    fn attachment_collects_block_above_and_trailing() {
+        let src =
+            "// SAFETY: slot is owned.\n// Second line.\n#[inline]\nunsafe { go() } // tail\n";
+        let f = SourceFile::parse("x.rs", src);
+        let a = f.attached_comment(4);
+        assert!(a.contains("SAFETY: slot is owned"));
+        assert!(a.contains("Second line"));
+        assert!(a.contains("tail"));
+        // A blank line breaks attachment.
+        let g = SourceFile::parse("x.rs", "// far away\n\nunsafe { go() }\n");
+        assert!(!g.attached_comment(3).contains("far away"));
+    }
+
+    #[test]
+    fn docs_above_ignores_interleaved_plain_comments_but_keeps_docs() {
+        let src = "/// Table 2.\n// implementation note\npub const X: u64 = 1;\n";
+        let f = SourceFile::parse("x.rs", src);
+        let docs = f.docs_above(3);
+        assert!(docs.contains("Table 2"));
+        assert!(!docs.contains("implementation note"));
     }
 }

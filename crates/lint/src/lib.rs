@@ -22,24 +22,42 @@
 //!    cites the paper number it reproduces.
 //! 5. **registry completeness** ([`rules::check_registry`]) — every module
 //!    under `crates/exp/src/experiments/` is reachable from `REGISTRY`.
+//! 6. **event-driven rt** ([`rules::check_rt_cadence`]) — no fixed-cadence
+//!    sleeps or read-timeout polling in `falkon-rt` steady-state code.
+//! 7. **unsafe provenance** ([`conc::check_unsafe_safety`]) — every
+//!    `unsafe` block/fn/impl carries an attached `// SAFETY:` comment;
+//!    `unsafe` is banned outright in the sans-io crates.
+//! 8. **atomic ordering protocols** ([`conc::check_atomic_protocol`]) —
+//!    files touching `std::sync::atomic` open with a `//! Ordering
+//!    protocol:` module doc; every `Ordering::Relaxed` and `fence` site
+//!    carries a justification; atomics stay in the driver crates.
+//! 9. **lock discipline** ([`conc::lock_edges_and_blocking`]) — the static
+//!    lock-order graph built from nested `.lock()` calls is acyclic, and
+//!    no guard is held across a blocking call in `falkon-rt`.
 //!
 //! The workspace builds fully offline (no `syn`), so the rules run over a
-//! purpose-built token scanner ([`lexer`]) that elides comments and literal
-//! contents and exempts `#[cfg(test)]` / `#[test]` regions. Exceptions are
-//! explicit: each rule has an allowlist file under `crates/lint/allow/`
-//! whose entries carry mandatory justifications and must keep matching
-//! (stale entries are errors), so every exception is visible in diffs.
+//! purpose-built token scanner ([`lexer`]) plus a block-structure layer
+//! ([`syntax`]: brace-matched item spans, `unsafe` extents, comment
+//! attachment) that elides comments and literal contents and exempts
+//! `#[cfg(test)]` / `#[test]` regions. Exceptions are explicit: each rule
+//! has an allowlist file under `crates/lint/allow/` whose entries carry
+//! mandatory justifications and must keep matching (stale entries are
+//! errors), so every exception is visible in diffs.
 //!
 //! Run as `cargo run -p falkon-lint` or `cargo xtask lint`; pass
-//! `--format json` for machine-readable output. Exits non-zero on any
-//! violation.
+//! `--format json` for machine-readable output and `--rule <id>`
+//! (repeatable) to run a subset. Exits non-zero on any violation.
 
 pub mod allow;
+pub mod conc;
 pub mod diag;
 pub mod engine;
 pub mod lexer;
 pub mod rules;
+pub mod syntax;
 
 pub use diag::{Diagnostic, Rule};
-pub use engine::{lint_files, lint_workspace, LintReport};
+pub use engine::{
+    lint_files, lint_files_filtered, lint_workspace, lint_workspace_filtered, LintReport,
+};
 pub use lexer::SourceFile;

@@ -1,9 +1,12 @@
-//! The six architecture-invariant checks.
+//! Architecture-invariant checks 1–6 (the concurrency-soundness family,
+//! rules 7–9, lives in [`crate::conc`]).
 //!
 //! Each rule is a pure function over lexed [`SourceFile`]s, so the unit
 //! tests can run them on inline fixture snippets and the engine on the
 //! real workspace. Test regions (`#[cfg(test)]` / `#[test]` items) are
-//! exempt from every token-level rule.
+//! exempt from every token-level rule; they are computed by the
+//! block-structure layer ([`crate::syntax`]), which also backs the
+//! doc-comment attachment the calibration rule reads.
 
 use crate::diag::{Diagnostic, Rule};
 use crate::lexer::{SourceFile, Tok, TokKind};
@@ -48,13 +51,13 @@ pub const CALIBRATION_SCOPES: [&str; 2] = ["crates/exp/src/costs.rs", "crates/lr
 /// sleeps or read-timeout polling loops.
 pub const RT_CADENCE_SCOPES: [&str; 1] = ["crates/rt/src/"];
 
-fn in_scope(path: &str, scopes: &[&str]) -> bool {
+pub(crate) fn in_scope(path: &str, scopes: &[&str]) -> bool {
     scopes
         .iter()
         .any(|s| path == *s || (s.ends_with('/') && path.starts_with(s)))
 }
 
-fn diag(rule: Rule, file: &SourceFile, tok: &Tok, message: String) -> Diagnostic {
+pub(crate) fn diag(rule: Rule, file: &SourceFile, tok: &Tok, message: String) -> Diagnostic {
     Diagnostic {
         rule,
         path: file.path.clone(),
@@ -67,7 +70,7 @@ fn diag(rule: Rule, file: &SourceFile, tok: &Tok, message: String) -> Diagnostic
 
 /// Does the token sequence starting at `i` match `pat`? Each pattern element
 /// matches an identifier by text or a single punctuation character.
-fn seq_matches(toks: &[Tok], i: usize, pat: &[&str]) -> bool {
+pub(crate) fn seq_matches(toks: &[Tok], i: usize, pat: &[&str]) -> bool {
     pat.iter().enumerate().all(|(k, p)| match toks.get(i + k) {
         Some(t) => {
             if p.len() == 1

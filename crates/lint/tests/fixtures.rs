@@ -1,4 +1,4 @@
-//! End-to-end fixtures: each of the six rules catches a seeded violation,
+//! End-to-end fixtures: each of the nine rules catches a seeded violation,
 //! `#[cfg(test)]` regions are exempt, allowlist entries suppress with a
 //! justification, and stale allowlist entries are themselves violations.
 
@@ -266,6 +266,201 @@ fn registry_catches_unreachable_experiments() {
     assert_eq!(report.diags.len(), 1, "diags: {:#?}", report.diags);
     assert_eq!(report.diags[0].rule, Rule::Registry);
     assert!(report.diags[0].message.contains("`beta`"));
+}
+
+// The concurrency family (rules 7–9) guards the hand-rolled deque, the
+// sharded transport, and the vendored channel: every unsafe site carries
+// its invariant, every atomics file names its ordering protocol, and the
+// lock graph stays acyclic.
+
+#[test]
+fn unsafe_safety_requires_attached_safety_comment() {
+    let bare = SourceFile::parse(
+        "crates/rt/src/shard.rs",
+        "fn wait(fds: &mut [PollFd]) { let rc = unsafe { poll(fds.as_mut_ptr(), 1, -1) }; drop(rc); }",
+    );
+    let report = lint_files(&[bare], None).unwrap();
+    assert_eq!(report.diags.len(), 1, "diags: {:#?}", report.diags);
+    assert_eq!(report.diags[0].rule, Rule::UnsafeSafety);
+
+    let documented = SourceFile::parse(
+        "crates/rt/src/shard.rs",
+        r#"
+fn wait(fds: &mut [PollFd]) {
+    // SAFETY: `fds` is a valid exclusive slice for the whole call.
+    let rc = unsafe { poll(fds.as_mut_ptr(), 1, -1) };
+    drop(rc);
+}
+"#,
+    );
+    assert!(lint_files(&[documented], None).unwrap().clean());
+}
+
+#[test]
+fn unsafe_is_banned_in_sans_io_crates_even_with_comment() {
+    let f = SourceFile::parse(
+        "crates/core/src/dispatcher.rs",
+        r#"
+fn peek(v: &[u8]) -> u8 {
+    // SAFETY: caller promises v is non-empty. (Still banned here.)
+    unsafe { *v.get_unchecked(0) }
+}
+"#,
+    );
+    let report = lint_files(&[f], None).unwrap();
+    let banned: Vec<_> = report
+        .diags
+        .iter()
+        .filter(|d| d.rule == Rule::UnsafeSafety)
+        .collect();
+    assert_eq!(banned.len(), 1, "diags: {:#?}", report.diags);
+    assert!(banned[0].message.contains("banned"));
+}
+
+#[test]
+fn atomic_protocol_wants_module_doc_and_site_justifications() {
+    let f = SourceFile::parse(
+        "crates/rt/src/stats.rs",
+        r#"
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+static CALLS: AtomicU64 = AtomicU64::new(0);
+fn bump() {
+    CALLS.fetch_add(1, Ordering::Relaxed);
+    fence(Ordering::SeqCst);
+}
+"#,
+    );
+    let report = lint_files(&[f], None).unwrap();
+    let n = report
+        .diags
+        .iter()
+        .filter(|d| d.rule == Rule::AtomicProtocol)
+        .count();
+    // missing `//! Ordering protocol:` + bare Relaxed + bare fence = 3
+    assert_eq!(n, 3, "diags: {:#?}", report.diags);
+
+    let fixed = SourceFile::parse(
+        "crates/rt/src/stats.rs",
+        r#"
+//! Ordering protocol: the counter is a monotonic tally with no
+//! synchronizes-with edges; the fence pairs with the reader's fence.
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+static CALLS: AtomicU64 = AtomicU64::new(0);
+fn bump() {
+    // Relaxed: monotonic tally, readers tolerate staleness.
+    CALLS.fetch_add(1, Ordering::Relaxed);
+    // Pairs with the SeqCst fence in `snapshot`.
+    fence(Ordering::SeqCst);
+}
+"#,
+    );
+    assert!(lint_files(&[fixed], None).unwrap().clean());
+}
+
+#[test]
+fn atomics_are_confined_to_driver_crates() {
+    let src = "//! Ordering protocol: none.\nuse std::sync::atomic::AtomicU64;\nstatic N: AtomicU64 = AtomicU64::new(0);\n";
+    let outside = SourceFile::parse("crates/exp/src/costs.rs", src);
+    let report = lint_files(&[outside], None).unwrap();
+    let confined: Vec<_> = report
+        .diags
+        .iter()
+        .filter(|d| d.rule == Rule::AtomicProtocol)
+        .collect();
+    assert_eq!(confined.len(), 1, "diags: {:#?}", report.diags);
+    assert!(confined[0].message.contains("confined"));
+
+    let inside = SourceFile::parse("crates/pool/src/deque.rs", src);
+    assert!(lint_files(&[inside], None).unwrap().clean());
+}
+
+#[test]
+fn lock_discipline_catches_order_cycles() {
+    // `a` before `b` in one function, `b` before `a` in another: deadlock
+    // waiting to happen. The edges come from different files of the same
+    // crate, like a real regression would.
+    let x = SourceFile::parse(
+        "crates/pool/src/lib.rs",
+        "fn drain(s: &S) { let g = s.injector.lock().unwrap(); s.sleep.lock().unwrap().wake(); drop(g); }",
+    );
+    let y = SourceFile::parse(
+        "crates/pool/src/scope.rs",
+        "fn park(s: &S) { let g = s.sleep.lock().unwrap(); s.injector.lock().unwrap().push(1); drop(g); }",
+    );
+    let report = lint_files(&[x, y], None).unwrap();
+    let cycles: Vec<_> = report
+        .diags
+        .iter()
+        .filter(|d| d.rule == Rule::LockDiscipline)
+        .collect();
+    assert_eq!(cycles.len(), 1, "diags: {:#?}", report.diags);
+    assert!(cycles[0].message.contains("lock-order cycle"));
+}
+
+#[test]
+fn lock_discipline_flags_blocking_call_under_guard_in_rt() {
+    let f = SourceFile::parse(
+        "crates/rt/src/tcp.rs",
+        r#"
+fn flush_locked(s: &S, w: &mut W) {
+    let q = s.outbox.lock().unwrap();
+    w.write_all(&q).unwrap();
+}
+"#,
+    );
+    let report = lint_files(&[f], None).unwrap();
+    let blocked: Vec<_> = report
+        .diags
+        .iter()
+        .filter(|d| d.rule == Rule::LockDiscipline)
+        .collect();
+    assert_eq!(blocked.len(), 1, "diags: {:#?}", report.diags);
+    assert!(blocked[0].message.contains("write_all"));
+
+    // Dropping the guard before the write is the fix.
+    let fixed = SourceFile::parse(
+        "crates/rt/src/tcp.rs",
+        r#"
+fn flush_unlocked(s: &S, w: &mut W) {
+    let buf = { s.outbox.lock().unwrap().split_off(0) };
+    w.write_all(&buf).unwrap();
+}
+"#,
+    );
+    assert!(lint_files(&[fixed], None).unwrap().clean());
+}
+
+#[test]
+fn conc_rules_exempt_test_regions() {
+    let f = SourceFile::parse(
+        "crates/rt/src/shard.rs",
+        r#"
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    #[test]
+    fn races() {
+        static F: AtomicBool = AtomicBool::new(false);
+        F.store(true, Ordering::Relaxed);
+        let _ = unsafe { std::mem::transmute::<u32, i32>(1) };
+    }
+}
+"#,
+    );
+    let report = lint_files(&[f], None).unwrap();
+    assert!(report.clean(), "diags: {:#?}", report.diags);
+}
+
+#[test]
+fn conc_violation_is_suppressible_with_justified_allow_entry() {
+    let f = SourceFile::parse(
+        "crates/rt/src/shard.rs",
+        "fn wait(fds: &mut [PollFd]) { let rc = unsafe { poll(fds.as_mut_ptr(), 1, -1) }; drop(rc); }",
+    );
+    let report = lint_files(&[f], Some(&fixture_dir("fixture_allow_conc"))).unwrap();
+    assert!(report.clean(), "diags: {:#?}", report.diags);
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].rule, Rule::UnsafeSafety);
 }
 
 #[test]

@@ -16,6 +16,24 @@
 //!   stale pointer. Retired buffers are reclaimed when the deque drops.
 //!   A deque used by a pool grows a handful of times at most, so the waste
 //!   is bounded and epoch-based reclamation is unnecessary.
+//!
+//! Ordering protocol:
+//!
+//! - **Publish on push**: the slot write is ordered before the `bottom`
+//!   store by a `Release` fence; `steal`'s `Acquire` load of `bottom`
+//!   synchronizes-with it, so a thief that observes the new `bottom` also
+//!   observes the element.
+//! - **Owner/thief race**: `pop`'s speculative `bottom` decrement and
+//!   `steal`'s `top` read are separated by paired `SeqCst` fences, and the
+//!   last element is handed out by a `SeqCst` CAS on `top` — every race is
+//!   decided in the single total order on `top`.
+//! - **Growth**: `grow` copies live slots, then publishes the new buffer
+//!   with a `Release` store of `active`; `steal`'s `Acquire` load
+//!   synchronizes-with it (a stale pointer is still readable because old
+//!   buffers are retired, not freed).
+//! - Everything else is `Relaxed`: `bottom` and `active` have a single
+//!   writer (the owner), and cross-thread agreement happens only at the
+//!   edges above.
 
 use std::cell::UnsafeCell;
 use std::marker::PhantomData;
@@ -48,14 +66,22 @@ impl<T> Buffer<T> {
         Box::into_raw(Box::new(Buffer { cap, slots }))
     }
 
-    /// Write `v` at logical index `i`. Caller must own the slot.
+    /// Write `v` at logical index `i`.
+    ///
+    /// # Safety
+    /// Caller must own the slot: only the owner thread writes, and only at
+    /// an index no thief can claim until the following `bottom` publish.
     unsafe fn write(&self, i: isize, v: T) {
         let slot = &self.slots[i as usize & (self.cap - 1)];
         (*slot.get()).write(v);
     }
 
-    /// Read the value at logical index `i`. Caller must ensure the slot was
-    /// written and arbitrate ownership of the copy (CAS on `top`).
+    /// Read the value at logical index `i`.
+    ///
+    /// # Safety
+    /// Caller must ensure the slot was written, and must arbitrate
+    /// ownership of the returned bitwise copy via the CAS on `top`
+    /// (losers `mem::forget` their copy).
     unsafe fn read(&self, i: isize) -> T {
         let slot = &self.slots[i as usize & (self.cap - 1)];
         (*slot.get()).assume_init_read()
@@ -73,9 +99,15 @@ struct Inner<T> {
     retired: Mutex<Vec<*mut Buffer<T>>>,
 }
 
-// Raw pointers make these !Send/!Sync by default; the algorithm provides
-// the synchronization (atomics + the owner/thief protocol).
+// SAFETY: the raw buffer pointers make `Inner` auto-!Send, but they only
+// ever point at `Buffer`s this `Inner` allocated and retains; moving the
+// whole `Inner` between threads moves that ownership with it, and `T: Send`
+// covers the elements.
 unsafe impl<T: Send> Send for Inner<T> {}
+// SAFETY: shared access is arbitrated entirely by the module's ordering
+// protocol — slot writes are published by the Release fence in `push`, and
+// every element hand-off is decided by the CAS on `top` — so `&Inner` is
+// safe to share for `T: Send`.
 unsafe impl<T: Send> Sync for Inner<T> {}
 
 impl<T> Drop for Inner<T> {
@@ -85,6 +117,10 @@ impl<T> Drop for Inner<T> {
         let b = *self.bottom.get_mut();
         let active = *self.active.get_mut();
         unsafe {
+            // SAFETY: `&mut self` proves no owner or thief handles remain;
+            // indices `[t, b)` are exactly the written-but-unclaimed slots,
+            // and `active`/`retired` pointers all came from `Box::into_raw`
+            // and are dropped exactly once here.
             for i in t..b {
                 drop((*active).read(i));
             }
@@ -104,6 +140,9 @@ pub struct Worker<T> {
     _not_sync: PhantomData<std::cell::Cell<()>>,
 }
 
+// SAFETY: `Worker` is just a handle to `Inner` (itself `Send` for
+// `T: Send`); the `PhantomData<Cell<()>>` keeps it `!Sync`, so sending the
+// handle preserves the single-owner-thread assumption its methods rely on.
 unsafe impl<T: Send> Send for Worker<T> {}
 
 /// Thief handle: `steal` from the top end; freely cloneable and shareable.
@@ -140,32 +179,44 @@ impl<T> Worker<T> {
     /// Push at the bottom. Grows the buffer when full.
     pub fn push(&self, v: T) {
         let inner = &*self.inner;
-        let b = inner.bottom.load(Ordering::Relaxed);
+        let b = inner.bottom.load(Ordering::Relaxed); // Relaxed: owner is the only writer of `bottom`.
         let t = inner.top.load(Ordering::Acquire);
-        let mut buf = inner.active.load(Ordering::Relaxed);
+        let buf = inner.active.load(Ordering::Relaxed); // Relaxed: owner is the only writer of `active`.
         unsafe {
-            if b - t >= (*buf).cap as isize {
-                buf = self.grow(t, b);
-            }
+            // SAFETY: owner thread is the only writer, and slot `b` is free:
+            // `b - t < cap` holds after the growth check, and no thief can
+            // claim index `b` until the `bottom` store below publishes it.
+            let buf = if b - t >= (*buf).cap as isize {
+                self.grow(t, b)
+            } else {
+                buf
+            };
             (*buf).write(b, v);
         }
         // Publish the slot before advancing `bottom` so a thief that sees
         // the new bottom also sees the element.
         fence(Ordering::Release);
+        // Relaxed store: the fence above provides the Release edge.
         inner.bottom.store(b + 1, Ordering::Relaxed);
     }
 
     /// Pop from the bottom (the element pushed most recently).
     pub fn pop(&self) -> Option<T> {
         let inner = &*self.inner;
+        // Relaxed loads: owner is the only writer of `bottom` and `active`.
         let b = inner.bottom.load(Ordering::Relaxed) - 1;
-        let buf = inner.active.load(Ordering::Relaxed);
+        let buf = inner.active.load(Ordering::Relaxed); // Relaxed: ditto.
+                                                        // Relaxed store: made visible by the SeqCst fence just below.
         inner.bottom.store(b, Ordering::Relaxed);
         // Order the speculative `bottom` decrement before reading `top`:
         // either a racing thief sees the decrement, or we see its CAS.
         fence(Ordering::SeqCst);
+        // Relaxed load: ordered after the decrement by the fence above.
         let t = inner.top.load(Ordering::Relaxed);
         if t <= b {
+            // SAFETY: `t <= b` after the fence means index `b` was written
+            // by this thread and not yet stolen; for the `t == b` race the
+            // CAS below arbitrates, and the loser forgets its copy.
             let v = unsafe { (*buf).read(b) };
             if t == b {
                 // Last element: race the thieves for it.
@@ -173,6 +224,9 @@ impl<T> Worker<T> {
                     .top
                     .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
                     .is_ok();
+                // Relaxed store (owner-only); failure ordering above is
+                // Relaxed too — a lost race needs no synchronization, the
+                // copy is forgotten.
                 inner.bottom.store(b + 1, Ordering::Relaxed);
                 if won {
                     Some(v)
@@ -200,9 +254,15 @@ impl<T> Worker<T> {
         self.len() == 0
     }
 
-    /// Double the buffer, copying live indices `[t, b)`. Owner-only.
+    /// Double the buffer, copying live indices `[t, b)`.
+    ///
+    /// # Safety
+    /// Owner-only: caller must be the unique owner thread, with `t`/`b`
+    /// freshly loaded, so the `[t, b)` slots are initialized and no other
+    /// thread writes either buffer during the copy.
     unsafe fn grow(&self, t: isize, b: isize) -> *mut Buffer<T> {
         let inner = &*self.inner;
+        // Relaxed load: owner is the only writer of `active`.
         let old = inner.active.load(Ordering::Relaxed);
         let new = Buffer::alloc((*old).cap * 2);
         for i in t..b {
@@ -231,7 +291,12 @@ impl<T> Stealer<T> {
         // orders the copied elements before the new pointer, and a stale
         // pointer still works because old buffers are retired, not freed.
         let buf = inner.active.load(Ordering::Acquire);
+        // SAFETY: `t < b` means slot `t` was published (Release fence in
+        // `push` / Release store in `grow`); the CAS below decides whether
+        // this copy is ours, and the loser forgets it.
         let v = unsafe { (*buf).read(t) };
+        // SeqCst success: joins the total order deciding owner/thief races;
+        // Relaxed failure: a lost race needs no synchronization.
         if inner
             .top
             .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
@@ -255,8 +320,10 @@ impl<T> Stealer<T> {
 }
 
 fn len_of<T>(inner: &Inner<T>) -> usize {
+    // Relaxed loads: `len` is an advisory snapshot (exact only while
+    // quiescent, as documented); callers never synchronize through it.
     let b = inner.bottom.load(Ordering::Relaxed);
-    let t = inner.top.load(Ordering::Relaxed);
+    let t = inner.top.load(Ordering::Relaxed); // Relaxed: same snapshot.
     (b - t).max(0) as usize
 }
 

@@ -25,6 +25,15 @@
 //! - **No clock, no sleep.** Workers park on a `Condvar` with a bounded
 //!   `wait_timeout`; the crate never reads wall-clock time (that remains
 //!   `falkon-rt`'s monopoly, enforced by clippy.toml and falkon-lint).
+//!
+//! Ordering protocol: this crate's cross-thread hand-offs all synchronize
+//! through `Mutex`/`Condvar` (injector, sleep counter, panic slot, scope
+//! `done` counter) or through the deque's own fence/CAS protocol (see
+//! [`deque`]). The two atomics here form one explicit edge and one
+//! non-edge: the `shutdown` `Release` store synchronizes-with the worker
+//! loop's `Acquire` loads (a worker that observes shutdown also observes
+//! every job pushed before it), and `next_victim` is a `Relaxed`
+//! round-robin hint that carries no payload at all.
 
 pub mod deque;
 
@@ -195,6 +204,8 @@ fn take_job(shared: &Arc<Shared>) -> Option<Job> {
         return Some(job);
     }
     let n = shared.stealers.len();
+    // Relaxed: `next_victim` is only a rotation hint spreading thieves
+    // across victims; any interleaving of the counter is equally correct.
     let start = shared.next_victim.fetch_add(1, Ordering::Relaxed);
     // A couple of full sweeps absorb transient Retry races; beyond that the
     // caller re-polls anyway.
@@ -324,6 +335,7 @@ fn take_job_external(shared: &Arc<Shared>) -> Option<Job> {
         return Some(job);
     }
     let n = shared.stealers.len();
+    // Relaxed: rotation hint only, as in `take_job`.
     let start = shared.next_victim.fetch_add(1, Ordering::Relaxed);
     for i in 0..n {
         if let Steal::Success(job) = shared.stealers[(start + i) % n].steal() {

@@ -28,6 +28,12 @@
 //! handshake runs serially in the accept thread so the shard loops only
 //! ever see established, nonblocking connections. OS thread count is
 //! 1 accept + N shards, independent of connection count.
+//!
+//! Ordering protocol: every message and op hand-off in this module
+//! synchronizes through channels and the wake pipe; the one atomic, the
+//! `stop` flag, is a `Relaxed` latch with no payload — shutdown
+//! correctness comes from joining the threads, and the flag merely tells
+//! the accept loop (kicked awake by a dummy connect) to exit.
 #![cfg(unix)]
 
 use crate::clock::Clock;
@@ -73,6 +79,9 @@ pub(crate) mod sys {
     /// retrying on `EINTR`.
     pub fn poll_wait(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
         loop {
+            // SAFETY: `fds` is a valid, exclusively borrowed slice of
+            // `#[repr(C)]` PollFd for the whole call, and `nfds` is its
+            // exact length, matching the poll(2) contract.
             let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
             if rc >= 0 {
                 return Ok(rc as usize);
@@ -478,6 +487,8 @@ pub(crate) fn bind_sharded(
         // Round-robin shard assignment at accept time.
         let mut rr = 0usize;
         while let Ok((stream, _)) = listener.accept() {
+            // Relaxed: pure latch — no data is published through it, and
+            // the dummy connect in `shutdown` guarantees a fresh check.
             if accept_stop.load(Ordering::Relaxed) {
                 break;
             }
@@ -510,6 +521,7 @@ impl Transport for Sharded {
     }
 
     fn shutdown(mut self: Box<Self>) -> Counters {
+        // Relaxed: latch only; the join below is the synchronization.
         self.stop.store(true, Ordering::Relaxed);
         // Wake the accept loop out of its blocking accept().
         TcpStream::connect(self.addr).ok();

@@ -41,6 +41,13 @@
 //! bundling argument applied at the syscall layer). There is no separate
 //! immediate-send entry point, so a frame can never be charged twice or
 //! race a partially flushed batch.
+//!
+//! Ordering protocol: cross-thread hand-offs in this module synchronize
+//! through channels and thread joins. The two atomics carry no payload:
+//! `NONCE` is a `Relaxed` uniqueness counter (each handshake just needs a
+//! value nobody else drew), and the `stop` flag is a `Relaxed` latch whose
+//! observation is forced by a self-connect wake-up and whose correctness
+//! is sealed by the joins in `shutdown`.
 
 use crate::clock::Clock;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -163,6 +170,9 @@ impl Conn {
                 .stream
                 .set_read_timeout(Some(Duration::from_secs(10)))
                 .ok();
+            // Relaxed: uniqueness is all that matters — fetch_add is
+            // atomic at every ordering, so two handshakes never draw the
+            // same nonce; no other data rides on this edge.
             let nonce = NONCE.fetch_add(0x517C_C1B7_2722_0A95, Ordering::Relaxed);
             let mut chan = SecureChannel::new(psk, nonce);
             writer.write_raw(&chan.handshake_message())?;
@@ -662,6 +672,8 @@ fn bind_thread_per_conn(
         // Block in accept(); shutdown() sets the stop flag and then
         // self-connects to deliver one wake-up.
         while let Ok((stream, _)) = listener.accept() {
+            // Relaxed: pure latch, no payload; the self-connect guarantees
+            // a check after the store.
             if accept_stop.load(Ordering::Relaxed) {
                 break;
             }
@@ -696,6 +708,7 @@ impl Transport for ThreadPerConn {
     }
 
     fn shutdown(mut self: Box<Self>) -> Counters {
+        // Relaxed: latch only; the joins below are the synchronization.
         self.stop.store(true, Ordering::Relaxed);
         // Wake the accept loop out of its blocking accept() so it can see
         // the stop flag; it then joins every connection thread (each of

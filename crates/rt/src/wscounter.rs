@@ -7,6 +7,13 @@
 //! increments a counter per framed request and echoes the new value.
 //! Benchmarking it with k concurrent clients upper-bounds what the TCP
 //! Falkon deployment can reach on this machine.
+//!
+//! Ordering protocol: no synchronizes-with edges. Both `stop` flags are
+//! `Relaxed` latches (the accept latch is forced visible by a self-connect
+//! wake-up; client loops re-check every iteration) and the call counter is
+//! a monotonic `Relaxed` tally read only after the joins in `shutdown` /
+//! `measure_call_rate` have sealed it — the joins, not the atomics, order
+//! the data.
 
 use falkon_proto::frame::{write_frame, FrameDecoder};
 use std::io::{Read, Write};
@@ -40,6 +47,8 @@ impl CounterServer {
             // to deliver exactly one wake-up, observed right after `Ok`.
             let mut conns = Vec::new();
             while let Ok((stream, _)) = listener.accept() {
+                // Relaxed: pure latch; the self-connect guarantees a check
+                // after the store, and joins do the real ordering.
                 if tstop.load(Ordering::Relaxed) {
                     break;
                 }
@@ -60,11 +69,14 @@ impl CounterServer {
 
     /// Calls served so far.
     pub fn count(&self) -> u64 {
+        // Relaxed: monotonic tally; an in-flight increment may be missed,
+        // which a rate snapshot tolerates by design.
         self.counter.load(Ordering::Relaxed)
     }
 
     /// Stop the server.
     pub fn shutdown(mut self) {
+        // Relaxed: latch only; the join below is the synchronization.
         self.stop.store(true, Ordering::Relaxed);
         // Wake the accept thread out of its blocking `accept()`.
         TcpStream::connect(self.addr).ok();
@@ -87,6 +99,9 @@ fn serve(mut stream: TcpStream, counter: Arc<AtomicU64>) {
                 loop {
                     match dec.next_frame() {
                         Ok(Some(_req)) => {
+                            // Relaxed: monotonic tally — fetch_add is atomic
+                            // at every ordering, so no count is lost; readers
+                            // are sealed by joins.
                             let v = counter.fetch_add(1, Ordering::Relaxed) + 1;
                             let mut out = Vec::with_capacity(12);
                             write_frame(&mut out, &v.to_le_bytes());
@@ -122,6 +137,8 @@ pub fn measure_call_rate(addr: SocketAddr, clients: usize, duration: Duration) -
             let mut calls = 0u64;
             let mut req = Vec::new();
             write_frame(&mut req, b"inc");
+            // Relaxed: latch re-checked every iteration; one extra round
+            // trip after the store is harmless to the rate measurement.
             while !stop.load(Ordering::Relaxed) {
                 if stream.write_all(&req).is_err() {
                     break;
@@ -145,6 +162,7 @@ pub fn measure_call_rate(addr: SocketAddr, clients: usize, duration: Duration) -
     }
     let t0 = Instant::now();
     thread::sleep(duration);
+    // Relaxed: latch only; the joins below seal each client's tally.
     stop.store(true, Ordering::Relaxed);
     let total: u64 = handles.into_iter().map(|h| h.join().unwrap_or(0)).sum();
     total as f64 / t0.elapsed().as_secs_f64()
