@@ -1,4 +1,4 @@
-//! `repro bench` — the tracked performance baseline behind `BENCH_0006.json`.
+//! `repro bench` — the tracked performance baseline behind `BENCH_0007.json`.
 //!
 //! Runs a fixed set of hot-path scenarios (event engine, simulated
 //! deployment, dispatcher state machine, in-process runtime, TCP runtime,
@@ -20,6 +20,7 @@ use falkon_proto::bundle::BundleConfig;
 use falkon_proto::codec::{Codec, EfficientCodec};
 use falkon_proto::message::{ExecutorId, InstanceId, Message};
 use falkon_proto::task::{TaskResult, TaskSpec};
+use falkon_rt::forwarder::ForwarderServer;
 use falkon_rt::inproc::{run_sleep_workload, InprocConfig};
 use falkon_rt::muxpeer::run_executors_mux;
 use falkon_rt::tcp::{run_client, run_executor, DispatcherServer, ServerConfig, TcpSecurity};
@@ -28,10 +29,10 @@ use falkon_sim::{Engine, SimDuration};
 use std::hint::black_box;
 
 /// The commit whose build produced every `baseline` rate below (the state
-/// of the tree immediately before the sharded connection-multiplexed
-/// transport; both columns re-measured on one machine per DESIGN.md §10's
-/// baseline discipline).
-pub const BASELINE_COMMIT: &str = "f7d8e91";
+/// of the tree immediately before the three-tier forwarder deployment;
+/// both columns re-measured on one machine per DESIGN.md §10's baseline
+/// discipline).
+pub const BASELINE_COMMIT: &str = "255d995";
 
 /// Keep sampling until a scenario has accumulated this much measured time.
 const MIN_SAMPLE_US: u64 = 300_000;
@@ -48,17 +49,19 @@ pub struct BenchResult {
     pub unit: &'static str,
     /// Rate measured by this run.
     pub rate: f64,
-    /// Rate measured at [`BASELINE_COMMIT`] on the reference machine.
-    pub baseline: f64,
+    /// Rate measured at [`BASELINE_COMMIT`] on the reference machine, or
+    /// `None` for a scenario that did not exist there — reports render it
+    /// as `new` rather than a bogus 0-rate "before".
+    pub baseline: Option<f64>,
 }
 
 impl BenchResult {
-    /// `rate / baseline` — >1 is faster than the tracked baseline.
-    pub fn speedup(&self) -> f64 {
-        if self.baseline > 0.0 {
-            self.rate / self.baseline
-        } else {
-            0.0
+    /// `rate / baseline` — >1 is faster than the tracked baseline. `None`
+    /// when the scenario has no baseline (new, or a degenerate zero).
+    pub fn speedup(&self) -> Option<f64> {
+        match self.baseline {
+            Some(b) if b > 0.0 => Some(self.rate / b),
+            _ => None,
         }
     }
 }
@@ -344,6 +347,73 @@ fn tcp_conn_fanout() -> f64 {
     rate(N as f64, best as f64)
 }
 
+/// The three-tier deployment end to end: a forwarder routing to
+/// `dispatchers` dispatcher servers (every tier on the single-shard
+/// multiplexed transport), each dispatcher's executors multiplexed on one
+/// OS thread by [`run_executors_mux`], one client submitting `N` sleep-0
+/// tasks in bundles of 300 through the forwarder.
+///
+/// The reported rate is dispatch throughput by the client clock — first
+/// submit to workload completion — so per-iteration setup (listeners,
+/// handshakes, downstream links) is excluded. Like [`tcp_conn_fanout`],
+/// a fixed 3 timed iterations (plus warm-up) replace the 300 ms
+/// accumulation target, because each iteration's setup dwarfs its
+/// measured window.
+fn tcp_three_tier(dispatchers: usize) -> f64 {
+    const EXECS_PER_DISPATCHER: usize = 4;
+    const N: u64 = 2_000;
+    let run_once = || {
+        let config = ServerConfig::builder()
+            .dispatcher(DispatcherConfig {
+                client_notify_batch: 1_000,
+                ..DispatcherConfig::default()
+            })
+            .sharded(1)
+            .forwarder(dispatchers)
+            .build()
+            .expect("valid config");
+        let server = ForwarderServer::start(config).expect("bind three-tier");
+        let addr = server.addr;
+        let muxes: Vec<_> = server
+            .dispatcher_addrs()
+            .iter()
+            .enumerate()
+            .map(|(d, disp_addr)| {
+                let disp_addr = *disp_addr;
+                std::thread::spawn(move || {
+                    run_executors_mux(
+                        disp_addr,
+                        (d * EXECS_PER_DISPATCHER) as u64,
+                        EXECS_PER_DISPATCHER,
+                        ExecutorConfig::default(),
+                        None,
+                    )
+                })
+            })
+            .collect();
+        let tasks: Vec<TaskSpec> = (0..N).map(|i| TaskSpec::sleep(i, 0)).collect();
+        let client = run_client(addr, tasks, BundleConfig::of(300), None).expect("client run");
+        assert_eq!(client.done, N, "all tasks complete through the forwarder");
+        let (outcome, dispatcher_outcomes) = server.shutdown();
+        assert_eq!(outcome.stats.results_delivered, N);
+        let completed: u64 = dispatcher_outcomes
+            .iter()
+            .map(|(_, s, _)| s.completed)
+            .sum();
+        assert_eq!(completed, N, "dispatchers completed every task");
+        for m in muxes {
+            m.join().expect("mux thread").expect("mux run");
+        }
+        client.elapsed_us.max(1)
+    };
+    run_once(); // warm-up
+    let mut best = u64::MAX;
+    for _ in 0..3 {
+        best = best.min(run_once());
+    }
+    rate(N as f64, best as f64)
+}
+
 fn codec_bundle(k: u64) -> Message {
     Message::Submit {
         instance: InstanceId(1),
@@ -380,7 +450,7 @@ fn codec_decode() -> f64 {
 /// [`BASELINE_COMMIT`] (same scenario code, pre-overhaul queue/tables).
 pub fn run_benches() -> Vec<BenchResult> {
     let mut out = Vec::new();
-    let mut push = |id, unit, rate: f64, baseline: f64| {
+    let mut push = |id, unit, rate: f64, baseline: Option<f64>| {
         out.push(BenchResult {
             id,
             unit,
@@ -392,80 +462,99 @@ pub fn run_benches() -> Vec<BenchResult> {
         "sim/chained_timer_events",
         "events/s",
         sim_chained(),
-        104.38e6,
+        Some(108.2e6),
     );
     push(
         "sim/outstanding_50k_timers",
         "events/s",
         sim_outstanding(),
-        9.79e6,
+        Some(10.41e6),
     );
     push(
         "sim/same_instant_bursts",
         "events/s",
         sim_same_instant(),
-        187.27e6,
+        Some(206.6e6),
     );
     push(
         "sim/deployment_sleep0_1000",
         "tasks/s",
         sim_deployment(),
-        0.978e6,
+        Some(1.052e6),
     );
     push(
         "dispatcher/lifecycle_1000",
         "tasks/s",
         dispatcher_lifecycle(),
-        3.10e6,
+        Some(3.46e6),
     );
     push(
         "inproc/sleep0_plain",
         "tasks/s",
         inproc(WireMode::Plain),
-        242.8e3,
+        Some(282.0e3),
     );
     push(
         "inproc/sleep0_encoded",
         "tasks/s",
         inproc(WireMode::Encoded),
-        183.6e3,
+        Some(235.2e3),
     );
     push(
         "inproc/sleep0_secure",
         "tasks/s",
         inproc(WireMode::Secure),
-        148.2e3,
+        Some(197.7e3),
     );
-    push("tcp/sleep0_plain", "tasks/s", tcp_sleep0(None), 41.9e3);
+    push(
+        "tcp/sleep0_plain",
+        "tasks/s",
+        tcp_sleep0(None),
+        Some(63.2e3),
+    );
     push(
         "tcp/sleep0_secure",
         "tasks/s",
         tcp_sleep0(Some(0xFA1C0)),
-        40.7e3,
+        Some(59.4e3),
     );
-    // New in BENCH_0006: no baseline exists at BASELINE_COMMIT (the
-    // thread-per-conn transport cannot hold this scenario's 1000
-    // connections on the reference box), so `before` is 0.
-    push("tcp/conn_fanout", "tasks/s", tcp_conn_fanout(), 0.0);
+    push(
+        "tcp/conn_fanout",
+        "tasks/s",
+        tcp_conn_fanout(),
+        Some(17.3e3),
+    );
+    // New in BENCH_0007: the three-tier deployment did not exist at
+    // BASELINE_COMMIT, so these rows have no baseline. The headline
+    // `tcp/three_tier` runs the 4-dispatcher sweep point; the `_1d`/`_2d`
+    // rows pin the scaling curve (see EXPERIMENTS.md on core limits).
+    push("tcp/three_tier_1d", "tasks/s", tcp_three_tier(1), None);
+    push("tcp/three_tier_2d", "tasks/s", tcp_three_tier(2), None);
+    push("tcp/three_tier", "tasks/s", tcp_three_tier(4), None);
     push(
         "codec/encode_efficient_1000",
         "MB/s",
         codec_encode(),
-        2703.4,
+        Some(3098.0),
     );
-    push("codec/decode_efficient_1000", "MB/s", codec_decode(), 336.6);
+    push(
+        "codec/decode_efficient_1000",
+        "MB/s",
+        codec_decode(),
+        Some(390.9),
+    );
     out
 }
 
 /// Serial quick-scale `repro all` wall time at [`BASELINE_COMMIT`] on the
 /// reference machine (the "before" of the `repro_all_quick` row).
-pub const REPRO_ALL_QUICK_BASELINE_S: f64 = 1.92;
+pub const REPRO_ALL_QUICK_BASELINE_S: f64 = 1.62;
 
 /// Render the results as the committed JSON report. `jobs` is the worker
 /// count the `repro_all_quick` wall time was measured with.
 pub fn render_json(results: &[BenchResult], repro_all_quick_s: Option<f64>, jobs: usize) -> String {
     let mut s = String::from("{\n");
-    s.push_str("  \"bench\": \"BENCH_0006\",\n");
+    s.push_str("  \"bench\": \"BENCH_0007\",\n");
     s.push_str(&format!("  \"baseline_commit\": \"{BASELINE_COMMIT}\",\n"));
     if let Some(wall) = repro_all_quick_s {
         s.push_str(&format!(
@@ -475,14 +564,20 @@ pub fn render_json(results: &[BenchResult], repro_all_quick_s: Option<f64>, jobs
     s.push_str("  \"scenarios\": [\n");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
+        // A scenario with no baseline is `new`: `before`/`speedup` are
+        // JSON null, never a fake 0.0 that would read as a regression.
+        let (before, speedup) = match (r.baseline, r.speedup()) {
+            (Some(b), Some(sp)) => (format!("{b:.4e}"), format!("{sp:.2}")),
+            _ => ("null".into(), "null".into()),
+        };
+        let new_flag = if r.baseline.is_none() {
+            ", \"new\": true"
+        } else {
+            ""
+        };
         s.push_str(&format!(
-            "    {{ \"id\": \"{}\", \"unit\": \"{}\", \"before\": {:.4e}, \"after\": {:.4e}, \"speedup\": {:.2} }}{}\n",
-            r.id,
-            r.unit,
-            r.baseline,
-            r.rate,
-            r.speedup(),
-            comma
+            "    {{ \"id\": \"{}\", \"unit\": \"{}\", \"before\": {}, \"after\": {:.4e}, \"speedup\": {}{} }}{}\n",
+            r.id, r.unit, before, r.rate, speedup, new_flag, comma
         ));
     }
     s.push_str("  ]\n}\n");
@@ -501,12 +596,16 @@ pub fn render_table(
         &["scenario", "unit", "before", "after", "speedup"],
     );
     for r in results {
+        let (before, speedup) = match (r.baseline, r.speedup()) {
+            (Some(b), Some(sp)) => (format!("{b:.3e}"), format!("{sp:.2}x")),
+            _ => ("—".into(), "new".into()),
+        };
         t.row(vec![
             r.id.to_string(),
             r.unit.to_string(),
-            format!("{:.3e}", r.baseline),
+            before,
             format!("{:.3e}", r.rate),
-            format!("{:.2}x", r.speedup()),
+            speedup,
         ]);
     }
     if let Some(wall) = repro_all_quick_s {
@@ -532,20 +631,31 @@ mod tests {
                 id: "sim/x",
                 unit: "events/s",
                 rate: 2.0e6,
-                baseline: 1.0e6,
+                baseline: Some(1.0e6),
             },
             BenchResult {
                 id: "codec/y",
                 unit: "MB/s",
                 rate: 500.0,
-                baseline: 250.0,
+                baseline: Some(250.0),
+            },
+            BenchResult {
+                id: "tcp/z_new",
+                unit: "tasks/s",
+                rate: 9.0e3,
+                baseline: None,
             },
         ];
         let json = render_json(&results, Some(1.5), 4);
-        assert!(json.contains("\"bench\": \"BENCH_0006\""));
+        assert!(json.contains("\"bench\": \"BENCH_0007\""));
         assert!(json.contains("\"speedup\": 2.00"));
         assert!(json.contains("\"repro_all_quick\""));
         assert!(json.contains("\"jobs\": 4"));
+        // A no-baseline scenario renders as null + "new": true — never a
+        // fake 0.0 before / 0.00 speedup.
+        assert!(json
+            .contains("\"before\": null, \"after\": 9.0000e3, \"speedup\": null, \"new\": true"));
+        assert!(!json.contains("\"speedup\": 0.00"));
         // Balanced braces/brackets and no trailing comma before a closer.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -553,16 +663,24 @@ mod tests {
         let table = render_table(&results, None, 1);
         assert!(table.contains("sim/x"));
         assert!(table.contains("2.00x"));
+        assert!(table.contains("new"));
     }
 
     #[test]
-    fn speedup_handles_zero_baseline() {
+    fn speedup_handles_missing_baseline() {
         let r = BenchResult {
             id: "z",
             unit: "u",
             rate: 1.0,
-            baseline: 0.0,
+            baseline: None,
         };
-        assert_eq!(r.speedup(), 0.0);
+        assert_eq!(r.speedup(), None);
+        let zero = BenchResult {
+            id: "z0",
+            unit: "u",
+            rate: 1.0,
+            baseline: Some(0.0),
+        };
+        assert_eq!(zero.speedup(), None);
     }
 }

@@ -77,6 +77,10 @@ pub struct ForwarderStats {
     pub results_delivered: u64,
     /// Tasks re-routed after a dispatcher loss.
     pub rerouted: u64,
+    /// Dispatcher-loss events observed.
+    pub dispatchers_lost: u64,
+    /// Dispatchers re-admitted after the driver re-established them.
+    pub readmitted: u64,
 }
 
 /// The forwarder state machine. See module docs.
@@ -135,12 +139,19 @@ impl<P: Probe> Forwarder<P> {
             tasks_routed: c.value(ObsEventKind::BundleRouted),
             results_delivered: c.value(ObsEventKind::ResultsRouted),
             rerouted: c.value(ObsEventKind::TaskRerouted),
+            dispatchers_lost: c.count(ObsEventKind::DispatcherLost),
+            readmitted: c.count(ObsEventKind::DispatcherReadmitted),
         }
     }
 
     /// The internal per-kind event counters (always on, probe or not).
     pub fn counters(&self) -> &Counters {
         &self.counters
+    }
+
+    /// The mounted probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
     }
 
     /// Tasks currently in flight downstream.
@@ -219,6 +230,7 @@ impl<P: Probe> Forwarder<P> {
                 }
             }
             ForwarderEvent::DispatcherLost { dispatcher } => {
+                self.emit(now, ObsEvent::DispatcherLost);
                 // Mark the dead dispatcher saturated immediately so neither
                 // the re-routes below nor new client submissions land on it
                 // until the driver calls `readmit` — even when nothing was
@@ -251,10 +263,14 @@ impl<P: Probe> Forwarder<P> {
         }
     }
 
-    /// Re-admit a dispatcher after the driver re-established it.
-    pub fn readmit(&mut self, dispatcher: DispatcherIndex) {
+    /// Re-admit a dispatcher after the driver re-established it. Like
+    /// every other state change this is a machine-observed lifecycle edge:
+    /// the driver supplies `now` and the machine emits the event, so sim
+    /// and rt deployments stay parity-comparable.
+    pub fn readmit(&mut self, now: Micros, dispatcher: DispatcherIndex) {
         if let Some(o) = self.outstanding.get_mut(dispatcher) {
             *o = 0;
+            self.emit(now, ObsEvent::DispatcherReadmitted);
         }
     }
 }
@@ -390,9 +406,11 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(f.stats().rerouted, 4);
+        assert_eq!(f.stats().dispatchers_lost, 1);
         assert_eq!(f.in_flight(), 8);
         // After re-admission new work can land on dispatcher 0 again.
-        f.readmit(0);
+        f.readmit(0, 0);
+        assert_eq!(f.stats().readmitted, 1);
         let acts = step(
             &mut f,
             ForwarderEvent::ClientSubmit {
@@ -445,7 +463,7 @@ mod loss_regressions {
             other => panic!("unexpected {other:?}"),
         }
         // After re-admission it participates again.
-        f.readmit(0);
+        f.readmit(1, 0);
         out.clear();
         f.on_event(
             2,

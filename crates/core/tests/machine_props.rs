@@ -229,7 +229,7 @@ proptest! {
                     let d = x as usize % k;
                     held[d].clear();
                     f.on_event(0, ForwarderEvent::DispatcherLost { dispatcher: d }, &mut out);
-                    f.readmit(d);
+                    f.readmit(0, d);
                 }
             }
             for act in out.drain(..) {

@@ -12,6 +12,7 @@ use falkon_core::DispatcherConfig;
 use falkon_proto::bundle::BundleConfig;
 use falkon_proto::message::ExecutorId;
 use falkon_proto::task::TaskSpec;
+use falkon_rt::forwarder::ForwarderServer;
 use falkon_rt::inproc::{run_sleep_workload, InprocConfig};
 use falkon_rt::tcp::{
     run_client, run_executor, DispatcherServer, ServerConfig, TcpSecurity, TransportKind,
@@ -65,9 +66,9 @@ pub struct Measured {
     /// One row per (security, transport) arm of the full TCP deployment:
     /// dispatcher server, 4 executor threads, and a client on real loopback
     /// sockets, driven by the event-driven transport (no polling cadence).
-    /// Covers thread-per-connection and the sharded connection-multiplexed
-    /// transport, so both paths of the `Transport` API get a measured
-    /// number.
+    /// Covers thread-per-connection, the sharded connection-multiplexed
+    /// transport, and the three-tier forwarder deployment, so every path
+    /// of the `Transport` API gets a measured number.
     pub tcp_rows: Vec<TcpMeasuredRow>,
     /// The GT4-counter-service analog: raw request/response over TCP,
     /// calls/sec with 8 concurrent clients.
@@ -104,6 +105,46 @@ fn tcp_arm(
         .collect();
     let tasks: Vec<TaskSpec> = (0..n).map(|i| TaskSpec::sleep(i, 0)).collect();
     let client = run_client(addr, tasks, BundleConfig::of(300), security).expect("tcp client run");
+    server.shutdown();
+    for e in execs {
+        e.join().expect("executor thread").ok();
+    }
+    TcpMeasuredRow {
+        label,
+        tasks: client.done,
+        throughput: client.done as f64 / (client.elapsed_us.max(1) as f64 / 1e6),
+    }
+}
+
+/// One three-tier deployment run: client → forwarder → `dispatchers`
+/// dispatcher cores → 2 executors each, all over real loopback sockets.
+/// On a core-limited box the tiers time-share one CPU, so this measures
+/// the forwarder hop's overhead rather than multi-core scaling (see
+/// EXPERIMENTS.md for the honest framing).
+fn three_tier_arm(label: &'static str, n: u64, dispatchers: usize) -> TcpMeasuredRow {
+    const EXECS_PER_DISPATCHER: u64 = 2;
+    let config = ServerConfig::builder()
+        .dispatcher(DispatcherConfig {
+            client_notify_batch: 1_000,
+            ..DispatcherConfig::default()
+        })
+        .forwarder(dispatchers)
+        .build()
+        .expect("valid three-tier config");
+    let server = ForwarderServer::start(config).expect("bind three-tier");
+    let addr = server.addr;
+    let mut execs = Vec::new();
+    for (d, disp_addr) in server.dispatcher_addrs().iter().enumerate() {
+        let disp_addr = *disp_addr;
+        for i in 0..EXECS_PER_DISPATCHER {
+            let id = ExecutorId(d as u64 * EXECS_PER_DISPATCHER + i);
+            execs.push(std::thread::spawn(move || {
+                run_executor(disp_addr, id, ExecutorConfig::default(), None)
+            }));
+        }
+    }
+    let tasks: Vec<TaskSpec> = (0..n).map(|i| TaskSpec::sleep(i, 0)).collect();
+    let client = run_client(addr, tasks, BundleConfig::of(300), None).expect("three-tier client");
     server.shutdown();
     for e in execs {
         e.join().expect("executor thread").ok();
@@ -175,6 +216,7 @@ pub fn run(scale: Scale) -> Measured {
             None,
             TransportKind::Sharded { shards: 2 },
         ),
+        three_tier_arm("three-tier (forwarder, 2 dispatchers)", n_tcp, 2),
     ];
     let server = CounterServer::start().expect("bind counter service");
     let counter_rate = measure_call_rate(server.addr, 8, Duration::from_secs(scale.pick(1, 5)));
@@ -232,7 +274,7 @@ mod tests {
             assert!(r.overhead.p90_us <= r.overhead.p99_us);
             assert!(r.overhead.p99_us <= r.overhead.max_us);
         }
-        assert_eq!(m.tcp_rows.len(), 3);
+        assert_eq!(m.tcp_rows.len(), 4);
         for r in &m.tcp_rows {
             assert!(r.tasks > 0, "{}: no tasks completed over TCP", r.label);
             assert!(r.throughput > 0.0, "{}: no TCP throughput", r.label);

@@ -108,6 +108,11 @@ pub enum ObsEvent {
         /// Tasks rerouted.
         count: u64,
     },
+    /// The forwarder marked a downstream dispatcher lost (its outstanding
+    /// load is poisoned until re-admission).
+    DispatcherLost,
+    /// The forwarder re-admitted a dispatcher the driver re-established.
+    DispatcherReadmitted,
     /// A wire codec encoded a bundle into `bytes`.
     BundleEncoded {
         /// Encoded size in bytes.
@@ -150,13 +155,15 @@ pub enum ObsEventKind {
     BundleRouted,
     ResultsRouted,
     TaskRerouted,
+    DispatcherLost,
+    DispatcherReadmitted,
     BundleEncoded,
     BundleDecoded,
 }
 
 impl ObsEventKind {
     /// Every kind, in declaration order (the [`Counters`] index order).
-    pub const ALL: [ObsEventKind; 27] = [
+    pub const ALL: [ObsEventKind; 29] = [
         ObsEventKind::TaskSubmitted,
         ObsEventKind::TaskDispatched,
         ObsEventKind::TaskStarted,
@@ -182,6 +189,8 @@ impl ObsEventKind {
         ObsEventKind::BundleRouted,
         ObsEventKind::ResultsRouted,
         ObsEventKind::TaskRerouted,
+        ObsEventKind::DispatcherLost,
+        ObsEventKind::DispatcherReadmitted,
         ObsEventKind::BundleEncoded,
         ObsEventKind::BundleDecoded,
     ];
@@ -214,6 +223,8 @@ impl ObsEventKind {
             ObsEventKind::BundleRouted => "bundle_routed",
             ObsEventKind::ResultsRouted => "results_routed",
             ObsEventKind::TaskRerouted => "task_rerouted",
+            ObsEventKind::DispatcherLost => "dispatcher_lost",
+            ObsEventKind::DispatcherReadmitted => "dispatcher_readmitted",
             ObsEventKind::BundleEncoded => "bundle_encoded",
             ObsEventKind::BundleDecoded => "bundle_decoded",
         }
@@ -260,6 +271,8 @@ impl ObsEvent {
             ObsEvent::BundleRouted { .. } => ObsEventKind::BundleRouted,
             ObsEvent::ResultsRouted { .. } => ObsEventKind::ResultsRouted,
             ObsEvent::TaskRerouted { .. } => ObsEventKind::TaskRerouted,
+            ObsEvent::DispatcherLost => ObsEventKind::DispatcherLost,
+            ObsEvent::DispatcherReadmitted => ObsEventKind::DispatcherReadmitted,
             ObsEvent::BundleEncoded { .. } => ObsEventKind::BundleEncoded,
             ObsEvent::BundleDecoded { .. } => ObsEventKind::BundleDecoded,
         }
@@ -296,7 +309,9 @@ impl ObsEvent {
             | ObsEvent::ExecutorBusy
             | ObsEvent::ExecutorReleased
             | ObsEvent::WorkRequested
-            | ObsEvent::AllocationReleased => 1,
+            | ObsEvent::AllocationReleased
+            | ObsEvent::DispatcherLost
+            | ObsEvent::DispatcherReadmitted => 1,
         }
     }
 }

@@ -30,8 +30,10 @@
 
 pub mod clock;
 pub mod exec;
+pub mod forwarder;
 pub mod inproc;
 pub mod muxpeer;
+pub mod poll;
 pub mod shard;
 pub mod tcp;
 pub mod transport;

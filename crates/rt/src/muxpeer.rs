@@ -16,7 +16,7 @@
 #![cfg(unix)]
 
 use crate::clock::Clock;
-use crate::shard::sys;
+use crate::poll as sys;
 use crate::tcp::{Conn, ConnReader, ConnWriter, TcpSecurity};
 use falkon_core::executor::{Executor, ExecutorAction, ExecutorConfig, ExecutorEvent};
 use falkon_obs::{Counters, NoopProbe};

@@ -1,0 +1,59 @@
+//! Minimal `poll(2)` binding shared by every event-loop in this crate.
+//!
+//! `std` already links libc on every unix target, so declaring the one
+//! symbol we need avoids a dependency. This is the crate's single
+//! readiness-wait syscall surface — the sharded dispatcher transport
+//! ([`crate::shard`]), the multiplexed peer pool ([`crate::muxpeer`]),
+//! and the forwarder's downstream links all block here — which keeps the
+//! workspace down to exactly one `unsafe` site (and one `// SAFETY:`
+//! audit point) for foreign I/O readiness. No atomics live here: the
+//! binding is a pure syscall wrapper, and every cross-thread hand-off
+//! around it synchronizes through channels and wake pipes.
+#![cfg(unix)]
+
+/// There is data to read.
+pub const POLLIN: i16 = 0x001;
+/// Writing is now possible.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (revents only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (revents only).
+pub const POLLHUP: i16 = 0x010;
+
+/// One registered fd, `struct pollfd` layout.
+#[repr(C)]
+pub struct PollFd {
+    /// The file descriptor to watch.
+    pub fd: i32,
+    /// Requested readiness events.
+    pub events: i16,
+    /// Returned readiness events.
+    pub revents: i16,
+}
+
+#[cfg(target_os = "linux")]
+type NfdsT = std::os::raw::c_ulong;
+#[cfg(not(target_os = "linux"))]
+type NfdsT = u32;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: std::os::raw::c_int) -> i32;
+}
+
+/// Block until a registered fd is ready (`timeout_ms < 0` = forever),
+/// retrying on `EINTR`.
+pub fn poll_wait(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `#[repr(C)]` PollFd for the whole call, and `nfds` is its
+        // exact length, matching the poll(2) contract.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = std::io::Error::last_os_error();
+        if err.kind() != std::io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}

@@ -51,48 +51,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 
-/// Minimal `poll(2)` binding. `std` already links libc on every unix
-/// target, so declaring the one symbol we need avoids a dependency.
-pub(crate) mod sys {
-    pub const POLLIN: i16 = 0x001;
-    pub const POLLOUT: i16 = 0x004;
-    pub const POLLERR: i16 = 0x008;
-    pub const POLLHUP: i16 = 0x010;
-
-    #[repr(C)]
-    pub struct PollFd {
-        pub fd: i32,
-        pub events: i16,
-        pub revents: i16,
-    }
-
-    #[cfg(target_os = "linux")]
-    type NfdsT = std::os::raw::c_ulong;
-    #[cfg(not(target_os = "linux"))]
-    type NfdsT = u32;
-
-    extern "C" {
-        fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: std::os::raw::c_int) -> i32;
-    }
-
-    /// Block until a registered fd is ready (`timeout_ms < 0` = forever),
-    /// retrying on `EINTR`.
-    pub fn poll_wait(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
-        loop {
-            // SAFETY: `fds` is a valid, exclusively borrowed slice of
-            // `#[repr(C)]` PollFd for the whole call, and `nfds` is its
-            // exact length, matching the poll(2) contract.
-            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
-            if rc >= 0 {
-                return Ok(rc as usize);
-            }
-            let err = std::io::Error::last_os_error();
-            if err.kind() != std::io::ErrorKind::Interrupted {
-                return Err(err);
-            }
-        }
-    }
-}
+use crate::poll as sys;
 
 /// Generation-counted slab index for one shard-owned connection. The
 /// generation guards token reuse: ops carrying a stale token (their

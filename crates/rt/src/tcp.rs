@@ -528,18 +528,20 @@ pub struct ServerConfig {
     security: TcpSecurity,
     transport: TransportKind,
     flush_high_water: usize,
+    forwarder_dispatchers: Option<usize>,
 }
 
 impl ServerConfig {
     /// Start building a config. Defaults: default [`DispatcherConfig`], no
     /// security, [`TransportKind::ThreadPerConn`],
-    /// [`DEFAULT_FLUSH_HIGH_WATER`].
+    /// [`DEFAULT_FLUSH_HIGH_WATER`], no forwarder tier.
     pub fn builder() -> ServerConfigBuilder {
         ServerConfigBuilder {
             dispatcher: DispatcherConfig::default(),
             security: None,
             transport: TransportKind::ThreadPerConn,
             flush_high_water: DEFAULT_FLUSH_HIGH_WATER,
+            forwarder_dispatchers: None,
         }
     }
 
@@ -552,6 +554,28 @@ impl ServerConfig {
     pub fn security(&self) -> TcpSecurity {
         self.security
     }
+
+    /// Downstream dispatcher count of the forwarder tier, if
+    /// [`ServerConfigBuilder::forwarder`] selected one.
+    pub fn forwarder_dispatchers(&self) -> Option<usize> {
+        self.forwarder_dispatchers
+    }
+
+    /// The configured coalesced-flush high-water mark.
+    pub(crate) fn flush_high_water(&self) -> usize {
+        self.flush_high_water
+    }
+
+    /// The config one tier down: identical transport/security/machine
+    /// tunables, without the forwarder field — what
+    /// [`crate::forwarder::ForwarderServer`] hands to each
+    /// [`DispatcherServer`] it mounts.
+    pub(crate) fn dispatcher_tier(&self) -> ServerConfig {
+        ServerConfig {
+            forwarder_dispatchers: None,
+            ..self.clone()
+        }
+    }
 }
 
 /// Builder for [`ServerConfig`].
@@ -561,6 +585,7 @@ pub struct ServerConfigBuilder {
     security: TcpSecurity,
     transport: TransportKind,
     flush_high_water: usize,
+    forwarder_dispatchers: Option<usize>,
 }
 
 impl ServerConfigBuilder {
@@ -596,6 +621,17 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Mount a forwarder tier over `dispatchers` downstream dispatcher
+    /// cores (the paper's 3-tier deployment). The transport, security, and
+    /// dispatcher-machine settings apply to every tier: the forwarder's
+    /// client-facing listener and each downstream [`DispatcherServer`].
+    /// Consumed by [`crate::forwarder::ForwarderServer::start`];
+    /// [`DispatcherServer::start`] ignores it.
+    pub fn forwarder(mut self, dispatchers: usize) -> Self {
+        self.forwarder_dispatchers = Some(dispatchers);
+        self
+    }
+
     /// Validate and finish.
     pub fn build(self) -> Result<ServerConfig, ConfigError> {
         if let TransportKind::Sharded { shards: 0 } = self.transport {
@@ -604,11 +640,15 @@ impl ServerConfigBuilder {
         if self.flush_high_water == 0 {
             return Err(ConfigError::ZeroHighWater);
         }
+        if self.forwarder_dispatchers == Some(0) {
+            return Err(ConfigError::ZeroDispatchers);
+        }
         Ok(ServerConfig {
             dispatcher: self.dispatcher,
             security: self.security,
             transport: self.transport,
             flush_high_water: self.flush_high_water,
+            forwarder_dispatchers: self.forwarder_dispatchers,
         })
     }
 }
@@ -621,6 +661,9 @@ pub enum ConfigError {
     /// `flush_high_water(0)`: every enqueue would trigger a flush of an
     /// empty buffer and nothing would ever coalesce.
     ZeroHighWater,
+    /// `forwarder(0)`: a forwarder tier needs at least one downstream
+    /// dispatcher to route to.
+    ZeroDispatchers,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -629,6 +672,9 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroShards => write!(f, "sharded transport needs at least 1 shard"),
             ConfigError::ZeroHighWater => {
                 write!(f, "flush high-water mark must be at least 1 byte")
+            }
+            ConfigError::ZeroDispatchers => {
+                write!(f, "forwarder tier needs at least 1 downstream dispatcher")
             }
         }
     }
@@ -651,7 +697,7 @@ struct ThreadPerConn {
 }
 
 /// Bind the thread-per-connection transport on an ephemeral port.
-fn bind_thread_per_conn(
+pub(crate) fn bind_thread_per_conn(
     security: TcpSecurity,
     high_water: usize,
 ) -> std::io::Result<(Box<dyn Transport>, Receiver<TransportEvent>)> {

@@ -109,10 +109,11 @@ fn nightly_supports(cargo: &str, probe: &[&str]) -> bool {
 }
 
 /// ThreadSanitizer over the concurrency surface: the pool's deque model
-/// tests (`-p falkon-pool`), the 1k-connection fan-out soak
-/// (`--test tcp_fanout`), and the vendored channel's own tests. TSan needs
-/// nightly (`-Zsanitizer=thread`) plus rust-src for a `-Zbuild-std`
-/// rebuild of std with the sanitizer runtime.
+/// tests (`-p falkon-pool`), the 1k-connection fan-out soak and the
+/// three-tier dispatcher-loss soak (root-package integration tests
+/// `tcp_fanout` / `tcp_threetier`), and the vendored channel's own tests.
+/// TSan needs nightly (`-Zsanitizer=thread`) plus rust-src for a
+/// `-Zbuild-std` rebuild of std with the sanitizer runtime.
 fn tsan(rest: &[String]) -> ExitCode {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
     if !nightly_supports(&cargo, &["--version"]) {
@@ -126,7 +127,10 @@ fn tsan(rest: &[String]) -> ExitCode {
     let host = host_triple(&cargo).unwrap_or_else(|| "x86_64-unknown-linux-gnu".into());
     let suites: &[&[&str]] = &[
         &["test", "-p", "falkon-pool"],
-        &["test", "-p", "falkon-rt", "--test", "tcp_fanout"],
+        // The soak tests are integration tests of the root `falkon`
+        // package (they live in the top-level tests/), not of falkon-rt.
+        &["test", "-p", "falkon", "--test", "tcp_fanout"],
+        &["test", "-p", "falkon", "--test", "tcp_threetier"],
         &["test", "-p", "crossbeam"],
     ];
     for suite in suites {
@@ -150,7 +154,9 @@ fn tsan(rest: &[String]) -> ExitCode {
             }
         }
     }
-    println!("xtask tsan: PASSED (pool deque model, tcp_fanout soak, vendored channel)");
+    println!(
+        "xtask tsan: PASSED (pool deque model, tcp_fanout + tcp_threetier soaks, vendored channel)"
+    );
     ExitCode::SUCCESS
 }
 

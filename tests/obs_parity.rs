@@ -7,13 +7,20 @@
 //! the tentpole property of `falkon-obs`: probes observe the machines, not
 //! the drivers.
 
+use falkon::core::executor::ExecutorConfig;
+use falkon::core::forwarder::{Forwarder, ForwarderAction, ForwarderEvent};
+use falkon::core::ids::InstanceId;
 use falkon::core::DispatcherConfig;
 use falkon::exp::simfalkon::{SimFalkon, SimFalkonConfig};
-use falkon::obs::{Counters, ObsEventKind};
+use falkon::obs::{Counters, ObsEventKind, Recorder};
 use falkon::proto::bundle::BundleConfig;
-use falkon::proto::task::TaskSpec;
+use falkon::proto::message::ExecutorId;
+use falkon::proto::task::{TaskResult, TaskSpec};
+use falkon::rt::forwarder::ForwarderServer;
 use falkon::rt::inproc::{run_workload, InprocConfig};
+use falkon::rt::tcp::{run_client, run_executor, ServerConfig};
 use falkon::rt::transport::WireMode;
+use std::thread;
 
 const N: u64 = 24;
 
@@ -79,4 +86,130 @@ fn sim_and_inproc_agree_on_event_accounting() {
     assert_eq!(sim.count(ObsEventKind::ExecutorRegistered), 1);
     assert_eq!(sim.value(ObsEventKind::TaskSubmitted), N);
     assert_eq!(sim.count(ObsEventKind::BundleEncoded), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Forwarder parity: virtual-time machine vs the real-socket three-tier driver
+// ---------------------------------------------------------------------------
+
+const FWD_TASKS: u64 = 120;
+const FWD_BUNDLE: usize = 30;
+const FWD_DISPATCHERS: usize = 2;
+
+fn fwd_tasks() -> Vec<TaskSpec> {
+    (0..FWD_TASKS).map(|i| TaskSpec::sleep(i, 0)).collect()
+}
+
+/// Drive the sans-io [`Forwarder`] in virtual time: submit the workload in
+/// bundles, then complete each dispatcher's share.
+fn forwarder_sim_counters() -> Counters {
+    let mut fwd: Forwarder<Recorder> = Forwarder::with_probe(FWD_DISPATCHERS, Recorder::new());
+    let mut actions = Vec::new();
+    let mut routed: Vec<Vec<TaskSpec>> = vec![Vec::new(); FWD_DISPATCHERS];
+    for chunk in fwd_tasks().chunks(FWD_BUNDLE) {
+        fwd.on_event(
+            1_000,
+            ForwarderEvent::ClientSubmit {
+                instance: InstanceId(1),
+                tasks: chunk.to_vec(),
+            },
+            &mut actions,
+        );
+        for act in actions.drain(..) {
+            if let ForwarderAction::SubmitTo { dispatcher, tasks } = act {
+                routed[dispatcher].extend(tasks);
+            }
+        }
+    }
+    for (d, tasks) in routed.into_iter().enumerate() {
+        let results = tasks.iter().map(|t| TaskResult::success(t.id)).collect();
+        fwd.on_event(
+            2_000,
+            ForwarderEvent::DispatcherResults {
+                dispatcher: d,
+                results,
+            },
+            &mut actions,
+        );
+        actions.clear();
+    }
+    assert_eq!(fwd.in_flight(), 0);
+    fwd.probe().counters.clone()
+}
+
+/// The same workload shape through the real-socket three-tier deployment:
+/// the driver mounts a [`Recorder`] on the identical machine, so every
+/// lifecycle event below was emitted by the machine, never the driver.
+fn forwarder_rt_counters() -> Counters {
+    let config = ServerConfig::builder()
+        .dispatcher(DispatcherConfig {
+            client_notify_batch: 64,
+            ..DispatcherConfig::default()
+        })
+        .forwarder(FWD_DISPATCHERS)
+        .build()
+        .expect("valid config");
+    let server = ForwarderServer::start(config).expect("bind three-tier");
+    let addr = server.addr;
+    let mut execs = Vec::new();
+    for (d, disp_addr) in server.dispatcher_addrs().iter().enumerate() {
+        let disp_addr = *disp_addr;
+        execs.push(thread::spawn(move || {
+            run_executor(
+                disp_addr,
+                ExecutorId(d as u64),
+                ExecutorConfig::default(),
+                None,
+            )
+        }));
+    }
+    let client = run_client(addr, fwd_tasks(), BundleConfig::of(FWD_BUNDLE), None).expect("client");
+    assert_eq!(client.done, FWD_TASKS);
+    let (outcome, _) = server.shutdown();
+    for e in execs {
+        e.join().expect("executor thread").ok();
+    }
+    outcome.recorder.counters
+}
+
+#[test]
+fn forwarder_events_agree_across_sim_and_rt() {
+    let sim = forwarder_sim_counters();
+    let rt = forwarder_rt_counters();
+    // Bundle routing is fully deterministic: the client's bundling fixes
+    // the ClientSubmit stream, and the machine routes each bundle whole.
+    assert_eq!(
+        (
+            sim.count(ObsEventKind::BundleRouted),
+            sim.value(ObsEventKind::BundleRouted)
+        ),
+        (
+            rt.count(ObsEventKind::BundleRouted),
+            rt.value(ObsEventKind::BundleRouted)
+        ),
+        "bundle routing diverges between drivers"
+    );
+    assert_eq!(
+        sim.count(ObsEventKind::BundleRouted),
+        FWD_TASKS.div_ceil(FWD_BUNDLE as u64),
+        "one BundleRouted per client bundle"
+    );
+    // Result delivery value (total results funnelled back) is determined
+    // by the workload; the *count* depends on how the dispatchers batch
+    // their notifies, which timing owns — so only the value is pinned.
+    assert_eq!(
+        sim.value(ObsEventKind::ResultsRouted),
+        rt.value(ObsEventKind::ResultsRouted),
+        "results funnelled diverge between drivers"
+    );
+    assert_eq!(sim.value(ObsEventKind::ResultsRouted), FWD_TASKS);
+    // A clean run has no losses in either driver.
+    for kind in [
+        ObsEventKind::TaskRerouted,
+        ObsEventKind::DispatcherLost,
+        ObsEventKind::DispatcherReadmitted,
+    ] {
+        assert_eq!(sim.count(kind), 0, "sim recorded spurious {}", kind.name());
+        assert_eq!(rt.count(kind), 0, "rt recorded spurious {}", kind.name());
+    }
 }
