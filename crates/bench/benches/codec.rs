@@ -59,5 +59,51 @@ fn bench_framing(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_encode, bench_decode, bench_framing);
+/// The zero-copy reassembly path as the socket drivers use it: bytes arrive
+/// in read-sized chunks into the cursor's own buffer (`space`/`commit`),
+/// frames are consumed as borrowed views, and the buffer is reused across
+/// iterations — the steady-state inbound loop of every transport.
+fn bench_frame_reassembly(c: &mut Criterion) {
+    use falkon_proto::frame::{write_frame, FrameCursor};
+    let payloads: Vec<Vec<u8>> = (0..100).map(|i| vec![i as u8; 200]).collect();
+    let mut stream = Vec::new();
+    for p in &payloads {
+        write_frame(&mut stream, p);
+    }
+    let mut g = c.benchmark_group("frame_reassembly");
+    g.throughput(Throughput::Bytes(stream.len() as u64));
+    // Chunk sizes bracket reality: 1448 ≈ one TCP segment of payload,
+    // 64 KiB = one full read of a fast local stream.
+    for &chunk in &[1448usize, 64 * 1024] {
+        g.bench_with_input(
+            BenchmarkId::new("cursor_100x200B", chunk),
+            &chunk,
+            |b, &chunk| {
+                let mut cur = FrameCursor::new();
+                b.iter(|| {
+                    let mut frames = 0u32;
+                    for piece in stream.chunks(chunk) {
+                        let dst = cur.space(piece.len());
+                        dst[..piece.len()].copy_from_slice(black_box(piece));
+                        cur.commit(piece.len());
+                        while let Some(frame) = cur.next_frame().unwrap() {
+                            black_box(frame.len());
+                            frames += 1;
+                        }
+                    }
+                    assert_eq!(frames, 100);
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_decode,
+    bench_framing,
+    bench_frame_reassembly
+);
 criterion_main!(benches);

@@ -225,7 +225,10 @@ fn run_bench(json_path: Option<String>, jobs: usize, floors: &[(String, f64)]) {
         }
     }
     // Wall-clock of a full quick-scale `repro all`, output discarded so the
-    // measurement is compute, not terminal I/O.
+    // measurement is compute, not terminal I/O. Drop the connection-buffer
+    // pool first: the fan-out scenarios leave it at its byte budget, and
+    // the repro pipeline should not inherit their retained heap.
+    falkon_rt::bufpool::drain();
     let clock = falkon_rt::Clock::start();
     let t0 = clock.now_us();
     let mut sink_len = 0usize;

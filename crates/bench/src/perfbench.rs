@@ -1,4 +1,4 @@
-//! `repro bench` — the tracked performance baseline behind `BENCH_0007.json`.
+//! `repro bench` — the tracked performance baseline behind `BENCH_0008.json`.
 //!
 //! Runs a fixed set of hot-path scenarios (event engine, simulated
 //! deployment, dispatcher state machine, in-process runtime, TCP runtime,
@@ -32,7 +32,7 @@ use std::hint::black_box;
 /// of the tree immediately before the three-tier forwarder deployment;
 /// both columns re-measured on one machine per DESIGN.md §10's baseline
 /// discipline).
-pub const BASELINE_COMMIT: &str = "255d995";
+pub const BASELINE_COMMIT: &str = "a1373af";
 
 /// Keep sampling until a scenario has accumulated this much measured time.
 const MIN_SAMPLE_US: u64 = 300_000;
@@ -462,99 +462,108 @@ pub fn run_benches() -> Vec<BenchResult> {
         "sim/chained_timer_events",
         "events/s",
         sim_chained(),
-        Some(108.2e6),
+        Some(95.60e6),
     );
     push(
         "sim/outstanding_50k_timers",
         "events/s",
         sim_outstanding(),
-        Some(10.41e6),
+        Some(9.117e6),
     );
     push(
         "sim/same_instant_bursts",
         "events/s",
         sim_same_instant(),
-        Some(206.6e6),
+        Some(198.4e6),
     );
     push(
         "sim/deployment_sleep0_1000",
         "tasks/s",
         sim_deployment(),
-        Some(1.052e6),
+        Some(1.082e6),
     );
     push(
         "dispatcher/lifecycle_1000",
         "tasks/s",
         dispatcher_lifecycle(),
-        Some(3.46e6),
+        Some(3.311e6),
     );
     push(
         "inproc/sleep0_plain",
         "tasks/s",
         inproc(WireMode::Plain),
-        Some(282.0e3),
+        Some(269.8e3),
     );
     push(
         "inproc/sleep0_encoded",
         "tasks/s",
         inproc(WireMode::Encoded),
-        Some(235.2e3),
+        Some(229.2e3),
     );
     push(
         "inproc/sleep0_secure",
         "tasks/s",
         inproc(WireMode::Secure),
-        Some(197.7e3),
+        Some(199.3e3),
     );
     push(
         "tcp/sleep0_plain",
         "tasks/s",
         tcp_sleep0(None),
-        Some(63.2e3),
+        Some(54.3e3),
     );
     push(
         "tcp/sleep0_secure",
         "tasks/s",
         tcp_sleep0(Some(0xFA1C0)),
-        Some(59.4e3),
+        Some(58.9e3),
     );
     push(
         "tcp/conn_fanout",
         "tasks/s",
         tcp_conn_fanout(),
-        Some(17.3e3),
+        Some(15.8e3),
     );
-    // New in BENCH_0007: the three-tier deployment did not exist at
-    // BASELINE_COMMIT, so these rows have no baseline. The headline
-    // `tcp/three_tier` runs the 4-dispatcher sweep point; the `_1d`/`_2d`
-    // rows pin the scaling curve (see EXPERIMENTS.md on core limits).
-    push("tcp/three_tier_1d", "tasks/s", tcp_three_tier(1), None);
-    push("tcp/three_tier_2d", "tasks/s", tcp_three_tier(2), None);
-    push("tcp/three_tier", "tasks/s", tcp_three_tier(4), None);
+    // The headline `tcp/three_tier` runs the 4-dispatcher sweep point; the
+    // `_1d`/`_2d` rows pin the scaling curve (see EXPERIMENTS.md on core
+    // limits).
+    push(
+        "tcp/three_tier_1d",
+        "tasks/s",
+        tcp_three_tier(1),
+        Some(70.1e3),
+    );
+    push(
+        "tcp/three_tier_2d",
+        "tasks/s",
+        tcp_three_tier(2),
+        Some(77.6e3),
+    );
+    push("tcp/three_tier", "tasks/s", tcp_three_tier(4), Some(78.9e3));
     push(
         "codec/encode_efficient_1000",
         "MB/s",
         codec_encode(),
-        Some(3098.0),
+        Some(2938.0),
     );
     push(
         "codec/decode_efficient_1000",
         "MB/s",
         codec_decode(),
-        Some(390.9),
+        Some(410.1),
     );
     out
 }
 
 /// Serial quick-scale `repro all` wall time at [`BASELINE_COMMIT`] on the
 /// reference machine (the "before" of the `repro_all_quick` row).
-pub const REPRO_ALL_QUICK_BASELINE_S: f64 = 1.62;
+pub const REPRO_ALL_QUICK_BASELINE_S: f64 = 1.66;
 
 /// Render the results as the committed JSON report. `jobs` is the worker
 /// count the `repro_all_quick` wall time was measured with.
 pub fn render_json(results: &[BenchResult], repro_all_quick_s: Option<f64>, jobs: usize) -> String {
     let mut s = String::from("{\n");
-    s.push_str("  \"bench\": \"BENCH_0007\",\n");
+    s.push_str("  \"bench\": \"BENCH_0008\",\n");
     s.push_str(&format!("  \"baseline_commit\": \"{BASELINE_COMMIT}\",\n"));
     if let Some(wall) = repro_all_quick_s {
         s.push_str(&format!(
@@ -647,7 +656,7 @@ mod tests {
             },
         ];
         let json = render_json(&results, Some(1.5), 4);
-        assert!(json.contains("\"bench\": \"BENCH_0007\""));
+        assert!(json.contains("\"bench\": \"BENCH_0008\""));
         assert!(json.contains("\"speedup\": 2.00"));
         assert!(json.contains("\"repro_all_quick\""));
         assert!(json.contains("\"jobs\": 4"));

@@ -15,7 +15,7 @@
 
 use crate::error::CodecError;
 use crate::message::{DispatcherStatus, ExecutorId, InstanceId, Message, NotifyKey};
-use crate::task::{DataAccess, DataLocation, DataSpec, TaskId, TaskResult, TaskSpec};
+use crate::task::{Args, DataAccess, DataLocation, DataSpec, IStr, TaskId, TaskResult, TaskSpec};
 use crate::wire::{CountSink, GrowByCopySink, Reader, Sink};
 
 /// A message codec: symmetric encode/decode over byte buffers.
@@ -162,34 +162,31 @@ fn encode_task<S: Sink>(s: &mut S, t: &TaskSpec) {
     }
 }
 
-/// Read one string into an `Arc<str>`, reusing the interned table for the
-/// hot cases (`sleep N /tmp` tasks decode with zero string allocations —
-/// three refcount bumps instead).
-fn arc_string(
-    r: &mut Reader<'_>,
-    context: &'static str,
-) -> Result<std::sync::Arc<str>, CodecError> {
+/// Read one string into an [`IStr`], reusing the static intern tables for
+/// the hot cases: a `sleep N /tmp` task decodes with zero string
+/// allocations and zero refcount traffic.
+fn istr(r: &mut Reader<'_>, context: &'static str) -> Result<IStr, CodecError> {
     let s = r.str_slice(context)?;
-    Ok(crate::task::interned(s).unwrap_or_else(|| std::sync::Arc::from(s)))
+    Ok(IStr::from(s))
 }
 
 fn decode_task(r: &mut Reader<'_>) -> Result<TaskSpec, CodecError> {
     const C: &str = "TaskSpec";
     let id = TaskId(r.u64(C)?);
-    let command = arc_string(r, C)?;
+    let command = istr(r, C)?;
     let nargs = r.len(C)?;
-    let mut args = Vec::with_capacity(nargs.min(1024));
+    let mut args = Args::new();
     for _ in 0..nargs {
-        args.push(arc_string(r, C)?);
+        args.push(istr(r, C)?);
     }
     let nenv = r.len(C)?;
     let mut env = Vec::with_capacity(nenv.min(1024));
     for _ in 0..nenv {
-        let k = arc_string(r, C)?;
-        let v = arc_string(r, C)?;
+        let k = istr(r, C)?;
+        let v = istr(r, C)?;
         env.push((k, v));
     }
-    let working_dir = arc_string(r, C)?;
+    let working_dir = istr(r, C)?;
     let estimated_runtime_us = r.opt_u64(C)?;
     let data = match r.u8(C)? {
         0 => None,

@@ -1,9 +1,32 @@
 //! Length-delimited framing for byte streams (TCP).
 //!
 //! A frame is `u32 little-endian length` followed by `length` payload bytes.
-//! [`FrameDecoder`] consumes arbitrary chunkings of the stream and yields
-//! complete frames — the property tests feed it byte-by-byte and in random
-//! splits to verify reassembly.
+//! [`FrameCursor`] consumes arbitrary chunkings of the stream and yields
+//! complete frames as **borrowed views** out of its own buffer — the
+//! inbound hot path never copies a frame into a fresh allocation. The
+//! property tests feed it byte-by-byte and in random splits to verify
+//! reassembly; [`FrameDecoder`] is the legacy owned-frame API, kept as a
+//! thin shim over the cursor.
+//!
+//! # Buffer discipline
+//!
+//! The cursor owns one contiguous buffer with two indices: `start` (bytes
+//! already yielded as frames) and `end` (bytes received from the stream).
+//! Yielding a frame only advances `start`; the consumed prefix is reclaimed
+//! by *amortized compaction* — a single `copy_within` performed only when
+//! the consumed prefix is at least as large as the live tail, never per
+//! frame. Each compaction moves fewer bytes than were consumed since the
+//! previous one, so the total copy traffic is bounded by the total stream
+//! length (amortized O(1) per byte), unlike the old per-frame
+//! `Vec::drain` which re-memmoved the entire buffered tail for every frame
+//! a bursty peer delivered.
+//!
+//! Drivers that read straight from a socket skip the intermediate read
+//! buffer entirely: [`FrameCursor::space`] hands out the spare tail of the
+//! buffer for the `read(2)` to fill and [`FrameCursor::commit`] marks the
+//! bytes received. The storage is a plain fully-initialized `Vec<u8>` (this
+//! crate is `unsafe`-free), so "spare" bytes are zeroed once on growth and
+//! reused forever after.
 
 use crate::error::CodecError;
 
@@ -40,10 +63,142 @@ pub fn end_frame(out: &mut [u8], pos: usize) {
     }
 }
 
-/// Incremental frame reassembler.
+/// Minimum spare capacity [`FrameCursor::space`] guarantees: large enough
+/// that a socket read can pull a full TCP window's worth of small frames in
+/// one syscall.
+const MIN_READ_SPACE: usize = 64 * 1024;
+
+/// Incremental frame reassembler yielding borrowed frame views.
+///
+/// See the module docs for the buffer discipline. Views are handed out
+/// mutably so a secure channel can verify-and-decrypt a sealed frame in
+/// place ([`crate::security::OpenHalf::open_in_place`]) without copying it
+/// out first.
+#[derive(Default)]
+pub struct FrameCursor {
+    /// Fully-initialized storage; `start..end` is the live stream window.
+    buf: Vec<u8>,
+    /// Bytes already yielded as frames (reclaimed by compaction).
+    start: usize,
+    /// Bytes received from the stream.
+    end: usize,
+}
+
+impl FrameCursor {
+    /// Create an empty cursor.
+    pub fn new() -> Self {
+        FrameCursor::default()
+    }
+
+    /// Create a cursor backed by a recycled buffer (its contents are
+    /// ignored, its capacity is reused). Pairs with [`FrameCursor::into_buf`]
+    /// so connection churn does not re-allocate read buffers.
+    pub fn with_buf(mut buf: Vec<u8>) -> Self {
+        // Storage must stay fully initialized: `resize` (not `clear`) keeps
+        // every byte of the capacity we intend to hand out as `space`.
+        let cap = buf.capacity();
+        buf.resize(cap, 0);
+        FrameCursor {
+            buf,
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Recover the backing buffer for recycling.
+    pub fn into_buf(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes currently buffered but not yet yielded as frames.
+    pub fn buffered(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Reclaim the consumed prefix, but only when it dominates the live
+    /// tail — each compaction then moves fewer bytes than were consumed
+    /// since the last one, keeping the total copy traffic linear in the
+    /// stream length.
+    fn compact(&mut self) {
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+        } else if self.start >= self.end - self.start {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+    }
+
+    /// Spare buffer tail for a stream read to fill, at least
+    /// [`MIN_READ_SPACE`] (and at least `min`) bytes long. Call
+    /// [`FrameCursor::commit`] with the byte count actually read.
+    pub fn space(&mut self, min: usize) -> &mut [u8] {
+        self.compact();
+        let need = min.max(MIN_READ_SPACE);
+        if self.buf.len() - self.end < need {
+            // `reserve` keeps growth amortized; `resize` zero-fills only the
+            // newly exposed bytes, once — they are reused forever after.
+            self.buf.reserve(self.end + need - self.buf.len());
+            let cap = self.buf.capacity();
+            self.buf.resize(cap, 0);
+        }
+        self.buf.get_mut(self.end..).unwrap_or_default()
+    }
+
+    /// Mark `n` bytes of the slice returned by [`FrameCursor::space`] as
+    /// received stream bytes. Clamped to the spare region, so a buggy
+    /// over-commit cannot expose bytes the stream never wrote.
+    pub fn commit(&mut self, n: usize) {
+        self.end = (self.end + n).min(self.buf.len());
+    }
+
+    /// Feed a chunk of stream bytes (copying convenience for callers that
+    /// do not read directly into [`FrameCursor::space`]).
+    pub fn feed(&mut self, chunk: &[u8]) {
+        let dst = self.space(chunk.len());
+        if let Some(dst) = dst.get_mut(..chunk.len()) {
+            dst.copy_from_slice(chunk);
+        }
+        self.commit(chunk.len());
+    }
+
+    /// Yield the next complete frame as a borrowed view into the buffer,
+    /// if one is fully buffered. The view stays valid until the next call
+    /// that touches the cursor (the borrow checker enforces this).
+    ///
+    /// Returns `Err` if the stream declares a frame longer than
+    /// [`MAX_FRAME_LEN`] (the connection should be dropped).
+    pub fn next_frame(&mut self) -> Result<Option<&mut [u8]>, CodecError> {
+        let avail = self.buf.get(self.start..self.end).unwrap_or_default();
+        let Some(header) = avail.first_chunk::<4>() else {
+            return Ok(None);
+        };
+        let len = u32::from_le_bytes(*header) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(CodecError::LengthOverflow {
+                context: "frame",
+                len: len as u64,
+            });
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let frame_start = self.start + 4;
+        self.start = frame_start + len;
+        // The range is in bounds by the length check above; `get_mut` keeps
+        // this file free of panicking indexing regardless.
+        Ok(self.buf.get_mut(frame_start..frame_start + len))
+    }
+}
+
+/// Legacy owned-frame reassembler: a thin shim over [`FrameCursor`] that
+/// copies each yielded view into a fresh `Vec<u8>`. Hot paths should use
+/// the cursor directly; this exists for callers that need frames to outlive
+/// the buffer (handshakes, tests, the GT4 counter baseline).
 #[derive(Default)]
 pub struct FrameDecoder {
-    buf: Vec<u8>,
+    cursor: FrameCursor,
 }
 
 impl FrameDecoder {
@@ -54,7 +209,7 @@ impl FrameDecoder {
 
     /// Feed a chunk of stream bytes.
     pub fn feed(&mut self, chunk: &[u8]) {
-        self.buf.extend_from_slice(chunk);
+        self.cursor.feed(chunk);
     }
 
     /// Pop the next complete frame, if one is fully buffered.
@@ -62,22 +217,7 @@ impl FrameDecoder {
     /// Returns `Err` if the stream declares a frame longer than
     /// [`MAX_FRAME_LEN`] (the connection should be dropped).
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, CodecError> {
-        let Some(header) = self.buf.first_chunk::<4>() else {
-            return Ok(None);
-        };
-        let len = u32::from_le_bytes(*header) as usize;
-        if len > MAX_FRAME_LEN {
-            return Err(CodecError::LengthOverflow {
-                context: "frame",
-                len: len as u64,
-            });
-        }
-        let Some(frame) = self.buf.get(4..4 + len) else {
-            return Ok(None);
-        };
-        let frame = frame.to_vec();
-        self.buf.drain(..4 + len);
-        Ok(Some(frame))
+        Ok(self.cursor.next_frame()?.map(|frame| frame.to_vec()))
     }
 
     /// Drain all complete frames currently buffered.
@@ -91,7 +231,7 @@ impl FrameDecoder {
 
     /// Bytes currently buffered but not yet framed.
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.cursor.buffered()
     }
 }
 
@@ -170,5 +310,105 @@ mod tests {
         // exactly MAX+1 zeros.
         let payload = vec![0u8; MAX_FRAME_LEN + 1];
         write_frame(&mut out, &payload);
+    }
+
+    #[test]
+    fn cursor_yields_borrowed_views() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"first");
+        write_frame(&mut stream, b"second");
+        let mut cur = FrameCursor::new();
+        cur.feed(&stream);
+        assert_eq!(cur.next_frame().unwrap().unwrap(), b"first");
+        assert_eq!(cur.next_frame().unwrap().unwrap(), b"second");
+        assert!(cur.next_frame().unwrap().is_none());
+        assert_eq!(cur.buffered(), 0);
+    }
+
+    #[test]
+    fn cursor_views_are_mutable_in_place() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"xxxx");
+        let mut cur = FrameCursor::new();
+        cur.feed(&stream);
+        let view = cur.next_frame().unwrap().unwrap();
+        view.copy_from_slice(b"yyyy");
+        assert_eq!(view, b"yyyy");
+    }
+
+    #[test]
+    fn cursor_space_commit_reads_like_a_socket() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &[7u8; 300]);
+        write_frame(&mut stream, b"tail");
+        // Simulate a driver copying stream chunks into `space` directly.
+        let mut cur = FrameCursor::new();
+        let mut fed = 0;
+        let mut frames = Vec::new();
+        while fed < stream.len() {
+            let chunk = (stream.len() - fed).min(113);
+            let dst = cur.space(chunk);
+            assert!(dst.len() >= chunk);
+            dst[..chunk].copy_from_slice(&stream[fed..fed + chunk]);
+            cur.commit(chunk);
+            fed += chunk;
+            while let Some(f) = cur.next_frame().unwrap() {
+                frames.push(f.to_vec());
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0], vec![7u8; 300]);
+        assert_eq!(frames[1], b"tail");
+    }
+
+    #[test]
+    fn cursor_compaction_reclaims_consumed_prefix() {
+        let mut cur = FrameCursor::new();
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &[1u8; 1000]);
+        // Stream many frames through a cursor; the buffer must not grow
+        // linearly with the stream (compaction reclaims consumed bytes).
+        for _ in 0..1000 {
+            cur.feed(&frame);
+            while let Some(f) = cur.next_frame().unwrap() {
+                assert_eq!(f.len(), 1000);
+            }
+        }
+        assert_eq!(cur.buffered(), 0);
+        assert!(
+            cur.into_buf().len() < 16 * frame.len() + MIN_READ_SPACE,
+            "buffer grew without bound"
+        );
+    }
+
+    #[test]
+    fn cursor_recycles_buffers() {
+        let mut cur = FrameCursor::new();
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &[3u8; 500]);
+        cur.feed(&stream);
+        assert!(cur.next_frame().unwrap().is_some());
+        let buf = cur.into_buf();
+        let cap = buf.capacity();
+        let mut cur2 = FrameCursor::with_buf(buf);
+        assert_eq!(cur2.buffered(), 0, "recycled cursor starts empty");
+        cur2.feed(&stream);
+        assert_eq!(cur2.next_frame().unwrap().unwrap(), &[3u8; 500][..]);
+        assert_eq!(cur2.into_buf().capacity(), cap, "capacity was reused");
+    }
+
+    #[test]
+    fn cursor_oversized_frame_rejected() {
+        let mut cur = FrameCursor::new();
+        cur.feed(&(u32::MAX).to_le_bytes());
+        assert!(cur.next_frame().is_err());
+    }
+
+    #[test]
+    fn cursor_commit_clamped_to_space() {
+        let mut cur = FrameCursor::new();
+        let spare = cur.space(1).len();
+        cur.commit(spare + 1000);
+        assert_eq!(cur.buffered(), spare, "over-commit is clamped");
     }
 }

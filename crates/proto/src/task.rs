@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::ops::Deref;
 use std::sync::{Arc, OnceLock};
 
 /// Globally unique task identifier, assigned by the client.
@@ -58,26 +59,262 @@ pub struct DataSpec {
     pub access: DataAccess,
 }
 
+/// A shared task string: either a pointer into the static intern tables or
+/// a reference-counted heap string.
+///
+/// The microbenchmark workloads funnel millions of `sleep N /tmp` tasks
+/// through encode→decode→clone→drop cycles; with `Arc<str>` fields every
+/// hop cost six refcount RMWs per task even when the strings were interned.
+/// An interned [`IStr`] is a `&'static str`, so cloning and dropping it is
+/// free and decode touches no shared cache line. Strings outside the
+/// interned set fall back to `Arc<str>` and behave exactly as before.
+#[derive(Clone)]
+pub struct IStr(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    /// A string from the intern tables (or any `'static` literal).
+    Static(&'static str),
+    /// An owned, reference-counted string.
+    Shared(Arc<str>),
+}
+
+impl IStr {
+    /// Wrap a static string without consulting the intern tables. Clone and
+    /// drop of the result are free.
+    pub const fn from_static(s: &'static str) -> IStr {
+        IStr(Repr::Static(s))
+    }
+
+    /// The string contents.
+    #[inline]
+    pub fn as_str(&self) -> &str {
+        match &self.0 {
+            Repr::Static(s) => s,
+            Repr::Shared(s) => s,
+        }
+    }
+
+    /// Whether this string is backed by the static intern tables (clone and
+    /// drop are free).
+    pub fn is_interned(&self) -> bool {
+        matches!(self.0, Repr::Static(_))
+    }
+
+    /// Whether two `IStr`s share the same backing memory (interned strings
+    /// from the same table entry, or clones of one `Arc`).
+    pub fn ptr_eq(&self, other: &IStr) -> bool {
+        let a = self.as_str();
+        let b = other.as_str();
+        std::ptr::eq(a.as_ptr(), b.as_ptr()) && a.len() == b.len()
+    }
+}
+
+impl Deref for IStr {
+    type Target = str;
+    #[inline]
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for IStr {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl Default for IStr {
+    fn default() -> IStr {
+        IStr(Repr::Static(""))
+    }
+}
+
+impl PartialEq for IStr {
+    #[inline]
+    fn eq(&self, other: &IStr) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for IStr {}
+
+impl std::hash::Hash for IStr {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state)
+    }
+}
+
+impl fmt::Debug for IStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for IStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for IStr {
+    fn from(s: &str) -> IStr {
+        match interned(s) {
+            Some(st) => IStr(Repr::Static(st)),
+            None => IStr(Repr::Shared(Arc::from(s))),
+        }
+    }
+}
+
+impl From<String> for IStr {
+    fn from(s: String) -> IStr {
+        match interned(&s) {
+            Some(st) => IStr(Repr::Static(st)),
+            None => IStr(Repr::Shared(Arc::from(s))),
+        }
+    }
+}
+
+// The workspace's serde is the vendored no-op stand-in (see `vendor/serde`);
+// these marker impls let `TaskSpec` keep its derives. A real serde would
+// serialize an `IStr` as a plain string and re-intern on deserialize.
+impl Serialize for IStr {}
+
+impl<'de> Deserialize<'de> for IStr {}
+
+/// A task's argument list with inline storage for the common shapes.
+///
+/// Paper workloads pass zero, one, or two arguments per task (`sleep N`);
+/// a `Vec` would charge every decoded task a heap allocation and every drop
+/// a free just to hold one interned pointer. `Args` stores up to two
+/// entries inline and spills to a `Vec` only beyond that, so the hot decode
+/// path never allocates for the argument list. Dereferences to `[IStr]`
+/// (the spill move keeps all entries contiguous).
+#[derive(Clone, Default)]
+pub struct Args {
+    /// Inline entries in use (0..=2); stale once `spill` is non-empty.
+    len: u8,
+    inline: [IStr; 2],
+    /// Overflow storage; once used it holds *all* entries.
+    spill: Vec<IStr>,
+}
+
+impl Args {
+    /// An empty argument list (allocates nothing).
+    pub const fn new() -> Args {
+        Args {
+            len: 0,
+            inline: [IStr::from_static(""), IStr::from_static("")],
+            spill: Vec::new(),
+        }
+    }
+
+    /// A single-argument list (allocates nothing).
+    pub fn one(arg: impl Into<IStr>) -> Args {
+        let mut args = Args::new();
+        args.push(arg);
+        args
+    }
+
+    /// Append an argument. Allocates only when the list grows past the
+    /// inline capacity of two.
+    pub fn push(&mut self, arg: impl Into<IStr>) {
+        let arg = arg.into();
+        if !self.spill.is_empty() {
+            self.spill.push(arg);
+        } else if let Some(slot) = self.inline.get_mut(self.len as usize) {
+            *slot = arg;
+            self.len += 1;
+        } else {
+            let mut v = Vec::with_capacity(4);
+            for slot in &mut self.inline {
+                v.push(std::mem::take(slot));
+            }
+            v.push(arg);
+            self.len = 0;
+            self.spill = v;
+        }
+    }
+
+    /// Remove all arguments (keeps any spill capacity).
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.inline = [IStr::from_static(""), IStr::from_static("")];
+        self.spill.clear();
+    }
+}
+
+impl Deref for Args {
+    type Target = [IStr];
+    #[inline]
+    fn deref(&self) -> &[IStr] {
+        if self.spill.is_empty() {
+            self.inline.get(..self.len as usize).unwrap_or_default()
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl PartialEq for Args {
+    fn eq(&self, other: &Args) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for Args {}
+
+impl fmt::Debug for Args {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<S: Into<IStr>> FromIterator<S> for Args {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Args {
+        let mut args = Args::new();
+        for s in iter {
+            args.push(s);
+        }
+        args
+    }
+}
+
+impl<'a> IntoIterator for &'a Args {
+    type Item = &'a IStr;
+    type IntoIter = std::slice::Iter<'a, IStr>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+// No-op marker impls matching the vendored serde stand-in; a real serde
+// would serialize `Args` as a sequence of strings.
+impl Serialize for Args {}
+
+impl<'de> Deserialize<'de> for Args {}
+
 /// A unit of work dispatched by Falkon: an executable invocation.
 ///
-/// String fields are reference-counted (`Arc<str>`): every hop of the
-/// enqueue→dispatch→complete pipeline clones the spec, and with 2 M tasks in
-/// flight a per-clone string allocation dominated the dispatch profile.
-/// Cloning a spec now bumps four refcounts instead of copying four heap
-/// strings, and the canonical `sleep` constructors intern their literals so
-/// building a spec allocates nothing at all.
+/// String fields are [`IStr`]s: every hop of the enqueue→dispatch→complete
+/// pipeline clones the spec, and with 2 M tasks in flight a per-clone string
+/// allocation dominated the dispatch profile. The canonical `sleep`
+/// constructors and the decode path intern their strings, so building,
+/// cloning, or decoding a microbenchmark spec allocates nothing and bumps
+/// no refcounts at all; [`Args`] keeps the argument list inline for the
+/// same reason.
 #[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
 pub struct TaskSpec {
     /// Unique id.
     pub id: TaskId,
     /// Executable name (the microbenchmarks use `sleep`).
-    pub command: Arc<str>,
+    pub command: IStr,
     /// Command-line arguments.
-    pub args: Vec<Arc<str>>,
+    pub args: Args,
     /// Environment variables.
-    pub env: Vec<(Arc<str>, Arc<str>)>,
+    pub env: Vec<(IStr, IStr)>,
     /// Working directory on the executor.
-    pub working_dir: Arc<str>,
+    pub working_dir: IStr,
     /// Client-estimated runtime in microseconds, if known. The paper notes
     /// that dispatcher→executor bundling requires runtime estimates; absent
     /// ones, only client→dispatcher bundling is used.
@@ -86,39 +323,34 @@ pub struct TaskSpec {
     pub data: Option<DataSpec>,
 }
 
-/// Interned `"sleep"` — shared by every spec the benchmark constructors
-/// build, so constructing a task never re-allocates the command string.
-fn sleep_command() -> Arc<str> {
-    static S: OnceLock<Arc<str>> = OnceLock::new();
-    S.get_or_init(|| Arc::from("sleep")).clone()
-}
+/// The canonical command the benchmark constructors build.
+const SLEEP_COMMAND: &str = "sleep";
 
-/// Interned `"/tmp"` (the constructors' canonical working directory).
-fn tmp_dir() -> Arc<str> {
-    static S: OnceLock<Arc<str>> = OnceLock::new();
-    S.get_or_init(|| Arc::from("/tmp")).clone()
-}
+/// The constructors' canonical working directory.
+const TMP_DIR: &str = "/tmp";
 
 /// Interned decimal strings for small durations: the paper's microbenchmark
 /// workloads use a handful of distinct `sleep` arguments ("0", "1", "4",
-/// "8"…) across millions of tasks.
-fn small_decimal(n: u64) -> Option<Arc<str>> {
-    const N: usize = 64;
-    static TABLE: OnceLock<Vec<Arc<str>>> = OnceLock::new();
-    let table = TABLE.get_or_init(|| (0..N as u64).map(|i| Arc::from(i.to_string())).collect());
-    table.get(n as usize).cloned()
+/// "8"…) across millions of tasks. The 64 strings are leaked exactly once
+/// (a few hundred bytes for the process lifetime) so interned values are
+/// `&'static str` and carry no refcount.
+fn small_decimal(n: u64) -> Option<&'static str> {
+    static TABLE: OnceLock<[&'static str; 64]> = OnceLock::new();
+    let table =
+        TABLE.get_or_init(|| std::array::from_fn(|i| &*i.to_string().leak() as &'static str));
+    table.get(n as usize).copied()
 }
 
-/// Decode-side interning: map a wire string back onto the shared `Arc`s the
-/// constructors hand out, so decoding a `sleep N /tmp` bundle bumps three
-/// refcounts instead of allocating three strings per task. Returns `None`
-/// for anything outside the interned set (the caller allocates normally).
-/// Exactness matters: only canonical decimal forms intern (`"07"` must stay
-/// `"07"`), so leading zeros are rejected.
-pub(crate) fn interned(s: &str) -> Option<Arc<str>> {
+/// Decode-side interning: map a wire string back onto the static table the
+/// constructors use, so decoding a `sleep N /tmp` bundle allocates nothing
+/// and bumps no refcounts. Returns `None` for anything outside the interned
+/// set (the caller allocates normally). Exactness matters: only canonical
+/// decimal forms intern (`"07"` must stay `"07"`), so leading zeros are
+/// rejected.
+pub(crate) fn interned(s: &str) -> Option<&'static str> {
     match s {
-        "sleep" => Some(sleep_command()),
-        "/tmp" => Some(tmp_dir()),
+        SLEEP_COMMAND => Some(SLEEP_COMMAND),
+        TMP_DIR => Some(TMP_DIR),
         _ => {
             let b = s.as_bytes();
             let canonical_decimal = matches!(b.len(), 1 | 2)
@@ -137,13 +369,16 @@ impl TaskSpec {
     /// A canonical `sleep <secs>` task, the paper's microbenchmark workload.
     /// `sleep 0` measures pure dispatch overhead.
     pub fn sleep(id: u64, secs: u64) -> TaskSpec {
-        let arg = small_decimal(secs).unwrap_or_else(|| Arc::from(secs.to_string()));
+        let arg = match small_decimal(secs) {
+            Some(s) => IStr::from_static(s),
+            None => IStr(Repr::Shared(Arc::from(secs.to_string()))),
+        };
         TaskSpec {
             id: TaskId(id),
-            command: sleep_command(),
-            args: vec![arg],
+            command: IStr::from_static(SLEEP_COMMAND),
+            args: Args::one(arg),
             env: Vec::new(),
-            working_dir: tmp_dir(),
+            working_dir: IStr::from_static(TMP_DIR),
             estimated_runtime_us: Some(secs * 1_000_000),
             data: None,
         }
@@ -152,16 +387,19 @@ impl TaskSpec {
     /// A sleep task with sub-second resolution (microseconds).
     pub fn sleep_us(id: u64, us: u64) -> TaskSpec {
         let arg = if us.is_multiple_of(1_000_000) {
-            small_decimal(us / 1_000_000).unwrap_or_else(|| Arc::from((us / 1_000_000).to_string()))
+            match small_decimal(us / 1_000_000) {
+                Some(s) => IStr::from_static(s),
+                None => IStr(Repr::Shared(Arc::from((us / 1_000_000).to_string()))),
+            }
         } else {
-            Arc::from(format!("{}", us as f64 / 1e6))
+            IStr(Repr::Shared(Arc::from(format!("{}", us as f64 / 1e6))))
         };
         TaskSpec {
             id: TaskId(id),
-            command: sleep_command(),
-            args: vec![arg],
+            command: IStr::from_static(SLEEP_COMMAND),
+            args: Args::one(arg),
             env: Vec::new(),
-            working_dir: tmp_dir(),
+            working_dir: IStr::from_static(TMP_DIR),
             estimated_runtime_us: Some(us),
             data: None,
         }
@@ -291,13 +529,47 @@ mod tests {
     fn sleep_constructors_intern_strings() {
         let a = TaskSpec::sleep(1, 0);
         let b = TaskSpec::sleep(2, 0);
-        assert!(Arc::ptr_eq(&a.command, &b.command));
-        assert!(Arc::ptr_eq(&a.working_dir, &b.working_dir));
-        assert!(Arc::ptr_eq(&a.args[0], &b.args[0]));
+        assert!(a.command.is_interned() && a.command.ptr_eq(&b.command));
+        assert!(a.working_dir.is_interned() && a.working_dir.ptr_eq(&b.working_dir));
+        assert!(a.args[0].is_interned() && a.args[0].ptr_eq(&b.args[0]));
         // Whole-second `sleep_us` calls share the same interned digits.
         let c = TaskSpec::sleep_us(3, 2_000_000);
         assert_eq!(&*c.args[0], "2");
-        assert!(Arc::ptr_eq(&c.args[0], &TaskSpec::sleep(4, 2).args[0]));
+        assert!(c.args[0].ptr_eq(&TaskSpec::sleep(4, 2).args[0]));
+    }
+
+    #[test]
+    fn istr_from_interns_and_falls_back() {
+        let i = IStr::from("sleep");
+        assert!(i.is_interned());
+        let d = IStr::from("42");
+        assert!(d.is_interned());
+        // Non-canonical decimals and arbitrary strings allocate.
+        assert!(!IStr::from("07").is_interned());
+        let owned = IStr::from("custom-binary");
+        assert!(!owned.is_interned());
+        assert_eq!(&*owned, "custom-binary");
+        // Content equality is representation-independent.
+        assert_eq!(IStr::from("sleep"), IStr::from(String::from("sleep")));
+    }
+
+    #[test]
+    fn args_inline_then_spill() {
+        let mut args = Args::new();
+        assert!(args.is_empty());
+        for i in 0..5 {
+            args.push(i.to_string());
+            // Deref stays contiguous and ordered across the spill move.
+            let got: Vec<&str> = args.iter().map(|a| &**a).collect();
+            let want: Vec<String> = (0..=i).map(|j| j.to_string()).collect();
+            assert_eq!(got, want);
+        }
+        let two: Args = ["a", "b"].into_iter().collect();
+        assert_eq!(two.len(), 2);
+        let mut cleared = two.clone();
+        cleared.clear();
+        assert!(cleared.is_empty());
+        assert_eq!(Args::one("x").first().map(|a| &**a), Some("x"));
     }
 
     #[test]

@@ -19,7 +19,7 @@ fn arb_task() -> BoxedStrategy<TaskSpec> {
             |(id, command, args, env, working_dir, est, data)| TaskSpec {
                 id: TaskId(id),
                 command: command.into(),
-                args: args.into_iter().map(Into::into).collect(),
+                args: args.into_iter().map(IStr::from).collect(),
                 env: env.into_iter().map(|(k, v)| (k.into(), v.into())).collect(),
                 working_dir: working_dir.into(),
                 estimated_runtime_us: est,
@@ -155,6 +155,133 @@ proptest! {
             got.extend(dec.drain_frames().unwrap());
         }
         prop_assert_eq!(got, payloads);
+    }
+
+    #[test]
+    fn cursor_survives_arbitrary_chunking(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..128), 1..10),
+        splits in prop::collection::vec(1usize..64, 1..64),
+    ) {
+        // The zero-copy cursor must agree with the owned-frame decoder for
+        // every chunking of the same stream.
+        let mut stream = Vec::new();
+        for p in &payloads {
+            write_frame(&mut stream, p);
+        }
+        let mut cur = FrameCursor::new();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        let mut pos = 0;
+        let mut si = 0;
+        while pos < stream.len() {
+            let n = splits[si % splits.len()].min(stream.len() - pos);
+            si += 1;
+            cur.feed(&stream[pos..pos + n]);
+            pos += n;
+            while let Some(frame) = cur.next_frame().unwrap() {
+                got.push(frame.to_vec());
+            }
+        }
+        prop_assert_eq!(got, payloads);
+        prop_assert_eq!(cur.buffered(), 0);
+    }
+
+    #[test]
+    fn cursor_survives_byte_by_byte_feed(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..6),
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            write_frame(&mut stream, p);
+        }
+        let mut cur = FrameCursor::new();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        for b in &stream {
+            cur.feed(std::slice::from_ref(b));
+            while let Some(frame) = cur.next_frame().unwrap() {
+                got.push(frame.to_vec());
+            }
+        }
+        prop_assert_eq!(got, payloads);
+    }
+
+    #[test]
+    fn cursor_interleaved_feed_and_lazy_consume(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..96), 1..12),
+        splits in prop::collection::vec(1usize..48, 1..32),
+        budgets in prop::collection::vec(0usize..3, 1..32),
+    ) {
+        // Frames are not always drained as soon as they complete: each feed
+        // is followed by a bounded number of `next_frame` calls, so decoded
+        // frames pile up in the buffer across feeds and compaction runs
+        // while undrained frames are still buffered.
+        let mut stream = Vec::new();
+        for p in &payloads {
+            write_frame(&mut stream, p);
+        }
+        let mut cur = FrameCursor::new();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        let mut pos = 0;
+        let mut si = 0;
+        while pos < stream.len() {
+            let n = splits[si % splits.len()].min(stream.len() - pos);
+            cur.feed(&stream[pos..pos + n]);
+            pos += n;
+            for _ in 0..budgets[si % budgets.len()] {
+                match cur.next_frame().unwrap() {
+                    Some(frame) => got.push(frame.to_vec()),
+                    None => break,
+                }
+            }
+            si += 1;
+        }
+        while let Some(frame) = cur.next_frame().unwrap() {
+            got.push(frame.to_vec());
+        }
+        prop_assert_eq!(got, payloads);
+    }
+
+    #[test]
+    fn cursor_rejects_oversized_lengths(
+        extra in 1u64..u64::from(u32::MAX) - (MAX_FRAME_LEN as u64),
+        tail in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let len = (MAX_FRAME_LEN as u64 + extra) as u32;
+        let mut cur = FrameCursor::new();
+        cur.feed(&len.to_le_bytes());
+        cur.feed(&tail);
+        prop_assert!(cur.next_frame().is_err());
+    }
+
+    #[test]
+    fn cursor_buffer_recycling_preserves_decoding(
+        first in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..5),
+        second in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..5),
+    ) {
+        // A buffer recycled through into_buf/with_buf (the connection pool
+        // path) must behave exactly like a fresh one.
+        let mut cur = FrameCursor::new();
+        let mut stream = Vec::new();
+        for p in &first {
+            write_frame(&mut stream, p);
+        }
+        cur.feed(&stream);
+        let mut got = Vec::new();
+        while let Some(frame) = cur.next_frame().unwrap() {
+            got.push(frame.to_vec());
+        }
+        prop_assert_eq!(&got, &first);
+
+        let mut cur = FrameCursor::with_buf(cur.into_buf());
+        let mut stream = Vec::new();
+        for p in &second {
+            write_frame(&mut stream, p);
+        }
+        cur.feed(&stream);
+        let mut got = Vec::new();
+        while let Some(frame) = cur.next_frame().unwrap() {
+            got.push(frame.to_vec());
+        }
+        prop_assert_eq!(&got, &second);
     }
 
     #[test]

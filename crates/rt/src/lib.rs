@@ -28,6 +28,7 @@
 // clippy.toml bans these methods everywhere else.
 #![allow(clippy::disallowed_methods)]
 
+pub mod bufpool;
 pub mod clock;
 pub mod exec;
 pub mod forwarder;

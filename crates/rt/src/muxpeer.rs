@@ -65,9 +65,11 @@ pub fn run_executors_mux(
 ) -> std::io::Result<MuxOutcome> {
     let clock = Clock::start();
     let mut peers: Vec<Option<MuxPeer>> = Vec::with_capacity(count);
-    // Connect serially: each handshake completes (the dispatcher's accept
-    // loop establishes serially too) before the next connect, so the
-    // listener backlog never has to absorb the whole fleet at once.
+    // Connect serially. Note this does NOT bound the listener's accept
+    // queue: `connect` returns when the kernel completes the handshake,
+    // not when the dispatcher's accept thread picks the socket up, so a
+    // fast dialer still piles connections into the backlog — the deep
+    // listen queue (`poll::LISTEN_BACKLOG`) is what absorbs the fleet.
     for i in 0..count {
         let stream = TcpStream::connect(addr)?;
         let mut conn = Conn::establish(stream, security, clock)?;

@@ -410,6 +410,7 @@ pub(crate) fn bind_sharded(
 ) -> std::io::Result<(Box<dyn Transport>, Receiver<TransportEvent>)> {
     debug_assert!(n_shards >= 1, "ServerConfig::build rejects zero shards");
     let listener = TcpListener::bind("127.0.0.1:0")?;
+    sys::set_backlog(&listener, sys::LISTEN_BACKLOG)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let (ev_tx, ev_rx) = unbounded::<TransportEvent>();

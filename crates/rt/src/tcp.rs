@@ -59,7 +59,7 @@ use falkon_core::DispatcherConfig;
 use falkon_obs::{Counters, NoopProbe, Probe, Recorder, WireTap};
 use falkon_proto::bundle::BundleConfig;
 use falkon_proto::codec::{Codec, EfficientCodec};
-use falkon_proto::frame::{begin_frame, end_frame, write_frame, FrameDecoder};
+use falkon_proto::frame::{begin_frame, end_frame, write_frame, FrameCursor};
 use falkon_proto::message::{ExecutorId, InstanceId, Message};
 use falkon_proto::security::{OpenHalf, SealHalf, SecureChannel};
 use falkon_proto::task::TaskSpec;
@@ -95,12 +95,18 @@ pub struct Conn {
 }
 
 /// The inbound direction: frame reads, unsealing, decoding.
+///
+/// Zero-copy: the socket reads straight into the [`FrameCursor`]'s buffer
+/// ([`ConnReader::fill`]), each frame is yielded as a borrowed view, the
+/// secure path unseals that view in place, and the codec decodes from it —
+/// no intermediate `Vec<u8>` per frame anywhere on the path. The cursor's
+/// buffer comes from (and returns to) the [`crate::bufpool`] free-list so
+/// connection churn does not re-allocate it.
 pub struct ConnReader {
     stream: TcpStream,
-    decoder: FrameDecoder,
+    cursor: FrameCursor,
     opener: Option<OpenHalf>,
     codec: EfficientCodec,
-    readbuf: Box<[u8]>,
     clock: Clock,
     wire: WireTap,
 }
@@ -110,7 +116,8 @@ pub struct ConnWriter {
     stream: TcpStream,
     sealer: Option<SealHalf>,
     codec: EfficientCodec,
-    /// Encode scratch for the secure path, reused across sends.
+    /// Encode scratch for the secure path, reused across sends (drawn from
+    /// the [`crate::bufpool`] free-list, returned on drop).
     writebuf: Vec<u8>,
     /// Coalesced outbound frames awaiting [`ConnWriter::flush`]: an entire
     /// drain of the outbound queue becomes one `write` syscall instead of
@@ -143,10 +150,9 @@ impl Conn {
         stream.set_write_timeout(Some(Duration::from_secs(10))).ok();
         let mut reader = ConnReader {
             stream: stream.try_clone()?,
-            decoder: FrameDecoder::new(),
+            cursor: FrameCursor::with_buf(crate::bufpool::take()),
             opener: None,
             codec: EfficientCodec,
-            readbuf: vec![0u8; 64 * 1024].into_boxed_slice(),
             clock,
             wire: WireTap::new(),
         };
@@ -154,8 +160,8 @@ impl Conn {
             stream,
             sealer: None,
             codec: EfficientCodec,
-            writebuf: Vec::new(),
-            batchbuf: Vec::new(),
+            writebuf: crate::bufpool::take(),
+            batchbuf: crate::bufpool::take(),
             batch_pos: 0,
             high_water: DEFAULT_FLUSH_HIGH_WATER,
             nonblocking: false,
@@ -236,21 +242,20 @@ impl Conn {
 }
 
 impl ConnReader {
-    /// Blocking read of one raw frame.
+    /// Blocking read of one raw frame, copied out to outlive the buffer
+    /// (handshake only — steady state goes through [`ConnReader::poll_msg`]).
     fn read_raw_frame(&mut self) -> std::io::Result<Vec<u8>> {
         loop {
             if let Some(frame) = self
-                .decoder
+                .cursor
                 .next_frame()
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
             {
-                return Ok(frame);
+                return Ok(frame.to_vec());
             }
-            let n = self.stream.read(&mut self.readbuf)?;
-            if n == 0 {
+            if self.fill()? == 0 {
                 return Err(std::io::ErrorKind::UnexpectedEof.into());
             }
-            self.decoder.feed(&self.readbuf[..n]);
         }
     }
 
@@ -258,32 +263,38 @@ impl ConnReader {
     /// Never touches the socket: shard loops interleave `poll_msg` with
     /// [`ConnReader::fill`] so a nonblocking read can't be mistaken for
     /// end-of-stream.
+    ///
+    /// Allocation-free up to the decoded [`Message`]'s own fields: the
+    /// frame is a borrowed view into the cursor buffer, the secure path
+    /// decrypts it in place, and the codec reads straight out of it.
     pub(crate) fn poll_msg(&mut self) -> std::io::Result<Option<Message>> {
         let Some(frame) = self
-            .decoder
+            .cursor
             .next_frame()
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?
         else {
             return Ok(None);
         };
         self.wire.decoded(self.clock.now_us(), frame.len() as u64);
-        let plain = match self.opener.as_mut() {
+        let plain: &[u8] = match self.opener.as_mut() {
             Some(open) => open
-                .open(&frame)
+                .open_in_place(frame)
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?,
             None => frame,
         };
         self.codec
-            .decode(&plain)
+            .decode(plain)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
             .map(Some)
     }
 
-    /// One `read()` into the frame decoder. Returns the byte count (0 =
-    /// EOF); `WouldBlock` surfaces as an error for nonblocking sockets.
+    /// One `read()` straight into the frame cursor's buffer (no
+    /// intermediate copy). Returns the byte count (0 = EOF); `WouldBlock`
+    /// surfaces as an error for nonblocking sockets.
     pub(crate) fn fill(&mut self) -> std::io::Result<usize> {
-        let n = self.stream.read(&mut self.readbuf)?;
-        self.decoder.feed(&self.readbuf[..n]);
+        let space = self.cursor.space(1);
+        let n = self.stream.read(space)?;
+        self.cursor.commit(n);
         Ok(n)
     }
 
@@ -307,8 +318,14 @@ impl ConnReader {
     }
 
     /// Consume the half, yielding its wire-level observability shard.
-    pub fn into_wire(self) -> Counters {
-        self.wire.into_probe()
+    pub fn into_wire(mut self) -> Counters {
+        std::mem::replace(&mut self.wire, WireTap::new()).into_probe()
+    }
+}
+
+impl Drop for ConnReader {
+    fn drop(&mut self) {
+        crate::bufpool::give(std::mem::take(&mut self.cursor).into_buf());
     }
 }
 
@@ -406,8 +423,15 @@ impl ConnWriter {
     }
 
     /// Consume the half, yielding its wire-level observability shard.
-    pub fn into_wire(self) -> Counters {
-        self.wire.into_probe()
+    pub fn into_wire(mut self) -> Counters {
+        std::mem::replace(&mut self.wire, WireTap::new()).into_probe()
+    }
+}
+
+impl Drop for ConnWriter {
+    fn drop(&mut self) {
+        crate::bufpool::give(std::mem::take(&mut self.writebuf));
+        crate::bufpool::give(std::mem::take(&mut self.batchbuf));
     }
 }
 
@@ -702,6 +726,7 @@ pub(crate) fn bind_thread_per_conn(
     high_water: usize,
 ) -> std::io::Result<(Box<dyn Transport>, Receiver<TransportEvent>)> {
     let listener = TcpListener::bind("127.0.0.1:0")?;
+    crate::poll::set_backlog(&listener, crate::poll::LISTEN_BACKLOG)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let (ev_tx, ev_rx) = unbounded::<TransportEvent>();

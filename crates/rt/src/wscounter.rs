@@ -15,7 +15,7 @@
 //! `measure_call_rate` have sealed it — the joins, not the atomics, order
 //! the data.
 
-use falkon_proto::frame::{write_frame, FrameDecoder};
+use falkon_proto::frame::{write_frame, FrameCursor};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -88,22 +88,25 @@ impl CounterServer {
 
 fn serve(mut stream: TcpStream, counter: Arc<AtomicU64>) {
     stream.set_nodelay(true).ok();
-    let mut dec = FrameDecoder::new();
-    let mut buf = [0u8; 4096];
+    // Zero-copy inbound: the socket reads straight into the cursor's buffer
+    // and requests are borrowed views out of it.
+    let mut cur = FrameCursor::new();
+    let mut out = Vec::with_capacity(12);
     // Blocking reads; the connection ends on EOF when the client hangs up.
     loop {
-        match stream.read(&mut buf) {
+        let space = cur.space(1);
+        match stream.read(space) {
             Ok(0) | Err(_) => break,
             Ok(n) => {
-                dec.feed(&buf[..n]);
+                cur.commit(n);
                 loop {
-                    match dec.next_frame() {
+                    match cur.next_frame() {
                         Ok(Some(_req)) => {
                             // Relaxed: monotonic tally — fetch_add is atomic
                             // at every ordering, so no count is lost; readers
                             // are sealed by joins.
                             let v = counter.fetch_add(1, Ordering::Relaxed) + 1;
-                            let mut out = Vec::with_capacity(12);
+                            out.clear();
                             write_frame(&mut out, &v.to_le_bytes());
                             if stream.write_all(&out).is_err() {
                                 return;
@@ -132,8 +135,7 @@ pub fn measure_call_rate(addr: SocketAddr, clients: usize, duration: Duration) -
                 return 0;
             };
             stream.set_nodelay(true).ok();
-            let mut dec = FrameDecoder::new();
-            let mut buf = [0u8; 256];
+            let mut cur = FrameCursor::new();
             let mut calls = 0u64;
             let mut req = Vec::new();
             write_frame(&mut req, b"inc");
@@ -145,13 +147,16 @@ pub fn measure_call_rate(addr: SocketAddr, clients: usize, duration: Duration) -
                 }
                 // Await the response frame.
                 'resp: loop {
-                    match dec.next_frame() {
+                    match cur.next_frame() {
                         Ok(Some(_)) => break 'resp,
-                        Ok(None) => match stream.read(&mut buf) {
-                            Ok(0) => return calls,
-                            Ok(n) => dec.feed(&buf[..n]),
-                            Err(_) => return calls,
-                        },
+                        Ok(None) => {
+                            let space = cur.space(1);
+                            match stream.read(space) {
+                                Ok(0) => return calls,
+                                Ok(n) => cur.commit(n),
+                                Err(_) => return calls,
+                            }
+                        }
                         Err(_) => return calls,
                     }
                 }

@@ -23,7 +23,6 @@ use falkon::proto::message::ExecutorId;
 use falkon::proto::task::TaskSpec;
 use falkon::rt::tcp::{run_client, run_executor, DispatcherServer, ServerConfig, TcpSecurity};
 use std::collections::HashSet;
-use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
@@ -36,7 +35,7 @@ fn mixed_size_tasks(n: u64) -> Vec<TaskSpec> {
             let mut spec = TaskSpec::sleep_us(i, 0);
             if i % 4 == 0 {
                 let pad = "x".repeat(64 + (i as usize * 97) % 4096);
-                spec.env = vec![(Arc::from("FALKON_SOAK_PAD"), Arc::from(pad))];
+                spec.env = vec![("FALKON_SOAK_PAD".into(), pad.into())];
             }
             spec
         })
