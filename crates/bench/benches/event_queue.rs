@@ -1,0 +1,105 @@
+//! Event-queue benchmarks — timer wheel vs the preserved 4-ary heap.
+//!
+//! The simulation core's cost is dominated by the event queue when many
+//! timers are outstanding (the paper's 54K-executor emulation holds one
+//! idle/lifecycle timer per executor). `outstanding` sweeps the resident
+//! timer count across three orders of magnitude: the heap pays a
+//! cache-missing O(log n) sift per operation while the wheel stays O(1),
+//! which is the entire case for the rewrite. `chained` pins the
+//! near-empty fast path (one timer in flight) where the wheel's front
+//! register must match the heap's trivially-small sift.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use falkon_sim::{EventQueue, HeapQueue, SimTime};
+use std::hint::black_box;
+
+/// Pre-load `n` timers, then run `n` reschedule-on-pop cycles: the
+/// steady-state mix of a simulation with `n` outstanding deadlines.
+/// Offsets mirror the `repro bench` `sim/outstanding_50k_timers` scenario.
+fn outstanding_wheel(n: u64) -> u64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    for i in 0..n {
+        q.push(SimTime::from_micros(1 + (i * 7) % 1000), i);
+    }
+    let mut done = 0u64;
+    while done < n {
+        let (t, i) = q.pop().expect("queue holds n timers");
+        q.push(SimTime::from_micros(t.as_micros() + 1 + (i * 13) % 1000), i);
+        done += 1;
+    }
+    let mut drained = 0u64;
+    while q.pop().is_some() {
+        drained += 1;
+    }
+    drained
+}
+
+fn outstanding_heap(n: u64) -> u64 {
+    let mut q: HeapQueue<u64> = HeapQueue::new();
+    for i in 0..n {
+        q.push(SimTime::from_micros(1 + (i * 7) % 1000), i);
+    }
+    let mut done = 0u64;
+    while done < n {
+        let (t, i) = q.pop().expect("queue holds n timers");
+        q.push(SimTime::from_micros(t.as_micros() + 1 + (i * 13) % 1000), i);
+        done += 1;
+    }
+    let mut drained = 0u64;
+    while q.pop().is_some() {
+        drained += 1;
+    }
+    drained
+}
+
+fn bench_outstanding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue/outstanding");
+    for &n in &[1_000u64, 50_000, 500_000] {
+        g.throughput(Throughput::Elements(2 * n)); // n pops + n pushes
+        g.bench_with_input(BenchmarkId::new("wheel", n), &n, |b, &n| {
+            b.iter(|| black_box(outstanding_wheel(black_box(n))))
+        });
+        g.bench_with_input(BenchmarkId::new("heap_4ary", n), &n, |b, &n| {
+            b.iter(|| black_box(outstanding_heap(black_box(n))))
+        });
+    }
+    g.finish();
+}
+
+/// One timer in flight: push-at-`t+1`, pop, repeat. The dispatcher pump's
+/// idle pattern and the wheel's front-register fast path.
+fn bench_chained(c: &mut Criterion) {
+    const N: u64 = 10_000;
+    let mut g = c.benchmark_group("event_queue/chained");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("wheel", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            q.push(SimTime::from_micros(1), 0);
+            while let Some((t, i)) = q.pop() {
+                if i >= N {
+                    break;
+                }
+                q.push(SimTime::from_micros(t.as_micros() + 1), i + 1);
+            }
+            black_box(&q);
+        })
+    });
+    g.bench_function("heap_4ary", |b| {
+        b.iter(|| {
+            let mut q: HeapQueue<u64> = HeapQueue::new();
+            q.push(SimTime::from_micros(1), 0);
+            while let Some((t, i)) = q.pop() {
+                if i >= N {
+                    break;
+                }
+                q.push(SimTime::from_micros(t.as_micros() + 1), i + 1);
+            }
+            black_box(&q);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_outstanding, bench_chained);
+criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! `repro bench` — the tracked performance baseline behind `BENCH_0008.json`.
+//! `repro bench` — the tracked performance baseline behind `BENCH_0009.json`.
 //!
 //! Runs a fixed set of hot-path scenarios (event engine, simulated
 //! deployment, dispatcher state machine, in-process runtime, TCP runtime,
@@ -14,7 +14,7 @@
 
 use falkon_core::dispatcher::{Dispatcher, DispatcherAction, DispatcherEvent};
 use falkon_core::executor::ExecutorConfig;
-use falkon_core::DispatcherConfig;
+use falkon_core::{DispatcherConfig, ReplayPolicy};
 use falkon_exp::simfalkon::{SimFalkon, SimFalkonConfig};
 use falkon_proto::bundle::BundleConfig;
 use falkon_proto::codec::{Codec, EfficientCodec};
@@ -29,10 +29,9 @@ use falkon_sim::{Engine, SimDuration};
 use std::hint::black_box;
 
 /// The commit whose build produced every `baseline` rate below (the state
-/// of the tree immediately before the three-tier forwarder deployment;
-/// both columns re-measured on one machine per DESIGN.md §10's baseline
-/// discipline).
-pub const BASELINE_COMMIT: &str = "a1373af";
+/// of the tree immediately before the timer-wheel event core; both columns
+/// re-measured on one machine per DESIGN.md §10's baseline discipline).
+pub const BASELINE_COMMIT: &str = "1762ae6";
 
 /// Keep sampling until a scenario has accumulated this much measured time.
 const MIN_SAMPLE_US: u64 = 300_000;
@@ -161,6 +160,54 @@ fn sim_deployment() -> f64 {
         black_box(sim.run_until_drained().tasks);
     });
     rate(N as f64, us)
+}
+
+/// The ISSUE-10 unlock: a 100,000-executor static pool (the scale of
+/// ROADMAP items 3–4, ~2× the paper's 54K emulation) chewing through one
+/// sleep-0 task per executor. Registration floods the dispatcher CPU
+/// ladder with 100k outstanding wheel timers, exactly the regime where the
+/// old heap paid a cache-missing O(log n) per event.
+///
+/// Methodology deviates from [`time_us`] in iteration count only: a fixed
+/// 2 timed iterations after warm-up (each iteration is seconds long, so a
+/// 300 ms accumulation target is meaningless), and under
+/// `FALKON_BENCH_QUICK=1` (CI smoke) a single timed iteration with no
+/// warm-up.
+fn sim_deployment_100k() -> f64 {
+    const N: u64 = 100_000;
+    const EXECS: u32 = 100_000;
+    let run_once = || {
+        let clock = Clock::start();
+        let t0 = clock.now_us();
+        let mut sim = SimFalkon::new(SimFalkonConfig {
+            executors: EXECS,
+            executors_per_node: 900, // the 54K-emulation packing (Table 1)
+            // A sleep-0 deadline is 60 s of slack alone, but 100k
+            // simultaneous registrations back the dispatcher CPU up for
+            // several virtual minutes, so the default policy replays (and
+            // ultimately fails) every task. The scenario measures event-core
+            // throughput, not replay; give the flood room.
+            dispatcher: DispatcherConfig {
+                replay: ReplayPolicy {
+                    timeout_slack_us: 3_600_000_000, // 1 virtual hour
+                    ..ReplayPolicy::default()
+                },
+                ..DispatcherConfig::default()
+            },
+            ..SimFalkonConfig::default()
+        });
+        sim.submit(0, (0..N).map(|i| TaskSpec::sleep(i, 0)).collect());
+        let out = sim.run_until_drained();
+        assert_eq!(out.tasks, N, "100k-executor deployment drains");
+        black_box(out.makespan_us);
+        clock.now_us().saturating_sub(t0).max(1)
+    };
+    if std::env::var_os("FALKON_BENCH_QUICK").is_some() {
+        return rate(N as f64, run_once() as f64);
+    }
+    run_once(); // warm-up
+    let best = (0..2).map(|_| run_once()).min().expect("two iterations");
+    rate(N as f64, best as f64)
 }
 
 /// Drive a full task lifecycle (submit→notify→getwork→result→ack) through
@@ -446,124 +493,189 @@ fn codec_decode() -> f64 {
     rate(len * 100.0, us) / 1e6 // MB/s
 }
 
+/// Measure one scenario — unless `FALKON_BENCH_FILTER` is set and `id`
+/// doesn't contain it as a substring. The filter exists for iterating on a
+/// single scenario without paying for the whole suite; CI and committed
+/// reports always run unfiltered (`--floor` fails on a filtered-out id).
+fn measure(
+    out: &mut Vec<BenchResult>,
+    filter: Option<&str>,
+    id: &'static str,
+    unit: &'static str,
+    baseline: Option<f64>,
+    scenario: impl FnOnce() -> f64,
+) {
+    if let Some(f) = filter {
+        if !id.contains(f) {
+            return;
+        }
+    }
+    out.push(BenchResult {
+        id,
+        unit,
+        rate: scenario(),
+        baseline,
+    });
+}
+
 /// Run the full scenario set. Baselines: reference machine at
 /// [`BASELINE_COMMIT`] (same scenario code, pre-overhaul queue/tables).
 pub fn run_benches() -> Vec<BenchResult> {
+    let filter = std::env::var("FALKON_BENCH_FILTER").ok();
+    let filter = filter.as_deref();
     let mut out = Vec::new();
-    let mut push = |id, unit, rate: f64, baseline: Option<f64>| {
-        out.push(BenchResult {
-            id,
-            unit,
-            rate,
-            baseline,
-        });
-    };
-    push(
+    measure(
+        &mut out,
+        filter,
         "sim/chained_timer_events",
         "events/s",
-        sim_chained(),
-        Some(95.60e6),
+        Some(93.28e6),
+        sim_chained,
     );
-    push(
+    measure(
+        &mut out,
+        filter,
         "sim/outstanding_50k_timers",
         "events/s",
-        sim_outstanding(),
-        Some(9.117e6),
+        Some(9.136e6),
+        sim_outstanding,
     );
-    push(
+    measure(
+        &mut out,
+        filter,
         "sim/same_instant_bursts",
         "events/s",
-        sim_same_instant(),
-        Some(198.4e6),
+        Some(187.3e6),
+        sim_same_instant,
     );
-    push(
+    measure(
+        &mut out,
+        filter,
         "sim/deployment_sleep0_1000",
         "tasks/s",
-        sim_deployment(),
-        Some(1.082e6),
+        Some(1.110e6),
+        sim_deployment,
     );
-    push(
+    // New in BENCH_0009 (the heap-backed queue took minutes here).
+    measure(
+        &mut out,
+        filter,
+        "sim/deployment_sleep0_100k",
+        "tasks/s",
+        None,
+        sim_deployment_100k,
+    );
+    measure(
+        &mut out,
+        filter,
         "dispatcher/lifecycle_1000",
         "tasks/s",
-        dispatcher_lifecycle(),
-        Some(3.311e6),
+        Some(3.759e6),
+        dispatcher_lifecycle,
     );
-    push(
+    measure(
+        &mut out,
+        filter,
         "inproc/sleep0_plain",
         "tasks/s",
-        inproc(WireMode::Plain),
-        Some(269.8e3),
+        Some(273.8e3),
+        || inproc(WireMode::Plain),
     );
-    push(
+    measure(
+        &mut out,
+        filter,
         "inproc/sleep0_encoded",
         "tasks/s",
-        inproc(WireMode::Encoded),
-        Some(229.2e3),
+        Some(251.6e3),
+        || inproc(WireMode::Encoded),
     );
-    push(
+    measure(
+        &mut out,
+        filter,
         "inproc/sleep0_secure",
         "tasks/s",
-        inproc(WireMode::Secure),
-        Some(199.3e3),
+        Some(219.8e3),
+        || inproc(WireMode::Secure),
     );
-    push(
+    measure(
+        &mut out,
+        filter,
         "tcp/sleep0_plain",
         "tasks/s",
-        tcp_sleep0(None),
-        Some(54.3e3),
+        Some(65.2e3),
+        || tcp_sleep0(None),
     );
-    push(
+    measure(
+        &mut out,
+        filter,
         "tcp/sleep0_secure",
         "tasks/s",
-        tcp_sleep0(Some(0xFA1C0)),
-        Some(58.9e3),
+        Some(62.2e3),
+        || tcp_sleep0(Some(0xFA1C0)),
     );
-    push(
+    measure(
+        &mut out,
+        filter,
         "tcp/conn_fanout",
         "tasks/s",
-        tcp_conn_fanout(),
-        Some(15.8e3),
+        Some(17.2e3),
+        tcp_conn_fanout,
     );
     // The headline `tcp/three_tier` runs the 4-dispatcher sweep point; the
     // `_1d`/`_2d` rows pin the scaling curve (see EXPERIMENTS.md on core
     // limits).
-    push(
+    measure(
+        &mut out,
+        filter,
         "tcp/three_tier_1d",
         "tasks/s",
-        tcp_three_tier(1),
-        Some(70.1e3),
+        Some(80.0e3),
+        || tcp_three_tier(1),
     );
-    push(
+    measure(
+        &mut out,
+        filter,
         "tcp/three_tier_2d",
         "tasks/s",
-        tcp_three_tier(2),
-        Some(77.6e3),
+        Some(86.8e3),
+        || tcp_three_tier(2),
     );
-    push("tcp/three_tier", "tasks/s", tcp_three_tier(4), Some(78.9e3));
-    push(
+    measure(
+        &mut out,
+        filter,
+        "tcp/three_tier",
+        "tasks/s",
+        Some(87.3e3),
+        || tcp_three_tier(4),
+    );
+    measure(
+        &mut out,
+        filter,
         "codec/encode_efficient_1000",
         "MB/s",
-        codec_encode(),
-        Some(2938.0),
+        Some(2778.5),
+        codec_encode,
     );
-    push(
+    measure(
+        &mut out,
+        filter,
         "codec/decode_efficient_1000",
         "MB/s",
-        codec_decode(),
-        Some(410.1),
+        Some(960.6),
+        codec_decode,
     );
     out
 }
 
 /// Serial quick-scale `repro all` wall time at [`BASELINE_COMMIT`] on the
 /// reference machine (the "before" of the `repro_all_quick` row).
-pub const REPRO_ALL_QUICK_BASELINE_S: f64 = 1.66;
+pub const REPRO_ALL_QUICK_BASELINE_S: f64 = 1.63;
 
 /// Render the results as the committed JSON report. `jobs` is the worker
 /// count the `repro_all_quick` wall time was measured with.
 pub fn render_json(results: &[BenchResult], repro_all_quick_s: Option<f64>, jobs: usize) -> String {
     let mut s = String::from("{\n");
-    s.push_str("  \"bench\": \"BENCH_0008\",\n");
+    s.push_str("  \"bench\": \"BENCH_0009\",\n");
     s.push_str(&format!("  \"baseline_commit\": \"{BASELINE_COMMIT}\",\n"));
     if let Some(wall) = repro_all_quick_s {
         s.push_str(&format!(
@@ -656,7 +768,7 @@ mod tests {
             },
         ];
         let json = render_json(&results, Some(1.5), 4);
-        assert!(json.contains("\"bench\": \"BENCH_0008\""));
+        assert!(json.contains("\"bench\": \"BENCH_0009\""));
         assert!(json.contains("\"speedup\": 2.00"));
         assert!(json.contains("\"repro_all_quick\""));
         assert!(json.contains("\"jobs\": 4"));

@@ -16,6 +16,22 @@ use falkon_proto::task::TaskSpec;
 use falkon_sim::table::series_tsv;
 use falkon_sim::Histogram;
 
+/// Beyond-paper arm (`Scale::Full` only): the identical workload at
+/// 100,000 executors, roughly 2× the paper's headline scale and the size
+/// ROADMAP items 3–4 simulate at. Only the scalar summary is kept — the
+/// paper figures stay pinned to the 54K run.
+#[derive(Clone, Debug)]
+pub struct Beyond100k {
+    /// Executors (= tasks).
+    pub executors: u32,
+    /// Time for the busy-executor count to reach its maximum, s.
+    pub ramp_up_s: f64,
+    /// Total run time, s.
+    pub duration_s: f64,
+    /// Overall throughput including ramp up/down, tasks/sec.
+    pub overall_tps: f64,
+}
+
 /// Figures 9+10 result.
 #[derive(Clone, Debug)]
 pub struct Scale54k {
@@ -35,23 +51,26 @@ pub struct Scale54k {
     pub frac_under_200ms: f64,
     /// Maximum observed overhead, ms.
     pub max_overhead_ms: u64,
+    /// 100K-executor arm, run at `Scale::Full` only.
+    pub beyond: Option<Beyond100k>,
 }
 
-/// Run the 54 K-executor experiment.
-pub fn run(scale: Scale) -> Scale54k {
-    let executors: u32 = scale.pick(5_400, 54_000);
-    let task_secs: u64 = scale.pick(48, 480);
-    // 900 executors per machine: heavy per-task overhead contention.
-    let costs = CostModel {
+/// Paper cost model for the 54K emulation: 900 executors per machine mean
+/// heavy per-task overhead contention.
+fn emulation_costs() -> CostModel {
+    CostModel {
         executor_task_overhead_us: 110_000,
         executor_overhead_sigma: 0.45,
         executor_overhead_cap_us: 1_300_000,
         ..CostModel::no_security()
-    };
-    let mut sim = SimFalkon::new(SimFalkonConfig {
+    }
+}
+
+fn emulation_config(executors: u32) -> SimFalkonConfig {
+    SimFalkonConfig {
         executors,
         executors_per_node: 900,
-        costs,
+        costs: emulation_costs(),
         // Piggy-backing is irrelevant here (one task per executor), and the
         // paper disabled everything except client→dispatcher bundling.
         dispatcher: DispatcherConfig {
@@ -62,7 +81,44 @@ pub fn run(scale: Scale) -> Scale54k {
         sample_interval_us: 1_000_000,
         seed: 7,
         ..SimFalkonConfig::default()
-    });
+    }
+}
+
+/// The beyond-paper 100K arm. Same workload shape as the 54K emulation;
+/// only feasible interactively now that the event core is a timer wheel
+/// (the binary heap paid a cache-missing O(log n) per event with 100K
+/// timers outstanding).
+fn run_beyond_100k(task_secs: u64) -> Beyond100k {
+    let executors: u32 = 100_000;
+    let mut sim = SimFalkon::new(emulation_config(executors));
+    sim.submit(
+        0,
+        (0..executors as u64)
+            .map(|i| TaskSpec::sleep(i, task_secs))
+            .collect(),
+    );
+    let out = sim.run_until_drained();
+    let peak = out.busy_series.max_value();
+    let ramp_up_s = out
+        .busy_series
+        .points()
+        .iter()
+        .find(|&&(_, v)| v >= peak * 0.999)
+        .map(|&(t, _)| t.as_secs_f64())
+        .unwrap_or(0.0);
+    Beyond100k {
+        executors,
+        ramp_up_s,
+        duration_s: out.makespan_us as f64 / 1e6,
+        overall_tps: out.throughput,
+    }
+}
+
+/// Run the 54 K-executor experiment.
+pub fn run(scale: Scale) -> Scale54k {
+    let executors: u32 = scale.pick(5_400, 54_000);
+    let task_secs: u64 = scale.pick(48, 480);
+    let mut sim = SimFalkon::new(emulation_config(executors));
     sim.submit(
         0,
         (0..executors as u64)
@@ -105,6 +161,10 @@ pub fn run(scale: Scale) -> Scale54k {
         overhead_hist_ms: hist.bins(26),
         frac_under_200ms,
         max_overhead_ms,
+        beyond: match scale {
+            Scale::Quick => None,
+            Scale::Full => Some(run_beyond_100k(task_secs)),
+        },
     }
 }
 
@@ -132,6 +192,13 @@ pub fn render(s: &Scale54k) -> String {
     for &(upper, count) in &s.overhead_hist_ms {
         out.push_str(&format!("{upper}\t{count}\n"));
     }
+    if let Some(b) = &s.beyond {
+        out.push_str("== Beyond the paper: 100K executors (full scale only) ==\n");
+        out.push_str(&format!(
+            "executors={}  ramp-up={:.0}s  duration={:.0}s  overall={:.1} tasks/s\n",
+            b.executors, b.ramp_up_s, b.duration_s, b.overall_tps
+        ));
+    }
     out
 }
 
@@ -143,6 +210,8 @@ mod tests {
     fn quick_run_has_paper_shape() {
         let s = run(Scale::Quick);
         assert_eq!(s.executors, 5_400);
+        // The 100K arm is Full-only: quick runs (and tests) skip it.
+        assert!(s.beyond.is_none());
         // Ramp-up must be visible and shorter than the task length.
         assert!(
             s.ramp_up_s > 1.0 && s.ramp_up_s < 48.0,

@@ -169,14 +169,59 @@ enum Ev {
     LrmSubmit(JobSpec),
 }
 
-struct SimExecutor {
-    machine: Executor,
-    node: u32,
-    allocation: Option<AllocationId>,
-    alive: bool,
-    registered_at: Option<Micros>,
-    busy_us: u64,
-    dead_at: Option<Micros>,
+/// Per-executor hot state, struct-of-arrays.
+///
+/// The event loop touches one or two scalar fields per delivery (a liveness
+/// check, a busy-time credit), so the table keeps each field in its own
+/// dense vector: at 100k executors the flags and counters the inner loop
+/// actually reads stay in a handful of hot cache lines instead of striding
+/// over one large per-executor struct (the `Executor` machine alone would
+/// push every neighbouring flag out of the line). Indexed by executor id;
+/// rows are append-only and all vectors grow in lock-step.
+struct ExecutorTable {
+    /// The sans-io executor machines (cold relative to the flags below:
+    /// touched only when a machine actually runs an event).
+    machines: Vec<Executor>,
+    /// Physical node index per executor.
+    node: Vec<u32>,
+    /// First-level allocation backing each executor (`None` = static pool).
+    allocation: Vec<Option<AllocationId>>,
+    /// Liveness flag, checked on every delivery.
+    alive: Vec<bool>,
+    /// Registration time, for wasted-CPU accounting.
+    registered_at: Vec<Option<Micros>>,
+    /// Payload µs actually executed (credited on completion).
+    busy_us: Vec<u64>,
+    /// Death time (walltime kill or idle self-release).
+    dead_at: Vec<Option<Micros>>,
+}
+
+impl ExecutorTable {
+    fn new() -> ExecutorTable {
+        ExecutorTable {
+            machines: Vec::new(),
+            node: Vec::new(),
+            allocation: Vec::new(),
+            alive: Vec::new(),
+            registered_at: Vec::new(),
+            busy_us: Vec::new(),
+            dead_at: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    fn push(&mut self, machine: Executor, node: u32, allocation: Option<AllocationId>) {
+        self.machines.push(machine);
+        self.node.push(node);
+        self.allocation.push(allocation);
+        self.alive.push(true);
+        self.registered_at.push(None);
+        self.busy_us.push(0);
+        self.dead_at.push(None);
+    }
 }
 
 /// Bookkeeping for one first-level allocation, keyed by [`AllocationId`] in
@@ -203,7 +248,13 @@ pub struct SimFalkon {
     dispatcher: Dispatcher<Recorder>,
     disp_free_at: Micros,
     deadline_armed: Option<Micros>,
-    executors: Vec<SimExecutor>,
+    executors: ExecutorTable,
+    /// Scratch buffers for machine actions, reused across events so the
+    /// steady-state loop performs no per-event allocation. Taken with
+    /// `mem::take` while in use (handlers are not re-entrant; if one ever
+    /// recurses it degrades to a fresh allocation, never to aliasing).
+    disp_out: Vec<DispatcherAction>,
+    exec_out: Vec<ExecutorAction>,
     provisioner: Option<Provisioner>,
     lrm: Option<BatchScheduler>,
     lrm_wake_armed: Option<Micros>,
@@ -242,7 +293,9 @@ impl SimFalkon {
             dispatcher: Dispatcher::with_probe(config.dispatcher, Recorder::new()),
             disp_free_at: 0,
             deadline_armed: None,
-            executors: Vec::new(),
+            executors: ExecutorTable::new(),
+            disp_out: Vec::new(),
+            exec_out: Vec::new(),
             provisioner: config.provisioner.map(Provisioner::new),
             lrm: config.lrm.map(|(p, nodes)| BatchScheduler::new(p, nodes)),
             lrm_wake_armed: None,
@@ -315,19 +368,15 @@ impl SimFalkon {
     fn spawn_executor(&mut self, index: u32, allocation: Option<AllocationId>) {
         debug_assert_eq!(index as usize, self.executors.len());
         let node = index / self.config.executors_per_node.max(1);
-        self.executors.push(SimExecutor {
-            machine: Executor::new(
+        self.executors.push(
+            Executor::new(
                 ExecutorId(index as u64),
                 format!("sim-node-{node}"),
                 self.config.executor,
             ),
             node,
             allocation,
-            alive: true,
-            registered_at: None,
-            busy_us: 0,
-            dead_at: None,
-        });
+        );
     }
 
     /// The client instance id.
@@ -365,8 +414,8 @@ impl SimFalkon {
     /// counter shard. All timestamps are virtual-time [`Micros`].
     pub fn obs(&self) -> Recorder {
         let mut obs = self.dispatcher.probe().clone();
-        for e in &self.executors {
-            obs.merge_counters(e.machine.counters());
+        for m in &self.executors.machines {
+            obs.merge_counters(m.counters());
         }
         obs
     }
@@ -490,14 +539,17 @@ impl SimFalkon {
             .map(|r| r.exec_time_us() as f64)
             .sum::<f64>()
             / n;
-        let used_cpu_us: u64 = self.executors.iter().map(|e| e.busy_us).sum();
+        let used_cpu_us: u64 = self.executors.busy_us.iter().sum();
         let wasted_cpu_us: u64 = self
             .executors
+            .registered_at
             .iter()
-            .filter_map(|e| {
-                let reg = e.registered_at?;
-                let end = e.dead_at.unwrap_or(makespan_us.max(reg));
-                Some(end.saturating_sub(reg).saturating_sub(e.busy_us))
+            .zip(&self.executors.dead_at)
+            .zip(&self.executors.busy_us)
+            .filter_map(|((reg, dead), &busy)| {
+                let reg = (*reg)?;
+                let end = dead.unwrap_or(makespan_us.max(reg));
+                Some(end.saturating_sub(reg).saturating_sub(busy))
             })
             .sum();
         SimOutcome {
@@ -545,8 +597,8 @@ impl SimFalkon {
                 // Busy time is credited on completion: an executor killed
                 // mid-task (allocation walltime/cancel) did not finish the
                 // work, so it must not count as used CPU.
-                if self.executors[e as usize].alive {
-                    self.executors[e as usize].busy_us += result.executor_time_us;
+                if self.executors.alive[e as usize] {
+                    self.executors.busy_us[e as usize] += result.executor_time_us;
                 }
                 let ev = ExecutorEvent::TaskCompleted { result };
                 self.executor_event(e, ev);
@@ -558,7 +610,7 @@ impl SimFalkon {
             Ev::ExecIdleCheck(e) => {
                 // Only fire if the deadline genuinely passed (the machine
                 // re-checks internally too).
-                if self.executors[e as usize].alive {
+                if self.executors.alive[e as usize] {
                     self.executor_event(e, ExecutorEvent::IdleTimeout);
                 }
             }
@@ -631,9 +683,9 @@ impl SimFalkon {
 
     /// Run the dispatcher machine and route its actions.
     fn dispatch(&mut self, ev: DispatcherEvent) {
-        let mut out = Vec::new();
+        let mut out = std::mem::take(&mut self.disp_out);
         self.dispatcher.on_event(self.now, ev, &mut out);
-        for act in out {
+        for act in out.drain(..) {
             match act {
                 DispatcherAction::ToExecutor { executor, msg } => {
                     // Outgoing messages also consume dispatcher CPU.
@@ -663,6 +715,7 @@ impl SimFalkon {
                 DispatcherAction::ToProvisioner { .. } => {}
             }
         }
+        self.disp_out = out;
         self.arm_deadline();
     }
 
@@ -716,13 +769,11 @@ impl SimFalkon {
 
     /// Deliver a message to an executor and run its machine.
     fn executor_recv(&mut self, e: u32, msg: Message) {
-        if !self.executors[e as usize].alive {
+        if !self.executors.alive[e as usize] {
             return;
         }
         if matches!(msg, Message::RegisterAck { .. }) {
-            self.executors[e as usize]
-                .registered_at
-                .get_or_insert(self.now);
+            self.executors.registered_at[e as usize].get_or_insert(self.now);
         }
         let Some(ev) = falkon_core::mapping::message_to_executor_event(msg) else {
             return;
@@ -731,15 +782,12 @@ impl SimFalkon {
     }
 
     fn executor_event(&mut self, e: u32, ev: ExecutorEvent) {
-        let mut out = Vec::new();
-        {
-            let ex = &mut self.executors[e as usize];
-            if !ex.alive {
-                return;
-            }
-            ex.machine.on_event(self.now, ev, &mut out);
+        if !self.executors.alive[e as usize] {
+            return;
         }
-        for act in out {
+        let mut out = std::mem::take(&mut self.exec_out);
+        self.executors.machines[e as usize].on_event(self.now, ev, &mut out);
+        for act in out.drain(..) {
             match act {
                 ExecutorAction::Send(msg) => {
                     let Some(ev) = falkon_core::mapping::executor_message_to_dispatcher_event(msg)
@@ -752,8 +800,9 @@ impl SimFalkon {
                 ExecutorAction::Shutdown => self.shutdown_executor(e),
             }
         }
+        self.exec_out = out;
         // Arm the idle-release timer if the machine is now idle.
-        let deadline = self.executors[e as usize].machine.idle_deadline_us();
+        let deadline = self.executors.machines[e as usize].idle_deadline_us();
         if let Some(dl) = deadline {
             self.queue.push(
                 falkon_sim::SimTime::from_micros(dl.max(self.now + 1)),
@@ -764,7 +813,7 @@ impl SimFalkon {
 
     /// Model one task execution: staging + payload + jittered overhead.
     fn run_task(&mut self, e: u32, spec: TaskSpec) {
-        let node = self.executors[e as usize].node;
+        let node = self.executors.node[e as usize];
         let mut duration = spec.runtime_us();
         if let (Some(fs), Some(mut data)) = (self.fs.as_mut(), spec.data) {
             if self.config.data_caching {
@@ -808,13 +857,12 @@ impl SimFalkon {
     }
 
     fn shutdown_executor(&mut self, e: u32) {
-        let ex = &mut self.executors[e as usize];
-        if !ex.alive {
+        if !self.executors.alive[e as usize] {
             return;
         }
-        ex.alive = false;
-        ex.dead_at = Some(self.now);
-        let alloc = ex.allocation;
+        self.executors.alive[e as usize] = false;
+        self.executors.dead_at[e as usize] = Some(self.now);
+        let alloc = self.executors.allocation[e as usize];
         if let Some(alloc) = alloc {
             if let Some(p) = self.provisioner.as_mut() {
                 let mut out = Vec::new();
@@ -945,9 +993,9 @@ impl SimFalkon {
                         .map(|info| info.executors)
                         .unwrap_or_default();
                     for v in victims {
-                        if self.executors[v as usize].alive {
-                            self.executors[v as usize].alive = false;
-                            self.executors[v as usize].dead_at = Some(self.now);
+                        if self.executors.alive[v as usize] {
+                            self.executors.alive[v as usize] = false;
+                            self.executors.dead_at[v as usize] = Some(self.now);
                             let id = ExecutorId(v as u64);
                             self.send_to_dispatcher(DispatcherEvent::ExecutorLost { executor: id });
                         }

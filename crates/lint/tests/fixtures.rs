@@ -156,6 +156,26 @@ fn bad_probe() -> u64 {
     assert_eq!(report.diags[0].rule, Rule::SansIo);
 }
 
+// The timer wheel is the simulators' clock authority: every placement and
+// cascade is derived from explicit `SimTime` keys, so a wall-clock read
+// there would silently decouple sim time from delivery order. `wheel.rs`
+// sits inside the `crates/sim/src/` sans-io scope and must stay there.
+#[test]
+fn sans_io_covers_timer_wheel_module() {
+    let f = SourceFile::parse(
+        "crates/sim/src/wheel.rs",
+        r#"
+fn cascade_deadline() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_micros() as u64
+}
+"#,
+    );
+    let report = lint_files(&[f], None).unwrap();
+    assert_eq!(report.diags.len(), 1, "diags: {:#?}", report.diags);
+    assert_eq!(report.diags[0].rule, Rule::SansIo);
+}
+
 // `task::interned` is called on wire strings during decode, so `task.rs`
 // is a decode scope: indexing or unwrapping untrusted input there must flag.
 #[test]

@@ -2,60 +2,47 @@
 //!
 //! Events scheduled for the same instant are delivered in insertion order
 //! (stable FIFO), which makes simulations bit-for-bit reproducible regardless
-//! of how the heap happens to balance.
+//! of how the underlying timing structure happens to balance.
 //!
 //! # Layout
 //!
-//! The queue is a **4-ary implicit heap** ordered by a packed
-//! `(time, sequence)` index key, plus a **same-instant FIFO lane**:
+//! The queue is a **hierarchical timer wheel** ([`crate::wheel`]) ordered by
+//! a packed `(time, sequence)` key, plus a **same-instant FIFO lane**:
 //!
-//! * Each heap entry carries its ordering key *inline* as a single packed
-//!   `u128` (`time << 64 | seq`), so every sift comparison is one wide
-//!   integer compare with no pointer chasing. A 4-ary heap halves the tree
-//!   depth of a binary heap and keeps the four children of a node in at
-//!   most two cache lines, which is what keeps 50K-outstanding-timer
-//!   simulations (the paper's 54K-executor runs) queue-bound rather than
-//!   cache-bound. (A slab-indexed variant — dense key array, payloads
-//!   never moving — was measured and is *slower* for the small event types
-//!   the simulations actually use; see DESIGN.md § perf.)
+//! * The wheel indexes events by the bytes of their absolute time: O(1)
+//!   push and amortised-O(1) pop regardless of how many timers are
+//!   outstanding. This is what keeps 50K-outstanding-timer simulations
+//!   (the paper's 54K-executor runs, and the 100k-executor runs gating
+//!   ROADMAP items 3–4) queue-light: the previous 4-ary heap paid a
+//!   cache-missing O(log n) sift per operation exactly at those scales
+//!   (~9M events/s in BENCH_0008). Events beyond the wheel's 2^32 µs
+//!   horizon sit in a far-future overflow heap until their epoch arrives.
 //! * Pushes at exactly the current instant (`at == last_popped`) skip the
-//!   heap entirely and append to a `VecDeque` lane. Dispatcher pump
+//!   wheel entirely and append to a `VecDeque` lane. Dispatcher pump
 //!   cascades — dozens of notify/ack events emitted "now" — cost O(1) each
-//!   instead of a sift. Because every heap entry is keyed `(at, seq)` and
-//!   lane entries keep their global `seq`, [`EventQueue::pop`] merges the
-//!   two sources back into exactly the order a single heap would produce
-//!   (proven against the old `BinaryHeap` implementation by the
-//!   `queue_model` proptest suite).
+//!   with no wheel traffic. Because every wheel entry is keyed `(at, seq)`
+//!   and lane entries keep their global `seq`, [`EventQueue::pop`] merges
+//!   the two sources back into exactly the order a single heap would
+//!   produce.
 //!
-//! The total order is unchanged from the original implementation: ascending
-//! time, FIFO (ascending push sequence) within one instant.
+//! The total order is unchanged from both previous implementations
+//! (`BinaryHeap`, then the packed 4-ary heap now preserved as
+//! [`crate::heap::HeapQueue`]): ascending time, FIFO (ascending push
+//! sequence) within one instant. The `queue_model` proptest suite drives
+//! this queue, the heap queue, and a naive model through identical operation
+//! sequences and requires byte-identical behaviour.
 
+use crate::heap::{key_time, pack};
 use crate::time::SimTime;
+use crate::wheel::TimerWheel;
 use std::collections::VecDeque;
-
-/// One heap entry: the packed ordering key and the payload.
-struct Entry<E> {
-    /// `(time << 64) | seq` — compares exactly like `(time, seq)`.
-    key: u128,
-    event: E,
-}
-
-#[inline]
-const fn pack(at: SimTime, seq: u64) -> u128 {
-    ((at.as_micros() as u128) << 64) | seq as u128
-}
-
-#[inline]
-const fn key_time(key: u128) -> SimTime {
-    SimTime::from_micros((key >> 64) as u64)
-}
 
 /// A priority queue of `(SimTime, E)` pairs popped in time order, FIFO within
 /// a single instant.
 pub struct EventQueue<E> {
-    /// 4-ary implicit min-heap on `Entry::key`.
-    heap: Vec<Entry<E>>,
-    /// Events pushed at exactly `last_popped`: already in pop order, no heap
+    /// Hierarchical timer wheel + far-future overflow heap.
+    wheel: TimerWheel<E>,
+    /// Events pushed at exactly `last_popped`: already in pop order, no wheel
     /// traffic. Invariant: every lane entry's time equals `last_popped`, and
     /// the lane drains before `last_popped` can advance (any later event
     /// compares greater than the lane front).
@@ -74,7 +61,7 @@ impl<E> EventQueue<E> {
     /// Create an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: Vec::new(),
+            wheel: TimerWheel::new(),
             lane: VecDeque::new(),
             next_seq: 0,
             last_popped: SimTime::ZERO,
@@ -98,15 +85,11 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         if at == self.last_popped {
             // Same-instant fast lane: globally minimal among future pushes,
-            // ordered against same-instant heap entries by `seq` at pop.
+            // ordered against same-instant wheel entries by `seq` at pop.
             self.lane.push_back((seq, event));
             return;
         }
-        self.heap.push(Entry {
-            key: pack(at, seq),
-            event,
-        });
-        self.sift_up(self.heap.len() - 1);
+        self.wheel.insert(pack(at, seq), event);
     }
 
     /// Remove and return the earliest event together with its timestamp.
@@ -117,19 +100,28 @@ impl<E> EventQueue<E> {
 
     /// Remove and return the earliest event if it is scheduled at or before
     /// `deadline`; otherwise leave the queue untouched and return `None`.
-    /// One heap operation per delivered event — no peek-then-pop.
+    /// A refused pop is pure: the wheel peek never cascades, so pushes that
+    /// arrive before the deadline event keep their correct order.
     #[inline]
     pub fn pop_at_or_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
         // The lane, when non-empty, holds events at `last_popped`, which is
-        // ≤ every heap time; it loses only to a same-instant heap entry with
-        // an earlier sequence number.
+        // ≤ every wheel time; it loses only to a same-instant wheel entry
+        // with an earlier sequence number.
         if let Some(&(lane_seq, _)) = self.lane.front() {
             let lane_key = pack(self.last_popped, lane_seq);
-            if let Some(root) = self.heap.first() {
-                if root.key < lane_key {
-                    // Same instant, earlier push: the heap entry goes first.
-                    // (`last_popped` is unchanged by construction.)
-                    return Some(self.pop_root());
+            // Pop the wheel iff its minimum is strictly below the lane
+            // front: same instant, earlier push. (`last_popped` is
+            // unchanged by construction: such a key ties its time.) The
+            // peek is pure and fully inline, so the common all-lane case —
+            // dispatcher pump cascades with an empty wheel — never pays the
+            // out-of-line slab pop.
+            if let Some(k) = self.wheel.peek_key() {
+                if k < lane_key {
+                    let (key, event) = self
+                        .wheel
+                        .pop_key_at_most(lane_key - 1)
+                        .expect("peeked key below the bound");
+                    return Some((key_time(key), event));
                 }
             }
             if self.last_popped > deadline {
@@ -138,86 +130,33 @@ impl<E> EventQueue<E> {
             let (_, event) = self.lane.pop_front().expect("front checked");
             return Some((self.last_popped, event));
         }
-        let root = self.heap.first()?;
-        if key_time(root.key) > deadline {
-            return None;
-        }
-        let (at, event) = self.pop_root();
+        // Sequence numbers never reach u64::MAX, so the inclusive key bound
+        // is exactly "time ≤ deadline". A refused pop leaves the wheel
+        // untouched (see `TimerWheel::pop_key_at_most`).
+        let (key, event) = self.wheel.pop_key_at_most(pack(deadline, u64::MAX))?;
+        let at = key_time(key);
         self.last_popped = at;
         Some((at, event))
-    }
-
-    /// Pop the heap root unconditionally (caller checked non-empty).
-    #[inline]
-    fn pop_root(&mut self) -> (SimTime, E) {
-        let entry = self.heap.swap_remove(0);
-        if !self.heap.is_empty() {
-            self.sift_down(0);
-        }
-        (key_time(entry.key), entry.event)
-    }
-
-    #[inline]
-    fn sift_up(&mut self, mut pos: usize) {
-        // The sifted entry's key is invariant: hoist it out of the loop so
-        // each level is one load + one compare (+ one swap when moving).
-        let key = self.heap[pos].key;
-        while pos > 0 {
-            let parent = (pos - 1) / 4;
-            if key < self.heap[parent].key {
-                self.heap.swap(pos, parent);
-                pos = parent;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn sift_down(&mut self, mut pos: usize) {
-        let len = self.heap.len();
-        let key = self.heap[pos].key;
-        loop {
-            let first = 4 * pos + 1;
-            if first >= len {
-                return;
-            }
-            let last = (first + 4).min(len);
-            let mut min = first;
-            let mut min_key = self.heap[first].key;
-            for c in first + 1..last {
-                let k = self.heap[c].key;
-                if k < min_key {
-                    min = c;
-                    min_key = k;
-                }
-            }
-            if min_key < key {
-                self.heap.swap(pos, min);
-                pos = min;
-            } else {
-                return;
-            }
-        }
     }
 
     /// The timestamp of the next event, if any.
     #[inline]
     pub fn peek_time(&self) -> Option<SimTime> {
         if !self.lane.is_empty() {
-            // A same-instant heap entry can only tie the lane's time.
+            // A same-instant wheel entry can only tie the lane's time.
             return Some(self.last_popped);
         }
-        self.heap.first().map(|e| key_time(e.key))
+        self.wheel.peek_key().map(key_time)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len() + self.lane.len()
+        self.wheel.len() + self.lane.len()
     }
 
     /// Whether the queue has no pending events.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty() && self.lane.is_empty()
+        self.wheel.is_empty() && self.lane.is_empty()
     }
 }
 
@@ -277,19 +216,19 @@ mod tests {
     }
 
     #[test]
-    fn lane_respects_earlier_heap_entries_at_same_instant() {
+    fn lane_respects_earlier_wheel_entries_at_same_instant() {
         let mut q = EventQueue::new();
         let t = SimTime::from_secs(1);
-        q.push(t, "heap-early"); // seq 0, via heap (last_popped = 0)
+        q.push(t, "wheel-early"); // seq 0, via wheel (last_popped = 0)
         q.push(SimTime::from_micros(500), "first"); // seq 1
         assert_eq!(q.pop().unwrap().1, "first"); // last_popped = 500µs
-        q.push(SimTime::from_secs(1), "heap-late"); // seq 2, heap (1s > 0.5s)
-        assert_eq!(q.pop().unwrap().1, "heap-early"); // last_popped = 1s
+        q.push(SimTime::from_secs(1), "wheel-late"); // seq 2, wheel (1s > 0.5s)
+        assert_eq!(q.pop().unwrap().1, "wheel-early"); // last_popped = 1s
         q.push(t, "lane-1"); // seq 3, lane
         q.push(t, "lane-2"); // seq 4, lane
-                             // heap-late (seq 2) precedes the lane entries (seqs 3, 4).
+                             // wheel-late (seq 2) precedes the lane entries (seqs 3, 4).
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, vec!["heap-late", "lane-1", "lane-2"]);
+        assert_eq!(order, vec!["wheel-late", "lane-1", "lane-2"]);
     }
 
     #[test]
@@ -326,8 +265,36 @@ mod tests {
     }
 
     #[test]
+    fn refused_pop_then_earlier_push_keeps_order() {
+        // The wheel must not cascade on a refused pop: after the refusal,
+        // a push earlier than the refused event (but ≥ last_popped) is
+        // legal and must still pop first.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(100), "past");
+        q.pop(); // last_popped = 100µs
+        q.push(SimTime::from_micros(400), "later"); // level 1 vs ref 100
+        assert!(q.pop_at_or_before(SimTime::from_micros(200)).is_none());
+        q.push(SimTime::from_micros(150), "sooner");
+        assert_eq!(q.pop().unwrap().1, "sooner");
+        assert_eq!(q.pop().unwrap().1, "later");
+    }
+
+    #[test]
+    fn far_future_events_pop_in_order() {
+        // Past the wheel horizon (2^32 µs ≈ 71.6 min): overflow heap path.
+        let mut q = EventQueue::new();
+        let far = SimTime::from_secs(100_000); // 1e11 µs >> 2^32
+        q.push(far, "far-1");
+        q.push(SimTime::from_secs(1), "near");
+        q.push(far, "far-2");
+        q.push(SimTime::from_secs(200_000), "farther");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["near", "far-1", "far-2", "farther"]);
+    }
+
+    #[test]
     fn interleaved_push_pop_stays_sorted() {
-        // Deterministic pseudo-random workout for the 4-ary sift paths.
+        // Deterministic pseudo-random workout across wheel levels.
         let mut q = EventQueue::new();
         let mut x: u64 = 0x2545_F491_4F6C_DD1D;
         let mut now = 0u64;
@@ -336,7 +303,8 @@ mod tests {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
-            q.push(SimTime::from_micros(now + x % 1_000), round);
+            // Offsets spanning all four levels plus the overflow heap.
+            q.push(SimTime::from_micros(now + x % (3 << 30)), round);
             if x.is_multiple_of(3) {
                 if let Some((t, _)) = q.pop() {
                     now = t.as_micros();

@@ -9,7 +9,10 @@
 //! * [`time`] — a microsecond-resolution virtual clock ([`SimTime`],
 //!   [`SimDuration`]) with ergonomic constructors and arithmetic.
 //! * [`event`] — a deterministic event queue with stable FIFO ordering for
-//!   simultaneous events.
+//!   simultaneous events, backed by the hierarchical timer wheel in
+//!   [`wheel`] (the previous heap-backed queue survives as
+//!   [`heap::HeapQueue`], the reference implementation the wheel is tested
+//!   and benchmarked against).
 //! * [`engine`] — the event loop: actors implement [`engine::Process`] and the
 //!   [`engine::Engine`] delivers timed events to them.
 //! * [`metrics`] — histograms, time series, moving averages, and summary
@@ -21,14 +24,17 @@
 
 pub mod engine;
 pub mod event;
+pub mod heap;
 pub mod metrics;
 pub mod platform;
 pub mod rng;
 pub mod table;
 pub mod time;
+pub mod wheel;
 
 pub use engine::{Engine, Process, ProcessId};
 pub use event::EventQueue;
+pub use heap::HeapQueue;
 pub use metrics::{Histogram, MovingAverage, Summary, TimeSeries};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -1,14 +1,22 @@
-//! Model-equivalence proofs for the 4-ary-heap [`EventQueue`].
+//! Model-equivalence proofs for the timer-wheel [`EventQueue`].
 //!
-//! The queue was rewritten from a `BinaryHeap<Reverse<(time, seq)>>` to a
-//! 4-ary implicit heap with a same-instant FIFO lane. Simulations depend on
-//! its *exact* delivery order for bit-for-bit reproducibility, so this suite
-//! drives arbitrary operation sequences through the new queue and through a
-//! trivially-correct reimplementation of the old one, asserting that every
-//! pop (timestamp and payload), every peek, and every length agree — and
-//! that the "scheduled in the past" causality panic still fires.
+//! The queue has been rewritten twice — first from a
+//! `BinaryHeap<Reverse<(time, seq)>>` to a 4-ary implicit heap with a
+//! same-instant FIFO lane, then to a hierarchical timer wheel (with the
+//! 4-ary heap preserved as [`HeapQueue`] for comparison). Simulations depend
+//! on its *exact* delivery order for bit-for-bit reproducibility, so this
+//! suite drives arbitrary operation sequences through the live queue and
+//! through a trivially-correct reimplementation of the original, asserting
+//! that every pop (timestamp and payload), every peek, and every length
+//! agree — and that the "scheduled in the past" causality panic still fires.
+//!
+//! Two offset regimes matter for the wheel: small offsets stay in level 0
+//! and the front register, while offsets of 2^8..2^32 µs land in higher
+//! levels (exercising cascades on pop) and offsets ≥ 2^32 µs leave the
+//! wheel horizon entirely (exercising the far-future overflow heap). The
+//! `*_across_cascades_and_overflow` tests draw from all three regimes.
 
-use falkon_sim::{Engine, EventQueue, SimTime};
+use falkon_sim::{Engine, EventQueue, HeapQueue, SimTime};
 use proptest::prelude::*;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -84,45 +92,124 @@ fn arb_op() -> impl Strategy<Value = Op> {
     ]
 }
 
+/// Like [`arb_op`], but push offsets span the wheel's full placement range:
+/// level 0 (< 2^8 µs), the upper levels whose delivery requires cascading
+/// (up to the 2^32 µs horizon), and the far-future overflow heap beyond it.
+/// `PopBefore` slack gets the same treatment so deadline-bounded pops also
+/// land mid-cascade and mid-overflow.
+fn arb_far_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..50).prop_map(|offset| Op::Push { offset }),
+        (0u64..(3u64 << 30)).prop_map(|offset| Op::Push { offset }),
+        ((1u64 << 31)..(6u64 << 31)).prop_map(|offset| Op::Push { offset }),
+        Just(Op::Pop),
+        (0u64..80).prop_map(|slack| Op::PopBefore { slack }),
+        (0u64..(1u64 << 33)).prop_map(|slack| Op::PopBefore { slack }),
+    ]
+}
+
+/// Drive one operation sequence through the live queue and the model,
+/// checking every observable after every step, then drain both.
+fn drive_against_model(ops: Vec<Op>) -> Result<(), TestCaseError> {
+    let mut q: EventQueue<u32> = EventQueue::new();
+    let mut model = ModelQueue::new();
+    let mut payload = 0u32;
+    for op in ops {
+        match op {
+            Op::Push { offset } => {
+                let at = model.last_popped + offset;
+                q.push(SimTime::from_micros(at), payload);
+                model.push(at, payload);
+                payload += 1;
+            }
+            Op::Pop => {
+                let got = q.pop();
+                let want = model.pop_at_or_before(u64::MAX);
+                prop_assert_eq!(got.map(|(t, p)| (t.as_micros(), p)), want);
+            }
+            Op::PopBefore { slack } => {
+                // Anchor the deadline near the next event so both the
+                // deliver and the hold branch are exercised.
+                let deadline = model.peek_time().unwrap_or(model.last_popped) + slack;
+                let got = q.pop_at_or_before(SimTime::from_micros(deadline));
+                let want = model.pop_at_or_before(deadline);
+                prop_assert_eq!(got.map(|(t, p)| (t.as_micros(), p)), want);
+            }
+        }
+        prop_assert_eq!(q.len(), model.len());
+        prop_assert_eq!(q.is_empty(), model.len() == 0);
+        prop_assert_eq!(q.peek_time().map(|t| t.as_micros()), model.peek_time());
+    }
+    // Drain: the full remaining order must agree.
+    while let Some((t, p)) = q.pop() {
+        prop_assert_eq!(model.pop_at_or_before(u64::MAX), Some((t.as_micros(), p)));
+    }
+    prop_assert_eq!(model.len(), 0);
+    Ok(())
+}
+
 // Every operation sequence produces identical observable behaviour on the
 // new queue and the old-implementation model.
 proptest! {
     #[test]
     fn matches_binary_heap_model(ops in prop::collection::vec(arb_op(), 1..400)) {
-        let mut q: EventQueue<u32> = EventQueue::new();
-        let mut model = ModelQueue::new();
+        drive_against_model(ops)?;
+    }
+
+    // The same proof with offsets that land in every wheel level, force
+    // cascades on delivery, and spill past the horizon into the overflow
+    // heap.
+    #[test]
+    fn matches_model_across_cascades_and_overflow(
+        ops in prop::collection::vec(arb_far_op(), 1..250),
+    ) {
+        drive_against_model(ops)?;
+    }
+
+    // Wheel vs the preserved 4-ary heap: the two real implementations must
+    // be observationally identical over the full offset range, so either
+    // can back the simulators (and benchmark columns stay comparable).
+    #[test]
+    fn wheel_matches_preserved_heap(
+        ops in prop::collection::vec(arb_far_op(), 1..250),
+    ) {
+        let mut wheel: EventQueue<u32> = EventQueue::new();
+        let mut heap: HeapQueue<u32> = HeapQueue::new();
+        let mut last_popped = 0u64;
         let mut payload = 0u32;
         for op in ops {
             match op {
                 Op::Push { offset } => {
-                    let at = model.last_popped + offset;
-                    q.push(SimTime::from_micros(at), payload);
-                    model.push(at, payload);
+                    let at = SimTime::from_micros(last_popped + offset);
+                    wheel.push(at, payload);
+                    heap.push(at, payload);
                     payload += 1;
                 }
                 Op::Pop => {
-                    let got = q.pop();
-                    let want = model.pop_at_or_before(u64::MAX);
-                    prop_assert_eq!(got.map(|(t, p)| (t.as_micros(), p)), want);
+                    let got = wheel.pop();
+                    prop_assert_eq!(&got, &heap.pop());
+                    if let Some((t, _)) = got {
+                        last_popped = t.as_micros();
+                    }
                 }
                 Op::PopBefore { slack } => {
-                    // Anchor the deadline near the next event so both the
-                    // deliver and the hold branch are exercised.
-                    let deadline = model.peek_time().unwrap_or(model.last_popped) + slack;
-                    let got = q.pop_at_or_before(SimTime::from_micros(deadline));
-                    let want = model.pop_at_or_before(deadline);
-                    prop_assert_eq!(got.map(|(t, p)| (t.as_micros(), p)), want);
+                    let deadline = SimTime::from_micros(
+                        heap.peek_time().map_or(last_popped, |t| t.as_micros()) + slack,
+                    );
+                    let got = wheel.pop_at_or_before(deadline);
+                    prop_assert_eq!(&got, &heap.pop_at_or_before(deadline));
+                    if let Some((t, _)) = got {
+                        last_popped = t.as_micros();
+                    }
                 }
             }
-            prop_assert_eq!(q.len(), model.len());
-            prop_assert_eq!(q.is_empty(), model.len() == 0);
-            prop_assert_eq!(q.peek_time().map(|t| t.as_micros()), model.peek_time());
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.peek_time(), heap.peek_time());
         }
-        // Drain: the full remaining order must agree.
-        while let Some((t, p)) = q.pop() {
-            prop_assert_eq!(model.pop_at_or_before(u64::MAX), Some((t.as_micros(), p)));
+        while let Some(got) = wheel.pop() {
+            prop_assert_eq!(Some(got), heap.pop());
         }
-        prop_assert_eq!(model.len(), 0);
+        prop_assert!(heap.is_empty());
     }
 
     // Same-instant bursts (the lane's fast path) drain in exact insertion

@@ -160,9 +160,13 @@ fn tsan(rest: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Miri over the deque's model/proptest suite — the interpreter catches
-/// provenance and aliasing violations TSan cannot. Scoped to `falkon-pool`
-/// because Miri cannot execute real sockets or poll(2).
+/// Miri over the deque's model/proptest suite and the event-queue model
+/// suite — the interpreter catches provenance and aliasing violations TSan
+/// cannot. Scoped to `falkon-pool` plus `falkon-sim`'s `queue_model` test
+/// because Miri cannot execute real sockets or poll(2). The queue models
+/// run thousands of proptest cases natively; under Miri's ~50× slowdown we
+/// cap them via `PROPTEST_CASES` — the interpreter's value is per-operation
+/// soundness, not case volume.
 fn miri(rest: &[String]) -> ExitCode {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".into());
     if !nightly_supports(&cargo, &["--version"]) {
@@ -173,26 +177,40 @@ fn miri(rest: &[String]) -> ExitCode {
         println!("xtask miri: SKIPPED — cargo-miri not installed on nightly");
         return ExitCode::SUCCESS;
     }
-    let status = Command::new(&cargo)
-        .args(["+nightly", "miri", "test", "-p", "falkon-pool"])
-        .args(rest)
-        // Deterministic scheduling preemption surfaces more interleavings.
-        .env("MIRIFLAGS", "-Zmiri-preemption-rate=0.5")
-        .status();
-    match status {
-        Ok(s) if s.success() => {
-            println!("xtask miri: PASSED (pool deque model suite)");
-            ExitCode::SUCCESS
-        }
-        Ok(s) => {
-            eprintln!("xtask miri: FAILED");
-            ExitCode::from(s.code().unwrap_or(1).clamp(0, 255) as u8)
-        }
-        Err(e) => {
-            eprintln!("xtask miri: cannot run {cargo}: {e}");
-            ExitCode::from(2)
+    let passes: &[&[&str]] = &[
+        &["+nightly", "miri", "test", "-p", "falkon-pool"],
+        &[
+            "+nightly",
+            "miri",
+            "test",
+            "-p",
+            "falkon-sim",
+            "--test",
+            "queue_model",
+        ],
+    ];
+    for args in passes {
+        let status = Command::new(&cargo)
+            .args(*args)
+            .args(rest)
+            // Deterministic scheduling preemption surfaces more interleavings.
+            .env("MIRIFLAGS", "-Zmiri-preemption-rate=0.5")
+            .env("PROPTEST_CASES", "16")
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("xtask miri: FAILED");
+                return ExitCode::from(s.code().unwrap_or(1).clamp(0, 255) as u8);
+            }
+            Err(e) => {
+                eprintln!("xtask miri: cannot run {cargo}: {e}");
+                return ExitCode::from(2);
+            }
         }
     }
+    println!("xtask miri: PASSED (pool deque model suite, sim event-queue model suite)");
+    ExitCode::SUCCESS
 }
 
 /// The nightly sysroot must ship `library/std` sources for `-Zbuild-std`.

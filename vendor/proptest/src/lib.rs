@@ -68,8 +68,15 @@ impl ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 256 cases, overridable via `PROPTEST_CASES` like upstream — slow
+    /// harnesses (Miri) cap the count without touching the tests.
     fn default() -> Self {
-        ProptestConfig { cases: 256 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(256);
+        ProptestConfig { cases }
     }
 }
 
